@@ -1,0 +1,34 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test test-report bench bench-report bench-full examples clean results
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-report:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-report:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Paper-scale: >=10 rounds per cell and full workload grids.
+bench-full:
+	REPRO_BENCH_RUNS=10 REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+
+results:
+	@ls -1 benchmarks/results/
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

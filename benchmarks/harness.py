@@ -1,0 +1,48 @@
+"""Benchmark-harness helpers.
+
+Every ``benchmarks/test_*.py`` module regenerates one table or figure of
+the paper.  Conventions:
+
+* Each bench runs its experiment once through ``benchmark.pedantic``
+  (the interesting output is the reproduced table, not the wall time,
+  but pytest-benchmark still records how long the reproduction takes).
+* The reproduced table/series is printed and saved under
+  ``benchmarks/results/`` so ``bench_output.txt`` plus that directory
+  capture the full reproduction.
+* ``REPRO_BENCH_RUNS`` (default 5) controls measurement rounds per cell;
+  the paper uses >= 10 — set it to 10+ for publication-grade output.
+* ``REPRO_FULL=1`` switches the large experiments (e.g. Fig. 11's 210 MB
+  object) to full paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_runs(default: int = 5) -> int:
+    """Measurement rounds per cell (paper: at least 10)."""
+    return int(os.environ.get("REPRO_BENCH_RUNS", default))
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,48 @@
+"""Fig. 12 — QUIC vs TCP on the MotoG and Nexus 6 (WiFi rates).
+
+Paper shape: on phones QUIC's gains diminish across the board; on the
+older MotoG at 50 Mbps QUIC's advantage disappears or reverses for large
+objects (the 100 Mbps row is omitted, as the paper's phones could not
+exceed ~50 Mbps over WiFi).
+"""
+
+from repro.core.runner import build_plt_heatmap, compare_page_load
+from repro.devices import DESKTOP, MOTOG, NEXUS6
+from repro.http import single_object_page
+from repro.netem import emulated
+
+from .harness import bench_runs, run_once, save_result
+
+RATES = (5.0, 10.0, 50.0)
+SIZES_KB = (100, 1000, 10_000)
+
+
+def _device_heatmap(device):
+    return build_plt_heatmap(
+        f"Fig. 12 — QUIC34 vs TCP on {device.name}",
+        [emulated(rate) for rate in RATES],
+        [single_object_page(kb * 1024) for kb in SIZES_KB],
+        runs=max(bench_runs() - 1, 3),
+        device=device,
+    )
+
+
+def _all_devices():
+    return {device.name: _device_heatmap(device)
+            for device in (DESKTOP, NEXUS6, MOTOG)}
+
+
+def test_fig12_mobile_heatmaps(benchmark):
+    heatmaps = run_once(benchmark, _all_devices)
+    text = "\n\n".join(hm.render() for hm in heatmaps.values())
+    save_result("fig12_mobile", text)
+
+    desktop = heatmaps["desktop"]
+    nexus6 = heatmaps["nexus6"]
+    motog = heatmaps["motog"]
+    # Gains diminish with device age (mean advantage ordering).
+    assert desktop.mean_pct_diff() > nexus6.mean_pct_diff() >= motog.mean_pct_diff() - 1
+    assert motog.mean_pct_diff() < desktop.mean_pct_diff() - 5
+    # MotoG at 50 Mbps / 10 MB: the advantage disappears or reverses.
+    worst = motog.get("50Mbps+0ms+0%loss", "1x10000KB")
+    assert worst.pct_diff < 0 or not worst.significant()

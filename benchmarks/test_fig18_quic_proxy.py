@@ -1,0 +1,56 @@
+"""Fig. 18 — QUIC direct vs QUIC through an (unoptimized) QUIC proxy.
+
+Paper shape: the proxy *hurts* small objects (no 0-RTT on the proxied
+legs) but *helps* large objects under loss (per-leg loss recovery at half
+the RTT).
+"""
+
+from repro.core.comparison import Comparison
+from repro.core.heatmap import Heatmap
+from repro.core.runner import measure_plts
+from repro.http import single_object_page
+from repro.netem import emulated
+
+from .harness import bench_runs, run_once, save_result
+
+SIZES_KB = (10, 200, 1000, 10_000)
+CONDITIONS = (
+    ("base-36ms", dict()),
+    ("loss-1pct", dict(loss_pct=1.0)),
+    ("delay+100ms", dict(extra_delay_ms=100.0)),
+)
+
+
+def _grid():
+    heatmap = Heatmap(
+        "Fig. 18 — QUIC direct vs QUIC proxied (positive = direct faster)",
+        row_labels=[name for name, _ in CONDITIONS],
+        col_labels=[f"1x{kb}KB" for kb in SIZES_KB],
+        treatment="direct",
+        baseline="proxied",
+    )
+    runs = bench_runs()
+    for name, kwargs in CONDITIONS:
+        scenario = emulated(10.0, **kwargs)
+        for kb in SIZES_KB:
+            page = single_object_page(kb * 1024)
+            direct = measure_plts(scenario, page, "quic", runs=runs)
+            proxied = measure_plts(scenario, page, "quic", runs=runs,
+                                   proxied=True)
+            heatmap.put(name, f"1x{kb}KB",
+                        Comparison(f"{name}/{kb}", direct, proxied))
+    return heatmap
+
+
+def test_fig18_quic_proxy(benchmark):
+    heatmap = run_once(benchmark, _grid)
+    save_result("fig18_quic_proxy", heatmap.render())
+
+    # Small objects: direct (0-RTT) beats the proxy everywhere.
+    for condition, _ in CONDITIONS:
+        small = heatmap.get(condition, "1x10KB")
+        assert small.pct_diff > 0
+    # Large objects under loss: the proxy's per-leg recovery wins
+    # (i.e. "direct faster" goes negative or insignificant).
+    big_lossy = heatmap.get("loss-1pct", "1x10000KB")
+    assert big_lossy.pct_diff < 5

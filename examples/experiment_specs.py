@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Declarative experiments: run the bundled JSON specs.
+
+Demonstrates the automation layer (the paper's stated future work):
+experiments as data.  Each spec under ``examples/specs/`` declares a
+scenario grid, a workload grid and a round count; this script runs them
+and prints the resulting heatmaps.
+
+Run:  python examples/experiment_specs.py
+"""
+
+from pathlib import Path
+
+from repro.core.experiment import ExperimentSpec, run_experiment
+
+SPEC_DIR = Path(__file__).parent / "specs"
+
+
+def main() -> None:
+    for spec_path in sorted(SPEC_DIR.glob("*.json")):
+        spec = ExperimentSpec.from_json(spec_path.read_text())
+        print(f"=== {spec.name} — {spec.description}")
+        print(f"    {len(spec.scenarios)} scenarios x "
+              f"{len(spec.workloads)} workloads x {spec.runs} runs "
+              f"on {spec.device}\n")
+        result = run_experiment(spec)
+        print(result.heatmap().render())
+        print()
+        for row in result.summary_rows():
+            print("  " + row)
+        print()
+
+
+if __name__ == "__main__":
+    main()

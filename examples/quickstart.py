@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: one statistically sound QUIC-vs-TCP comparison.
+
+This is the paper's core measurement unit (Sec. 3.3): load the same page
+over QUIC and over TCP(+TLS+HTTP/2) back-to-back for ten rounds in an
+emulated network, then report the percent PLT difference and whether it
+is statistically significant under Welch's t-test at p < 0.01.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import compare_page_load, run_page_load
+from repro.http import single_object_page
+from repro.netem import emulated
+
+
+def main() -> None:
+    # A 10 Mbps bottleneck with the testbed's base 36 ms RTT (Fig. 1).
+    scenario = emulated(10.0)
+    page = single_object_page(200 * 1024)  # one 200 KB image
+
+    print(f"scenario : {scenario.describe()}")
+    print(f"workload : {page.name} ({page.total_bytes} bytes)")
+    print()
+
+    # One instrumented run of each protocol, for a feel of the numbers.
+    for protocol in ("quic", "tcp"):
+        out = run_page_load(scenario, page, protocol, seed=0, trace=True)
+        states = " -> ".join(out.server_trace.state_sequence()[:6])
+        print(f"{protocol:>4}: PLT {out.plt * 1000:7.1f} ms   "
+              f"server states: {states}")
+    print()
+
+    # The real measurement: ten rounds, both protocols, Welch's t-test.
+    cell = compare_page_load(scenario, page, runs=10)
+    print(cell.describe())
+    if cell.significant():
+        print(f"=> {cell.winner.upper()} is faster by {abs(cell.pct_diff):.1f}% "
+              f"(significant at p < 0.01)")
+    else:
+        print("=> no statistically significant difference (a 'white cell')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Video streaming QoE over QUIC vs TCP (paper Sec. 5.3, Table 6).
+
+Streams a one-hour title pinned at each quality level for 60 seconds over
+a 100 Mbps link with 1% loss, and prints the Table 6 metrics: time to
+start, fraction loaded, buffering/playing ratio, rebuffer counts.
+
+Run:  python examples/video_qoe.py
+"""
+
+from repro.netem import emulated
+from repro.video import QUALITIES, measure_video_qoe
+
+SCENARIO = emulated(100.0, loss_pct=1.0)
+RUNS = 3
+
+
+def main() -> None:
+    print("Table 6 reproduction — 60 s sessions, 100 Mbps + 1% loss, "
+          f"{RUNS} runs per cell\n")
+    for quality in QUALITIES:
+        for protocol in ("quic", "tcp"):
+            agg = measure_video_qoe(quality, protocol, runs=RUNS,
+                                    scenario=SCENARIO)
+            print(agg.row())
+        print()
+    print("Expected shape (paper): parity at tiny/medium/hd720; at hd2160")
+    print("QUIC loads more video and rebuffers less per played second.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Packaging entry point.
+
+Metadata lives in setup.cfg.  pyproject.toml is intentionally absent:
+with it present, pip's PEP-517 editable path requires the `wheel`
+package at build time, which offline environments may not have; the
+legacy path (`setup.py` + `setup.cfg`) installs everywhere.
+"""
+
+from setuptools import setup
+
+setup()

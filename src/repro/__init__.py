@@ -1,0 +1,39 @@
+"""repro — "Taking a Long Look at QUIC" (IMC 2017), rebuilt in Python.
+
+A from-scratch reproduction of the paper's evaluation framework and every
+substrate it depends on: a discrete-event ``tc``/``netem``-style network
+emulator, GQUIC (versions 25-37) and TCP(+TLS, HTTP/2 framing) transport
+implementations sharing one Cubic congestion controller, device CPU
+models, a video QoE player, split-connection proxies, Synoptic-style
+state-machine inference, and a statistically rigorous comparison harness.
+
+Quick start::
+
+    from repro.core import compare_page_load
+    from repro.http import single_object_page
+    from repro.netem import emulated
+
+    cell = compare_page_load(emulated(10.0), single_object_page(200 * 1024),
+                             runs=10)
+    print(cell.describe())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-figure reproduction index.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, devices, http, netem, proxy, quic, tcp, transport, video
+
+__all__ = [
+    "core",
+    "devices",
+    "http",
+    "netem",
+    "proxy",
+    "quic",
+    "tcp",
+    "transport",
+    "video",
+    "__version__",
+]

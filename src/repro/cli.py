@@ -1,0 +1,288 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro compare --rate 10 --size-kb 200 --runs 10
+    python -m repro heatmap --rates 5,10,50 --sizes-kb 5,100,1000 --runs 5
+    python -m repro fairness --tcp-flows 2 --duration 30
+    python -m repro bulk --protocol quic --size-mb 10 --rate 100 --loss 1
+    python -m repro video --quality hd2160 --runs 3
+    python -m repro statemachine --out fsm.dot
+    python -m repro versions
+
+Every command builds the same simulated testbed the benchmarks use, so
+CLI results match ``pytest benchmarks/`` cell for cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.runner import (
+    build_plt_heatmap,
+    compare_page_load,
+    run_bulk_transfer,
+    run_fairness,
+    run_page_load,
+)
+from .core.statemachine import infer
+from .devices import DEVICE_PROFILES
+from .http import page, single_object_page
+from .netem import emulated
+from .quic import KNOWN_VERSIONS, quic_config
+from .video import QUALITIES, measure_video_qoe
+
+
+def _floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def _ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _scenario(args: argparse.Namespace):
+    return emulated(
+        args.rate,
+        extra_delay_ms=getattr(args, "delay_ms", 0.0),
+        loss_pct=getattr(args, "loss", 0.0),
+        jitter_ms=getattr(args, "jitter_ms", 0.0),
+    )
+
+
+def _workload(args: argparse.Namespace):
+    if getattr(args, "objects", None):
+        return page(args.objects, args.size_kb * 1024)
+    return single_object_page(args.size_kb * 1024)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    workload = _workload(args)
+    device = DEVICE_PROFILES[args.device]
+    cell = compare_page_load(scenario, workload, runs=args.runs,
+                             device=device)
+    print(cell.describe())
+    return 0
+
+
+def cmd_heatmap(args: argparse.Namespace) -> int:
+    scenarios = [emulated(rate, loss_pct=args.loss,
+                          extra_delay_ms=args.delay_ms)
+                 for rate in _floats(args.rates)]
+    pages = [single_object_page(kb * 1024) for kb in _ints(args.sizes_kb)]
+    heatmap = build_plt_heatmap(
+        "QUIC vs TCP page load time", scenarios, pages, runs=args.runs,
+        device=DEVICE_PROFILES[args.device],
+    )
+    print(heatmap.render())
+    return 0
+
+
+def cmd_fairness(args: argparse.Namespace) -> int:
+    result = run_fairness(n_quic=args.quic_flows, n_tcp=args.tcp_flows,
+                          duration=args.duration, seed=args.seed)
+    print(f"bottleneck: {result.scenario.describe()}, "
+          f"{args.duration:.0f}s window")
+    for flow in sorted(result.average_mbps):
+        print(f"  {flow:<8} {result.average_mbps[flow]:6.2f} Mbps")
+    print(f"QUIC share of delivered bytes: {result.quic_share() * 100:.0f}%")
+    return 0
+
+
+def cmd_bulk(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    cfg = None
+    if args.protocol == "quic" and args.nack_threshold is not None:
+        cfg = quic_config(34)
+        cfg.nack_threshold = args.nack_threshold
+    result = run_bulk_transfer(
+        scenario, int(args.size_mb * 1024 * 1024), args.protocol,
+        seed=args.seed, quic_cfg=cfg,
+    )
+    print(f"{args.protocol}: {result.elapsed:.3f}s, "
+          f"{result.throughput_mbps:.2f} Mbps, "
+          f"losses={result.losses}, spurious={result.false_losses}")
+    dwell = result.server_trace.dwell_fractions()
+    for state, fraction in sorted(dwell.items(), key=lambda kv: -kv[1]):
+        print(f"  {state:<26} {fraction * 100:5.1f}% of time")
+    return 0
+
+
+def cmd_video(args: argparse.Namespace) -> int:
+    scenario = emulated(args.rate, loss_pct=args.loss)
+    for protocol in ("quic", "tcp"):
+        agg = measure_video_qoe(args.quality, protocol, runs=args.runs,
+                                scenario=scenario)
+        print(agg.row())
+    return 0
+
+
+def cmd_statemachine(args: argparse.Namespace) -> int:
+    traces = []
+    environments = [
+        (emulated(10.0), single_object_page(1024 * 1024)),
+        (emulated(100.0, loss_pct=1.0), single_object_page(2 * 1024 * 1024)),
+        (emulated(5.0), page(10, 50 * 1024)),
+    ]
+    for scenario, workload in environments:
+        out = run_page_load(scenario, workload, "quic", seed=args.seed,
+                            trace=True)
+        traces.append(out.server_trace)
+    model = infer(traces)
+    print(model.summary())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(model.to_dot("QUIC congestion control"))
+        print(f"\nDOT written to {args.out}")
+    return 0
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    from .core.experiment import ExperimentSpec, run_experiment
+
+    with open(args.file) as handle:
+        spec = ExperimentSpec.from_json(handle.read())
+    print(f"running spec {spec.name!r}: {len(spec.scenarios)} scenarios x "
+          f"{len(spec.workloads)} workloads x {spec.runs} runs")
+    result = run_experiment(
+        spec, seed_base=args.seed,
+        progress=lambda key, plts: print(f"  done {'/'.join(key)}"),
+    )
+    print()
+    print(result.heatmap().render())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(result.to_json())
+        print(f"\nfull samples written to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .core.report import build_report, missing_experiments
+
+    results_dir = Path(args.results)
+    text = build_report(results_dir)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    missing = missing_experiments(results_dir)
+    if missing:
+        print(f"\nnote: {len(missing)} experiments not yet run "
+              f"({', '.join(missing[:5])}...)"
+              if len(missing) > 5 else
+              f"\nnote: not yet run: {', '.join(missing)}")
+    return 0
+
+
+def cmd_versions(args: argparse.Namespace) -> int:
+    print("QUIC versions released during the study window:")
+    for version in KNOWN_VERSIONS:
+        cfg = quic_config(version)
+        print(f"  QUIC {version:>2}: MACW={cfg.cc.max_cwnd_packets} packets, "
+              f"N-emulation={cfg.cc.num_emulated_connections}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Taking a Long Look at QUIC'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common_network(p):
+        p.add_argument("--rate", type=float, default=10.0,
+                       help="bottleneck rate, Mbps (default 10)")
+        p.add_argument("--loss", type=float, default=0.0,
+                       help="added loss, percent")
+        p.add_argument("--delay-ms", type=float, default=0.0,
+                       help="added round-trip delay, ms")
+        p.add_argument("--jitter-ms", type=float, default=0.0,
+                       help="netem jitter, ms (causes reordering)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("compare", help="QUIC vs TCP on one workload")
+    common_network(p)
+    p.add_argument("--size-kb", type=int, default=200)
+    p.add_argument("--objects", type=int, default=None,
+                   help="object count (size-kb becomes per-object size)")
+    p.add_argument("--runs", type=int, default=10)
+    p.add_argument("--device", choices=sorted(DEVICE_PROFILES),
+                   default="desktop")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("heatmap", help="a Fig. 6-style grid")
+    p.add_argument("--rates", default="5,10,50,100",
+                   help="comma-separated Mbps rows")
+    p.add_argument("--sizes-kb", default="5,100,1000",
+                   help="comma-separated object sizes (KB)")
+    p.add_argument("--loss", type=float, default=0.0)
+    p.add_argument("--delay-ms", type=float, default=0.0)
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--device", choices=sorted(DEVICE_PROFILES),
+                   default="desktop")
+    p.set_defaults(func=cmd_heatmap)
+
+    p = sub.add_parser("fairness", help="Table 4: shared bottleneck")
+    p.add_argument("--quic-flows", type=int, default=1)
+    p.add_argument("--tcp-flows", type=int, default=1)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fairness)
+
+    p = sub.add_parser("bulk", help="instrumented bulk transfer")
+    common_network(p)
+    p.add_argument("--protocol", choices=("quic", "tcp"), default="quic")
+    p.add_argument("--size-mb", type=float, default=10.0)
+    p.add_argument("--nack-threshold", type=int, default=None,
+                   help="override QUIC's reordering threshold (Fig. 10)")
+    p.set_defaults(func=cmd_bulk)
+
+    p = sub.add_parser("video", help="Table 6: streaming QoE")
+    p.add_argument("--quality", choices=QUALITIES, default="hd720")
+    p.add_argument("--rate", type=float, default=100.0)
+    p.add_argument("--loss", type=float, default=1.0)
+    p.add_argument("--runs", type=int, default=3)
+    p.set_defaults(func=cmd_video)
+
+    p = sub.add_parser("statemachine", help="Fig. 3: infer the CC FSM")
+    p.add_argument("--out", default=None, help="write Graphviz DOT here")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_statemachine)
+
+    p = sub.add_parser("spec", help="run a declarative experiment file")
+    p.add_argument("--file", required=True, help="JSON ExperimentSpec")
+    p.add_argument("--out", default=None, help="write result JSON here")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_spec)
+
+    p = sub.add_parser("report", help="collate benchmarks/results into Markdown")
+    p.add_argument("--results", default="benchmarks/results")
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("versions", help="Sec. 5.4: version configurations")
+    p.set_defaults(func=cmd_versions)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

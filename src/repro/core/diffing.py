@@ -1,0 +1,120 @@
+"""State-machine differencing for longitudinal analysis (paper Sec. 5.4).
+
+The paper's approach is explicitly longitudinal: re-instrument each new
+QUIC version ("about 30 minutes" per version), re-infer the state
+machine, and ask *what changed*.  This module closes that loop: given two
+inferred :class:`~repro.core.statemachine.StateMachineModel` objects —
+from two protocol versions, two devices, or two network environments —
+:func:`diff_models` reports
+
+* states added / removed,
+* transitions added / removed,
+* transition-probability shifts above a threshold,
+* dwell-time shifts (the Fig. 13 quantity),
+
+and renders a human-readable changelog.  The Sec. 5.4 stability claim
+("versions 25–36 behave identically") becomes an empty diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from .statemachine import StateMachineModel
+
+
+@dataclass
+class ModelDiff:
+    """The structured difference between two inferred state machines."""
+
+    label_a: str
+    label_b: str
+    states_added: Set[str] = field(default_factory=set)
+    states_removed: Set[str] = field(default_factory=set)
+    transitions_added: Set[Tuple[str, str]] = field(default_factory=set)
+    transitions_removed: Set[Tuple[str, str]] = field(default_factory=set)
+    #: (a, b) -> (prob_in_a, prob_in_b) for shifts above the threshold.
+    probability_shifts: Dict[Tuple[str, str], Tuple[float, float]] = field(
+        default_factory=dict)
+    #: state -> (fraction_in_a, fraction_in_b) for dwell shifts.
+    dwell_shifts: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the two machines are behaviourally identical."""
+        return not (self.states_added or self.states_removed
+                    or self.transitions_added or self.transitions_removed
+                    or self.probability_shifts or self.dwell_shifts)
+
+    def render(self) -> str:
+        if self.is_empty:
+            return (f"{self.label_a} -> {self.label_b}: no behavioural "
+                    f"change (state machines identical)")
+        lines = [f"state-machine diff: {self.label_a} -> {self.label_b}"]
+        for state in sorted(self.states_added):
+            lines.append(f"  + state {state}")
+        for state in sorted(self.states_removed):
+            lines.append(f"  - state {state}")
+        for a, b in sorted(self.transitions_added):
+            lines.append(f"  + transition {a} -> {b}")
+        for a, b in sorted(self.transitions_removed):
+            lines.append(f"  - transition {a} -> {b}")
+        for (a, b), (pa, pb) in sorted(self.probability_shifts.items()):
+            lines.append(f"  ~ P({a} -> {b}): {pa:.2f} -> {pb:.2f}")
+        for state, (fa, fb) in sorted(self.dwell_shifts.items()):
+            lines.append(
+                f"  ~ dwell {state}: {fa * 100:.1f}% -> {fb * 100:.1f}%")
+        return "\n".join(lines)
+
+
+def diff_models(model_a: StateMachineModel, model_b: StateMachineModel,
+                *, label_a: str = "A", label_b: str = "B",
+                probability_threshold: float = 0.15,
+                dwell_threshold: float = 0.10) -> ModelDiff:
+    """Compare two inferred machines; small probability/dwell wobble
+    below the thresholds is treated as measurement noise."""
+    diff = ModelDiff(label_a=label_a, label_b=label_b)
+    diff.states_added = model_b.states - model_a.states
+    diff.states_removed = model_a.states - model_b.states
+    edges_a = set(model_a.transition_counts)
+    edges_b = set(model_b.transition_counts)
+    diff.transitions_added = edges_b - edges_a
+    diff.transitions_removed = edges_a - edges_b
+    probs_a = model_a.transition_probabilities()
+    probs_b = model_b.transition_probabilities()
+    for edge in edges_a & edges_b:
+        pa, pb = probs_a[edge], probs_b[edge]
+        if abs(pa - pb) >= probability_threshold:
+            diff.probability_shifts[edge] = (pa, pb)
+    dwell_a = model_a.dwell_fractions()
+    dwell_b = model_b.dwell_fractions()
+    for state in set(dwell_a) | set(dwell_b):
+        fa = dwell_a.get(state, 0.0)
+        fb = dwell_b.get(state, 0.0)
+        if abs(fa - fb) >= dwell_threshold:
+            diff.dwell_shifts[state] = (fa, fb)
+    return diff
+
+
+def version_stability_report(models: Dict[int, StateMachineModel],
+                             baseline: Optional[int] = None) -> str:
+    """Sec. 5.4 as a report: diff every version's machine vs a baseline."""
+    if not models:
+        raise ValueError("no models supplied")
+    versions = sorted(models)
+    base = baseline if baseline is not None else versions[0]
+    if base not in models:
+        raise KeyError(f"baseline version {base} not in models")
+    lines = [f"state-machine stability vs QUIC {base}:"]
+    for version in versions:
+        if version == base:
+            continue
+        diff = diff_models(models[base], models[version],
+                           label_a=f"QUIC {base}", label_b=f"QUIC {version}")
+        status = "identical" if diff.is_empty else "CHANGED"
+        lines.append(f"  QUIC {version}: {status}")
+        if not diff.is_empty:
+            for line in diff.render().splitlines()[1:]:
+                lines.append("  " + line)
+    return "\n".join(lines)

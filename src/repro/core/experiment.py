@@ -1,0 +1,200 @@
+"""Declarative experiment specifications (the paper's automation goal).
+
+The paper closes by promising to "automate the steps used for analysis in
+our approach".  This module does that for the reproduction: an
+:class:`ExperimentSpec` declares a full experiment — network grid,
+workload grid, protocols, device, rounds — as plain data (JSON
+round-trippable), and :func:`run_experiment` executes it into an
+:class:`ExperimentResult` containing every sample, every comparison and
+the rendered heatmap.  The CLI's ``spec`` command runs a spec file.
+
+Example spec (JSON)::
+
+    {
+      "name": "desktop-plt",
+      "scenarios": [
+        {"rate_mbps": 10.0, "loss_pct": 0.0},
+        {"rate_mbps": 10.0, "loss_pct": 1.0}
+      ],
+      "workloads": [
+        {"objects": 1, "size_kb": 100},
+        {"objects": 100, "size_kb": 10}
+      ],
+      "runs": 10,
+      "device": "desktop",
+      "quic_version": 34
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..devices import DEVICE_PROFILES
+from ..http.objects import WebPage, page
+from ..netem.profiles import Scenario, emulated
+from ..quic.config import quic_config
+from .comparison import Comparison
+from .heatmap import Heatmap
+from .runner import measure_plts
+from .stats import mean, sample_std
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A page: ``objects`` equal objects of ``size_kb`` KB each."""
+
+    objects: int = 1
+    size_kb: float = 100.0
+
+    def build(self) -> WebPage:
+        return page(self.objects, int(self.size_kb * 1024))
+
+    @property
+    def label(self) -> str:
+        return f"{self.objects}x{self.size_kb:g}KB"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A network condition in the paper's units (Table 2)."""
+
+    rate_mbps: Optional[float] = 10.0
+    loss_pct: float = 0.0
+    delay_ms: float = 0.0
+    jitter_ms: float = 0.0
+
+    def build(self) -> Scenario:
+        return emulated(self.rate_mbps, loss_pct=self.loss_pct,
+                        extra_delay_ms=self.delay_ms,
+                        jitter_ms=self.jitter_ms)
+
+    @property
+    def label(self) -> str:
+        return self.build().name
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete declarative experiment."""
+
+    name: str
+    scenarios: List[ScenarioSpec]
+    workloads: List[WorkloadSpec]
+    protocols: Tuple[str, ...] = ("quic", "tcp")
+    runs: int = 10
+    device: str = "desktop"
+    quic_version: int = 34
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scenarios or not self.workloads:
+            raise ValueError("spec needs at least one scenario and workload")
+        if self.runs < 1:
+            raise ValueError("runs must be positive")
+        if self.device not in DEVICE_PROFILES:
+            raise ValueError(f"unknown device {self.device!r}")
+        for protocol in self.protocols:
+            if protocol not in ("quic", "tcp"):
+                raise ValueError(f"unknown protocol {protocol!r}")
+
+    # -- serialisation -----------------------------------------------------
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["protocols"] = list(self.protocols)
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        raw = json.loads(text)
+        return cls(
+            name=raw["name"],
+            scenarios=[ScenarioSpec(**s) for s in raw["scenarios"]],
+            workloads=[WorkloadSpec(**w) for w in raw["workloads"]],
+            protocols=tuple(raw.get("protocols", ("quic", "tcp"))),
+            runs=raw.get("runs", 10),
+            device=raw.get("device", "desktop"),
+            quic_version=raw.get("quic_version", 34),
+            description=raw.get("description", ""),
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """All samples plus derived comparisons for one executed spec."""
+
+    spec: ExperimentSpec
+    #: (scenario_label, workload_label, protocol) -> PLT samples.
+    samples: Dict[Tuple[str, str, str], List[float]] = field(
+        default_factory=dict)
+
+    def comparison(self, scenario_label: str, workload_label: str) -> Comparison:
+        quic = self.samples[(scenario_label, workload_label, "quic")]
+        tcp = self.samples[(scenario_label, workload_label, "tcp")]
+        return Comparison(f"{scenario_label} / {workload_label}", quic, tcp)
+
+    def heatmap(self, title: Optional[str] = None) -> Heatmap:
+        hm = Heatmap(
+            title or self.spec.name,
+            row_labels=[s.label for s in self.spec.scenarios],
+            col_labels=[w.label for w in self.spec.workloads],
+        )
+        for scenario in self.spec.scenarios:
+            for workload in self.spec.workloads:
+                hm.put(scenario.label, workload.label,
+                       self.comparison(scenario.label, workload.label))
+        return hm
+
+    def summary_rows(self) -> List[str]:
+        rows = []
+        for (scenario, workload, protocol), values in sorted(self.samples.items()):
+            rows.append(
+                f"{scenario:<24}{workload:<12}{protocol:<6}"
+                f"{mean(values):8.3f}s (sd {sample_std(values):6.3f}, "
+                f"n={len(values)})"
+            )
+        return rows
+
+    # -- serialisation -----------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "spec": json.loads(self.spec.to_json()),
+            "samples": {
+                "|".join(key): values for key, values in self.samples.items()
+            },
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        raw = json.loads(text)
+        spec = ExperimentSpec.from_json(json.dumps(raw["spec"]))
+        samples = {
+            tuple(key.split("|")): values
+            for key, values in raw["samples"].items()
+        }
+        return cls(spec=spec, samples=samples)
+
+
+def run_experiment(spec: ExperimentSpec, *, seed_base: int = 0,
+                   progress: Optional[Any] = None) -> ExperimentResult:
+    """Execute a spec: every (scenario x workload x protocol) cell."""
+    result = ExperimentResult(spec=spec)
+    device = DEVICE_PROFILES[spec.device]
+    quic_cfg = quic_config(spec.quic_version)
+    for scenario_spec in spec.scenarios:
+        scenario = scenario_spec.build()
+        for workload_spec in spec.workloads:
+            workload = workload_spec.build()
+            for protocol in spec.protocols:
+                plts = measure_plts(
+                    scenario, workload, protocol, runs=spec.runs,
+                    seed_base=seed_base, device=device,
+                    quic_cfg=quic_cfg if protocol == "quic" else None,
+                )
+                key = (scenario_spec.label, workload_spec.label, protocol)
+                result.samples[key] = plts
+                if progress is not None:
+                    progress(key, plts)
+    return result

@@ -1,0 +1,155 @@
+"""Execution-trace instrumentation (Sec. 4.2 of the paper).
+
+The paper instruments Chromium's QUIC with 23 lines of logging across 5
+files to capture congestion-control state transitions, congestion-window
+evolution and loss-detection decisions, then infers the protocol state
+machine from those traces.  Here the same role is played by a
+:class:`Trace` attached to every transport connection: the congestion
+controller and loss detector emit structured records into it, and
+:mod:`repro.core.statemachine` / :mod:`repro.core.rootcause` consume them.
+
+Records are cheap tuples; a trace can be disabled wholesale (``enabled =
+False``) for large parameter sweeps where only end-to-end metrics matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Record kinds.  Kept as plain strings for trivial filtering.
+STATE = "state"          # detail: state name (str)
+CWND = "cwnd"            # detail: congestion window in bytes (int)
+LOSS = "loss"            # detail: packet number / sequence declared lost
+FALSE_LOSS = "false_loss"  # detail: packet number spuriously declared lost
+RTO_FIRED = "rto"
+TLP_FIRED = "tlp"
+RTT_SAMPLE = "rtt"       # detail: seconds (float)
+PACING_RATE = "pacing"   # detail: bytes/sec
+
+
+@dataclass
+class TraceRecord:
+    """One instrumentation record: ``(time, kind, detail)``."""
+
+    time: float
+    kind: str
+    detail: object
+
+    def __iter__(self):
+        return iter((self.time, self.kind, self.detail))
+
+
+class Trace:
+    """Per-connection execution trace.
+
+    The trace records *state transitions* (not periodic state samples), so
+    dwell time in a state is the gap between consecutive STATE records —
+    exactly the quantity Fig. 13 reports ("fraction of time spent in each
+    state").
+    """
+
+    def __init__(self, label: str = "", enabled: bool = True,
+                 cwnd_min_interval: float = 0.0) -> None:
+        self.label = label
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        #: Down-sampling interval for cwnd records (0 = every change).
+        self.cwnd_min_interval = cwnd_min_interval
+        self._last_cwnd_time = -1e18
+        #: Running counters, maintained even when record-keeping is off,
+        #: because root-cause analysis needs them cheaply.
+        self.counters: Dict[str, int] = {}
+        self._last_state: Optional[str] = None
+        self._last_state_time: float = 0.0
+        #: Accumulated dwell time per state (finalised by :meth:`close`).
+        self.dwell: Dict[str, float] = {}
+        self._closed_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def log_state(self, now: float, state: str) -> None:
+        """Record a state transition (no-op if the state is unchanged)."""
+        if state == self._last_state:
+            return
+        if self._last_state is not None:
+            self.dwell[self._last_state] = (
+                self.dwell.get(self._last_state, 0.0) + (now - self._last_state_time)
+            )
+        self._last_state = state
+        self._last_state_time = now
+        self.counters[f"state:{state}"] = self.counters.get(f"state:{state}", 0) + 1
+        if self.enabled:
+            self.records.append(TraceRecord(now, STATE, state))
+
+    def log(self, now: float, kind: str, detail: object = None) -> None:
+        """Record a generic event and bump its counter."""
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+        if self.enabled:
+            self.records.append(TraceRecord(now, kind, detail))
+
+    def log_cwnd(self, now: float, cwnd_bytes: int) -> None:
+        """Record congestion-window size, down-sampled by ``cwnd_min_interval``."""
+        if not self.enabled:
+            return
+        if now - self._last_cwnd_time < self.cwnd_min_interval:
+            return
+        self._last_cwnd_time = now
+        self.records.append(TraceRecord(now, CWND, cwnd_bytes))
+
+    def close(self, now: float) -> None:
+        """Finalise dwell accounting at the end of an experiment."""
+        if self._last_state is not None and self._closed_at is None:
+            self.dwell[self._last_state] = (
+                self.dwell.get(self._last_state, 0.0) + (now - self._last_state_time)
+            )
+            self._last_state_time = now
+        self._closed_at = now
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def state_sequence(self) -> List[str]:
+        """The ordered list of visited states (for state-machine inference)."""
+        return [r.detail for r in self.records if r.kind == STATE]
+
+    def state_intervals(self) -> List[Tuple[str, float, float]]:
+        """``(state, enter_time, exit_time)`` triples; last exit = close time."""
+        out: List[Tuple[str, float, float]] = []
+        prev: Optional[Tuple[str, float]] = None
+        for record in self.records:
+            if record.kind != STATE:
+                continue
+            if prev is not None:
+                out.append((prev[0], prev[1], record.time))
+            prev = (record.detail, record.time)
+        if prev is not None:
+            end = self._closed_at if self._closed_at is not None else prev[1]
+            out.append((prev[0], prev[1], max(end, prev[1])))
+        return out
+
+    def dwell_fractions(self) -> Dict[str, float]:
+        """Fraction of total traced time spent in each state (Fig. 13)."""
+        total = sum(self.dwell.values())
+        if total <= 0:
+            return {}
+        return {state: t / total for state, t in self.dwell.items()}
+
+    def series(self, kind: str) -> List[Tuple[float, object]]:
+        """All ``(time, detail)`` pairs of one record kind (e.g. CWND)."""
+        return [(r.time, r.detail) for r in self.records if r.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return self.counters.get(kind, 0)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Trace {self.label!r} records={len(self.records)}>"
+
+
+def merge_state_sequences(traces: Iterable[Trace]) -> List[List[str]]:
+    """Collect the state sequences of many traces (statemachine input)."""
+    return [t.state_sequence() for t in traces if t.state_sequence()]

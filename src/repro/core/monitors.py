@@ -1,0 +1,65 @@
+"""Measurement taps: per-flow throughput over time.
+
+The fairness (Fig. 4), cwnd (Fig. 5/9) and variable-bandwidth (Fig. 11)
+figures all need throughput/cwnd *time series*.  cwnd series come from
+connection traces; throughput series come from this module's link tap,
+which buckets delivered bytes per flow per interval — the simulated
+equivalent of the packet captures the paper took at the router.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..netem.link import Link
+from ..netem.packet import Packet
+
+
+class FlowThroughputMonitor:
+    """Buckets bytes delivered over a link per flow per time interval."""
+
+    def __init__(self, link: Link, interval: float = 0.1) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._buckets: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        self._totals: Dict[str, int] = defaultdict(int)
+        self._first_time: Optional[float] = None
+        self._last_time: Optional[float] = None
+        link.on_deliver = self._tap
+
+    def _tap(self, now: float, packet: Packet) -> None:
+        flow = packet.flow_id or "unknown"
+        bucket = int(now / self.interval)
+        self._buckets[flow][bucket] += packet.size_bytes
+        self._totals[flow] += packet.size_bytes
+        if self._first_time is None:
+            self._first_time = now
+        self._last_time = now
+
+    # ------------------------------------------------------------------
+    def flows(self) -> List[str]:
+        return sorted(self._buckets)
+
+    def series_mbps(self, flow: str) -> List[Tuple[float, float]]:
+        """(bucket_start_time, throughput_mbps) samples for one flow."""
+        buckets = self._buckets.get(flow, {})
+        return [
+            (b * self.interval, bytes_ * 8 / self.interval / 1e6)
+            for b, bytes_ in sorted(buckets.items())
+        ]
+
+    def average_mbps(self, flow: str, duration: Optional[float] = None) -> float:
+        """Average throughput of a flow over ``duration`` (or the observed span)."""
+        total = self._totals.get(flow, 0)
+        if duration is None:
+            if self._first_time is None or self._last_time is None:
+                return 0.0
+            duration = max(self._last_time, self.interval)
+        if duration <= 0:
+            return 0.0
+        return total * 8 / duration / 1e6
+
+    def total_bytes(self, flow: str) -> int:
+        return self._totals.get(flow, 0)

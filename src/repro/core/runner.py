@@ -1,0 +1,400 @@
+"""High-level experiment drivers.
+
+These functions are the public face of the evaluation framework: each
+builds a fresh simulated testbed (Fig. 1 / Fig. 4 / Fig. 16 topology),
+runs one or many page loads / transfers, and returns metrics plus the
+instrumented traces needed for root-cause analysis.  The benchmark
+harness and the examples are thin layers over this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..devices import DESKTOP, DeviceProfile
+from ..http.client import PageLoader, PageLoadResult
+from ..http.objects import WebPage, single_object_page
+from ..http.server import page_request_handler
+from ..netem.link import BandwidthSchedule, mbps
+from ..netem.profiles import Scenario, fairness_bottleneck
+from ..netem.sim import Simulator
+from ..netem.topology import Path, build_bottleneck, build_path, build_proxy_path
+from ..quic.config import QuicConfig, quic_config
+from ..quic.connection import open_quic_pair
+from ..tcp.config import TcpConfig, tcp_config
+from ..tcp.connection import open_tcp_pair
+from .comparison import Comparison
+from .heatmap import Heatmap
+from .instrumentation import Trace
+from .monitors import FlowThroughputMonitor
+
+#: Default number of measurement rounds (the paper: "at least 10").
+DEFAULT_RUNS = 10
+DEFAULT_TIMEOUT = 900.0
+
+
+@dataclass
+class RunOutput:
+    """Everything one page-load run produced."""
+
+    result: PageLoadResult
+    sim: Simulator
+    client: Any
+    server: Any
+    server_trace: Trace
+    client_trace: Trace
+    path: Path
+    proxy_connections: Tuple[Any, ...] = ()
+
+    @property
+    def plt(self) -> float:
+        return self.result.plt
+
+
+def _make_connections(sim: Simulator, path: Path, protocol: str,
+                      handler: Callable[[Any], Optional[int]],
+                      *, quic_cfg: QuicConfig, tcp_cfg: TcpConfig,
+                      device: DeviceProfile, seed: int,
+                      server_trace: Trace, client_trace: Trace,
+                      flow_id: Optional[str] = None) -> Tuple[Any, Any]:
+    if protocol == "quic":
+        return open_quic_pair(
+            sim, path.client, path.server, quic_cfg, device=device,
+            request_handler=handler, server_trace=server_trace,
+            client_trace=client_trace, seed=seed, flow_id=flow_id,
+        )
+    if protocol == "tcp":
+        return open_tcp_pair(
+            sim, path.client, path.server, tcp_cfg, device=device,
+            request_handler=handler, server_trace=server_trace,
+            client_trace=client_trace, seed=seed, flow_id=flow_id,
+        )
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def run_page_load(
+    scenario: Scenario,
+    page: WebPage,
+    protocol: str,
+    *,
+    seed: int = 0,
+    quic_cfg: Optional[QuicConfig] = None,
+    tcp_cfg: Optional[TcpConfig] = None,
+    device: DeviceProfile = DESKTOP,
+    trace: bool = False,
+    cwnd_interval: float = 0.0,
+    proxied: bool = False,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> RunOutput:
+    """Load ``page`` once over ``protocol`` in ``scenario``; return metrics.
+
+    With ``proxied`` a split-connection proxy sits midway (Fig. 16); the
+    proxy terminates the same protocol on both legs.
+    """
+    quic_cfg = quic_cfg if quic_cfg is not None else quic_config(34)
+    tcp_cfg = tcp_cfg if tcp_cfg is not None else tcp_config()
+    sim = Simulator()
+    server_trace = Trace(label=f"{protocol}-server", enabled=trace,
+                         cwnd_min_interval=cwnd_interval)
+    client_trace = Trace(label=f"{protocol}-client", enabled=False)
+    handler = page_request_handler(page)
+    proxy_conns: Tuple[Any, ...] = ()
+    if proxied:
+        from ..proxy import install_proxy  # local import avoids a cycle
+
+        path = build_proxy_path(sim, scenario, seed=seed)
+        client, server, proxy_conns = install_proxy(
+            sim, path, protocol, handler,
+            quic_cfg=quic_cfg, tcp_cfg=tcp_cfg, device=device, seed=seed,
+            server_trace=server_trace, client_trace=client_trace,
+        )
+    else:
+        path = build_path(sim, scenario, seed=seed)
+        client, server = _make_connections(
+            sim, path, protocol, handler, quic_cfg=quic_cfg, tcp_cfg=tcp_cfg,
+            device=device, seed=seed, server_trace=server_trace,
+            client_trace=client_trace,
+        )
+    loader = PageLoader(sim, client, page, protocol)
+    loader.start()
+    sim.run_until(lambda: loader.done, timeout=timeout)
+    server_trace.close(sim.now)
+    client_trace.close(sim.now)
+    return RunOutput(
+        result=loader.result, sim=sim, client=client, server=server,
+        server_trace=server_trace, client_trace=client_trace, path=path,
+        proxy_connections=proxy_conns,
+    )
+
+
+def measure_plts(
+    scenario: Scenario,
+    page: WebPage,
+    protocol: str,
+    runs: int = DEFAULT_RUNS,
+    *,
+    seed_base: int = 0,
+    **kwargs: Any,
+) -> List[float]:
+    """PLT samples over ``runs`` seeded rounds (paper: >= 10 per scenario)."""
+    plts = []
+    for round_idx in range(runs):
+        output = run_page_load(
+            scenario, page, protocol, seed=seed_base + round_idx, **kwargs
+        )
+        if not output.result.complete:
+            raise RuntimeError(
+                f"{protocol} load of {page.name} in {scenario.name} "
+                f"(seed {seed_base + round_idx}) did not complete"
+            )
+        plts.append(output.result.plt)
+    return plts
+
+
+def compare_page_load(
+    scenario: Scenario,
+    page: WebPage,
+    runs: int = DEFAULT_RUNS,
+    *,
+    label: Optional[str] = None,
+    seed_base: int = 0,
+    quic_kwargs: Optional[Dict[str, Any]] = None,
+    tcp_kwargs: Optional[Dict[str, Any]] = None,
+    **common: Any,
+) -> Comparison:
+    """The paper's core unit: back-to-back QUIC and TCP rounds, compared."""
+    quic_kwargs = dict(common, **(quic_kwargs or {}))
+    tcp_kwargs = dict(common, **(tcp_kwargs or {}))
+    quic_plts: List[float] = []
+    tcp_plts: List[float] = []
+    for round_idx in range(runs):
+        seed = seed_base + round_idx
+        quic_plts.append(
+            run_page_load(scenario, page, "quic", seed=seed, **quic_kwargs).plt
+        )
+        tcp_plts.append(
+            run_page_load(scenario, page, "tcp", seed=seed, **tcp_kwargs).plt
+        )
+    return Comparison(
+        label or f"{scenario.name} / {page.name}", quic_plts, tcp_plts
+    )
+
+
+def compare_quic_variants(
+    scenario: Scenario,
+    page: WebPage,
+    treatment_cfg: QuicConfig,
+    baseline_cfg: QuicConfig,
+    runs: int = DEFAULT_RUNS,
+    *,
+    label: Optional[str] = None,
+    treatment_name: str = "treatment",
+    baseline_name: str = "baseline",
+    seed_base: int = 0,
+    **common: Any,
+) -> Comparison:
+    """Compare two QUIC configurations (e.g. 0-RTT on/off for Fig. 7)."""
+    treat: List[float] = []
+    base: List[float] = []
+    for round_idx in range(runs):
+        seed = seed_base + round_idx
+        treat.append(run_page_load(scenario, page, "quic", seed=seed,
+                                   quic_cfg=treatment_cfg, **common).plt)
+        base.append(run_page_load(scenario, page, "quic", seed=seed,
+                                  quic_cfg=baseline_cfg, **common).plt)
+    comparison = Comparison(
+        label or f"{scenario.name} / {page.name}", treat, base
+    )
+    return comparison
+
+
+def build_plt_heatmap(
+    title: str,
+    scenarios: Sequence[Scenario],
+    pages: Sequence[WebPage],
+    runs: int = DEFAULT_RUNS,
+    *,
+    compare: Optional[Callable[[Scenario, WebPage], Comparison]] = None,
+    **kwargs: Any,
+) -> Heatmap:
+    """Build a Fig. 6/8-style heatmap: scenarios as rows, pages as columns."""
+    heatmap = Heatmap(
+        title,
+        row_labels=[s.name for s in scenarios],
+        col_labels=[p.name for p in pages],
+    )
+    for scenario in scenarios:
+        for page in pages:
+            if compare is not None:
+                cell = compare(scenario, page)
+            else:
+                cell = compare_page_load(scenario, page, runs=runs, **kwargs)
+            heatmap.put(scenario.name, page.name, cell)
+    return heatmap
+
+
+# ----------------------------------------------------------------------
+# fairness (Table 4 / Fig. 4)
+# ----------------------------------------------------------------------
+@dataclass
+class FairnessResult:
+    """Per-flow throughputs on a shared bottleneck."""
+
+    scenario: Scenario
+    duration: float
+    #: flow label -> average Mbps over the measurement window.
+    average_mbps: Dict[str, float]
+    #: flow label -> (time, mbps) series.
+    series: Dict[str, List[Tuple[float, float]]]
+
+    def quic_share(self) -> float:
+        """QUIC's fraction of the total delivered bytes."""
+        total = sum(self.average_mbps.values())
+        quic = sum(v for k, v in self.average_mbps.items() if k.startswith("quic"))
+        return quic / total if total > 0 else 0.0
+
+
+def run_fairness(
+    n_quic: int = 1,
+    n_tcp: int = 1,
+    duration: float = 60.0,
+    *,
+    scenario: Optional[Scenario] = None,
+    seed: int = 0,
+    quic_cfg: Optional[QuicConfig] = None,
+    tcp_cfg: Optional[TcpConfig] = None,
+    stagger: float = 0.1,
+) -> FairnessResult:
+    """Competing bulk flows over one bottleneck (Table 4's setup).
+
+    Each flow downloads an effectively unbounded object; throughput is
+    measured at the bottleneck for ``duration`` seconds.
+    """
+    scenario = scenario if scenario is not None else fairness_bottleneck()
+    quic_cfg = quic_cfg if quic_cfg is not None else quic_config(34)
+    tcp_cfg = tcp_cfg if tcp_cfg is not None else tcp_config()
+    sim = Simulator()
+    n_pairs = n_quic + n_tcp
+    net, clients, servers, bottleneck = build_bottleneck(
+        sim, scenario, n_pairs, seed=seed
+    )
+    monitor = FlowThroughputMonitor(bottleneck, interval=0.25)
+    # An object large enough to outlast the window at the link rate.
+    rate = scenario.rate_mbps if scenario.rate_mbps is not None else 1000.0
+    blob = int(rate * 1e6 / 8 * duration * 2)
+    handler = lambda meta: meta["size"]  # noqa: E731 - tiny closure
+    rng = random.Random(seed)
+    idx = 0
+    for q in range(n_quic):
+        flow = f"quic{q}" if n_quic > 1 else "quic"
+        client, _server = open_quic_pair(
+            sim, clients[idx], servers[idx], quic_cfg,
+            request_handler=handler, seed=rng.randrange(1 << 30), flow_id=flow,
+        )
+        start = stagger * idx
+        sim.schedule(start, client.connect)
+        sim.schedule(start, client.request, {"size": blob}, lambda *a: None)
+        idx += 1
+    for t in range(n_tcp):
+        flow = f"tcp{t + 1}" if n_tcp > 1 else "tcp"
+        client, _server = open_tcp_pair(
+            sim, clients[idx], servers[idx], tcp_cfg,
+            request_handler=handler, seed=rng.randrange(1 << 30), flow_id=flow,
+        )
+        start = stagger * idx
+
+        def kickoff(c=client):
+            c.connect(lambda now, c=c: c.request({"size": blob}, lambda *a: None))
+
+        sim.schedule(start, kickoff)
+        idx += 1
+    sim.run(until=duration)
+    averages = {
+        flow: monitor.average_mbps(flow, duration) for flow in monitor.flows()
+    }
+    series = {flow: monitor.series_mbps(flow) for flow in monitor.flows()}
+    return FairnessResult(scenario, duration, averages, series)
+
+
+# ----------------------------------------------------------------------
+# single bulk transfers with instrumentation (Figs. 5, 9, 10, 11)
+# ----------------------------------------------------------------------
+@dataclass
+class TransferResult:
+    """One instrumented bulk download."""
+
+    protocol: str
+    size_bytes: int
+    elapsed: float
+    throughput_mbps: float
+    cwnd_series: List[Tuple[float, int]]
+    server_trace: Trace
+    stats: Any
+    false_losses: int = 0
+    losses: int = 0
+
+
+def run_bulk_transfer(
+    scenario: Scenario,
+    size_bytes: int,
+    protocol: str,
+    *,
+    seed: int = 0,
+    quic_cfg: Optional[QuicConfig] = None,
+    tcp_cfg: Optional[TcpConfig] = None,
+    variable_bw: Optional[Tuple[float, float, float]] = None,
+    cwnd_interval: float = 0.01,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> TransferResult:
+    """Download one object, recording cwnd and loss-detection activity.
+
+    ``variable_bw=(low_mbps, high_mbps, period)`` re-draws the bottleneck
+    rate during the transfer (Fig. 11).
+    """
+    quic_cfg = quic_cfg if quic_cfg is not None else quic_config(34)
+    tcp_cfg = tcp_cfg if tcp_cfg is not None else tcp_config()
+    sim = Simulator()
+    path = build_path(sim, scenario, seed=seed)
+    if variable_bw is not None:
+        low, high, period = variable_bw
+        schedule = BandwidthSchedule(
+            sim, [path.bottleneck_down, path.bottleneck_up],
+            mbps(low), mbps(high), period=period,
+            rng=random.Random(seed ^ 0xBEEF),
+        )
+        schedule.start()
+    server_trace = Trace(label=f"{protocol}-server", enabled=True,
+                         cwnd_min_interval=cwnd_interval)
+    page = single_object_page(size_bytes)
+    handler = page_request_handler(page)
+    client, server = _make_connections(
+        sim, path, protocol, handler, quic_cfg=quic_cfg, tcp_cfg=tcp_cfg,
+        device=DESKTOP, seed=seed, server_trace=server_trace,
+        client_trace=Trace(enabled=False),
+    )
+    loader = PageLoader(sim, client, page, protocol)
+    loader.start()
+    sim.run_until(lambda: loader.done, timeout=timeout)
+    server_trace.close(sim.now)
+    if not loader.done:
+        raise RuntimeError(f"{protocol} bulk transfer did not finish in {timeout}s")
+    elapsed = loader.result.plt
+    if protocol == "quic":
+        false_losses = server.loss_detector.false_losses
+        losses = server.loss_detector.losses_declared
+    else:
+        false_losses = server.stats.spurious_retransmits
+        losses = server.stats.retransmits
+    return TransferResult(
+        protocol=protocol,
+        size_bytes=size_bytes,
+        elapsed=elapsed,
+        throughput_mbps=size_bytes * 8 / elapsed / 1e6,
+        cwnd_series=server_trace.series("cwnd"),
+        server_trace=server_trace,
+        stats=server.stats,
+        false_losses=false_losses,
+        losses=losses,
+    )

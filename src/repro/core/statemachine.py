@@ -1,0 +1,220 @@
+"""State-machine inference from execution traces (paper Secs. 4.2/5.1).
+
+The paper feeds its instrumentation logs to Synoptic [15] to generate the
+first state-machine diagrams for QUIC (Fig. 3) and uses transition
+statistics and per-state dwell times for root-cause analysis (Fig. 13).
+This module is a self-contained "Synoptic-lite":
+
+* :func:`infer` builds a model from many traces: states, transition
+  counts/probabilities, initial/terminal states, and (when the traces
+  carry timing) aggregate dwell-time fractions;
+* :meth:`StateMachineModel.mine_invariants` mines Synoptic's three
+  temporal invariant families (AlwaysFollowedBy, NeverFollowedBy,
+  AlwaysPrecedes) over the observed sequences;
+* :meth:`StateMachineModel.to_dot` renders a Graphviz diagram equivalent
+  to the paper's figures, annotated with transition probabilities (black
+  numbers in Fig. 13) and dwell fractions (red numbers).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .instrumentation import Trace
+
+INITIAL = "INITIAL"
+TERMINAL = "TERMINAL"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One mined temporal invariant, Synoptic-style."""
+
+    kind: str  # "AFby" | "NFby" | "AP"
+    first: str
+    second: str
+
+    def __str__(self) -> str:
+        symbol = {"AFby": "->*", "NFby": "!->*", "AP": "<-*"}[self.kind]
+        return f"{self.first} {symbol} {self.second}"
+
+
+class StateMachineModel:
+    """An inferred finite-state model of a protocol's CC behaviour."""
+
+    def __init__(self) -> None:
+        self.states: Set[str] = set()
+        self.transition_counts: Dict[Tuple[str, str], int] = Counter()
+        self.initial_counts: Dict[str, int] = Counter()
+        self.terminal_counts: Dict[str, int] = Counter()
+        self.dwell_totals: Dict[str, float] = defaultdict(float)
+        self.traces_used = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_sequence(self, sequence: Sequence[str],
+                     dwell: Optional[Dict[str, float]] = None) -> None:
+        """Fold one trace's state sequence (and optional dwell map) in."""
+        if not sequence:
+            return
+        self.traces_used += 1
+        self.initial_counts[sequence[0]] += 1
+        self.terminal_counts[sequence[-1]] += 1
+        for state in sequence:
+            self.states.add(state)
+        for a, b in zip(sequence, sequence[1:]):
+            self.transition_counts[(a, b)] += 1
+        if dwell:
+            for state, seconds in dwell.items():
+                self.dwell_totals[state] += seconds
+                self.states.add(state)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def transition_probabilities(self) -> Dict[Tuple[str, str], float]:
+        """P(next = b | current = a) over observed transitions."""
+        outgoing: Dict[str, int] = Counter()
+        for (a, _b), n in self.transition_counts.items():
+            outgoing[a] += n
+        return {
+            (a, b): n / outgoing[a]
+            for (a, b), n in self.transition_counts.items()
+        }
+
+    def dwell_fractions(self) -> Dict[str, float]:
+        """Fraction of total traced time per state (Fig. 13's red numbers)."""
+        total = sum(self.dwell_totals.values())
+        if total <= 0:
+            return {}
+        return {s: t / total for s, t in self.dwell_totals.items()}
+
+    def successors(self, state: str) -> List[str]:
+        return sorted(b for (a, b) in self.transition_counts if a == state)
+
+    def has_transition(self, a: str, b: str) -> bool:
+        return (a, b) in self.transition_counts
+
+    def edge_count(self) -> int:
+        return len(self.transition_counts)
+
+    # ------------------------------------------------------------------
+    # invariants (Synoptic's three families)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def mine_invariants(sequences: Iterable[Sequence[str]]) -> List[Invariant]:
+        """Mine AFby / NFby / AP invariants holding over *all* sequences."""
+        sequences = [list(s) for s in sequences if s]
+        if not sequences:
+            return []
+        alphabet: Set[str] = set()
+        for seq in sequences:
+            alphabet.update(seq)
+        # Candidate sets start maximal and get pruned per sequence.
+        afby = {(x, y) for x in alphabet for y in alphabet if x != y}
+        nfby = set(afby)
+        ap = set(afby)
+        for seq in sequences:
+            occurred: Set[str] = set(seq)
+            # AFby: every x occurrence has a later y.
+            last_index: Dict[str, int] = {}
+            for i, s in enumerate(seq):
+                last_index[s] = i
+            followers_after: List[Set[str]] = [set() for _ in seq]
+            seen_after: Set[str] = set()
+            for i in range(len(seq) - 1, -1, -1):
+                followers_after[i] = set(seen_after)
+                seen_after.add(seq[i])
+            seen_before: Set[str] = set()
+            first_seen: Dict[str, int] = {}
+            for i, s in enumerate(seq):
+                if s not in first_seen:
+                    first_seen[s] = i
+                seen_before.add(s)
+            for x, y in list(afby):
+                if x not in occurred:
+                    continue
+                # Check the *last* occurrence of x: it needs a later y.
+                if y not in followers_after[last_index[x]]:
+                    afby.discard((x, y))
+            for x, y in list(nfby):
+                if x not in occurred:
+                    continue
+                # Any y after the first x kills NFby.
+                if y in followers_after[first_seen[x]]:
+                    nfby.discard((x, y))
+            for x, y in list(ap):
+                # x AlwaysPrecedes y: the first y must come after an x.
+                if y not in occurred:
+                    continue
+                if x not in occurred or first_seen[x] > first_seen[y]:
+                    ap.discard((x, y))
+        out = [Invariant("AFby", x, y) for x, y in sorted(afby)]
+        out += [Invariant("NFby", x, y) for x, y in sorted(nfby)]
+        out += [Invariant("AP", x, y) for x, y in sorted(ap)]
+        return out
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def to_dot(self, title: str = "inferred state machine",
+               min_probability: float = 0.0) -> str:
+        """Graphviz DOT text equivalent to the paper's Fig. 3/13 diagrams."""
+        probs = self.transition_probabilities()
+        dwell = self.dwell_fractions()
+        lines = [
+            "digraph inferred {",
+            f'  label="{title}";',
+            "  rankdir=TB;",
+            '  node [shape=ellipse fontname="Helvetica"];',
+        ]
+        for state in sorted(self.states):
+            if state in dwell:
+                label = f"{state}\\n{dwell[state] * 100:.1f}%"
+            else:
+                label = state
+            lines.append(f'  "{state}" [label="{label}"];')
+        for (a, b), p in sorted(probs.items()):
+            if p < min_probability:
+                continue
+            lines.append(f'  "{a}" -> "{b}" [label="{p:.2f}"];')
+        for state, n in self.initial_counts.items():
+            if n > 0:
+                lines.append(f'  "{INITIAL}" [shape=point];')
+                lines.append(f'  "{INITIAL}" -> "{state}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """A compact text rendering for terminal output."""
+        probs = self.transition_probabilities()
+        dwell = self.dwell_fractions()
+        lines = [f"states: {len(self.states)}, transitions: {self.edge_count()}, "
+                 f"traces: {self.traces_used}"]
+        for state in sorted(self.states):
+            frac = f" [{dwell[state] * 100:5.1f}% of time]" if state in dwell else ""
+            lines.append(f"  {state}{frac}")
+            for (a, b), p in sorted(probs.items()):
+                if a == state:
+                    lines.append(f"    -> {b}  p={p:.2f} "
+                                 f"(n={self.transition_counts[(a, b)]})")
+        return "\n".join(lines)
+
+
+def infer(traces: Iterable[Trace]) -> StateMachineModel:
+    """Infer a state machine from instrumented connection traces."""
+    model = StateMachineModel()
+    for trace in traces:
+        model.add_sequence(trace.state_sequence(), trace.dwell)
+    return model
+
+
+def infer_from_sequences(sequences: Iterable[Sequence[str]]) -> StateMachineModel:
+    """Infer from bare state sequences (no timing information)."""
+    model = StateMachineModel()
+    for seq in sequences:
+        model.add_sequence(list(seq))
+    return model

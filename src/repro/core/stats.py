@@ -1,0 +1,160 @@
+"""Statistical machinery: Welch's t-test and summary statistics.
+
+The paper's methodological stance (Sec. 3.3/5.2): report a QUIC-vs-TCP
+difference only when Welch's two-sample t-test rejects equal means at
+p < 0.01; otherwise the cell is "white" (inconclusive).  This module
+implements the test from scratch — the t statistic, Welch–Satterthwaite
+degrees of freedom, and a two-sided p-value via the regularised
+incomplete beta function — and is cross-checked against scipy in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: The paper's significance threshold.
+ALPHA = 0.01
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_variance(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample variance; 0.0 for fewer than two values."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return sum((v - m) ** 2 for v in values) / (n - 1)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    return math.sqrt(sample_variance(values))
+
+
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _betacf(a: float, b: float, x: float, max_iter: int = 300,
+            eps: float = 3e-12) -> float:
+    """Continued fraction for the incomplete beta function (NR style)."""
+    tiny = 1e-30
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iter + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            return h
+    return h  # converged well enough for p-value purposes
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """I_x(a, b) for a, b > 0 and x in [0, 1]."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        a * math.log(x) + b * math.log1p(-x) - _log_beta(a, b)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def student_t_sf(t: float, df: float) -> float:
+    """Survival function P(T > t) of Student's t with ``df`` degrees."""
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    x = df / (df + t * t)
+    p = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x)
+    return p if t >= 0 else 1.0 - p
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Outcome of Welch's t-test."""
+
+    t_statistic: float
+    degrees_of_freedom: float
+    p_value: float
+
+    def significant(self, alpha: float = ALPHA) -> bool:
+        return self.p_value < alpha
+
+
+def welch_t_test(a: Sequence[float], b: Sequence[float]) -> TTestResult:
+    """Two-sided Welch's t-test for equal means of two samples.
+
+    Degenerate cases (the emulated environment can be nearly
+    deterministic): with both variances ~0, the test reports p=0 for
+    different means and p=1 for equal means; with one sample of size < 2
+    the result is inconclusive (p=1).
+    """
+    na, nb = len(a), len(b)
+    if na < 2 or nb < 2:
+        return TTestResult(float("nan"), float("nan"), 1.0)
+    ma, mb = mean(a), mean(b)
+    va, vb = sample_variance(a), sample_variance(b)
+    sa = va / na
+    sb = vb / nb
+    if sa + sb <= 0.0:
+        identical = math.isclose(ma, mb, rel_tol=1e-12, abs_tol=1e-12)
+        return TTestResult(0.0 if identical else math.inf,
+                           float(na + nb - 2),
+                           1.0 if identical else 0.0)
+    t = (ma - mb) / math.sqrt(sa + sb)
+    df = (sa + sb) ** 2 / (
+        sa * sa / (na - 1) + sb * sb / (nb - 1)
+    )
+    p = 2.0 * student_t_sf(abs(t), df)
+    p = min(max(p, 0.0), 1.0)
+    return TTestResult(t, df, p)
+
+
+def percent_difference(baseline: Sequence[float],
+                       treatment: Sequence[float]) -> float:
+    """The paper's heatmap metric: percent PLT difference of QUIC over TCP.
+
+    ``baseline`` is TCP, ``treatment`` is QUIC; positive values mean the
+    treatment is *faster* (smaller PLT), matching the red cells of
+    Figs. 6-8.
+    """
+    mb = mean(baseline)
+    if mb == 0:
+        raise ValueError("baseline mean is zero")
+    return (mb - mean(treatment)) / mb * 100.0

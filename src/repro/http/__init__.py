@@ -1,0 +1,41 @@
+"""HTTP-level workloads, page loading, and object serving."""
+
+from .client import PageLoader, PageLoadResult, ResourceTiming, load_page
+from .racing import RacingLoader
+from .realpages import corpus_statistics, synthetic_corpus, synthetic_page
+from .objects import (
+    COUNT_GRID,
+    COUNT_GRID_OBJECT_SIZE,
+    KB,
+    SIZE_GRID_BYTES,
+    WebObject,
+    WebPage,
+    count_grid_pages,
+    page,
+    single_object_page,
+    size_grid_pages,
+)
+from .server import page_request_handler, sized_request_handler
+
+__all__ = [
+    "PageLoader",
+    "PageLoadResult",
+    "ResourceTiming",
+    "load_page",
+    "RacingLoader",
+    "corpus_statistics",
+    "synthetic_corpus",
+    "synthetic_page",
+    "COUNT_GRID",
+    "COUNT_GRID_OBJECT_SIZE",
+    "KB",
+    "SIZE_GRID_BYTES",
+    "WebObject",
+    "WebPage",
+    "count_grid_pages",
+    "page",
+    "single_object_page",
+    "size_grid_pages",
+    "page_request_handler",
+    "sized_request_handler",
+]

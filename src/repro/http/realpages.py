@@ -1,0 +1,75 @@
+"""Synthetic "real web page" corpus (the Das [20] style workload).
+
+The paper deliberately uses uniform pages to isolate size/count effects,
+and criticises prior work (Das's mahimahi replay of 500 real pages) for
+conflating them (Table 1, footnote 4).  This module provides the other
+side of that methodological coin: a generator of *realistic* page
+compositions — heavy-tailed object sizes and counts matching published
+HTTP Archive shapes — so the corpus-level comparison can be run **next
+to** the controlled grids and the conflation the paper warns about can be
+demonstrated directly (see ``tests/test_realpages.py``).
+
+Distributions (log-normal, parameterised to HTTP-Archive-era medians):
+
+* objects per page: median ≈ 30, long tail to a few hundred;
+* object size: median ≈ 12 KB, long tail to megabytes;
+* one "main document" object of 20-100 KB is always present.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from .objects import WebObject, WebPage
+
+#: Log-normal parameters: exp(mu) is the median.
+COUNT_MU = math.log(30)
+COUNT_SIGMA = 0.7
+SIZE_MU = math.log(12 * 1024)
+SIZE_SIGMA = 1.4
+
+#: Hard caps keep pathological tails simulable.
+MAX_OBJECTS = 300
+MAX_OBJECT_BYTES = 8 * 1024 * 1024
+
+
+def synthetic_page(seed: int, name: Optional[str] = None) -> WebPage:
+    """One realistic page composition, deterministic in the seed."""
+    rng = random.Random(seed * 2_147_483_647 + 12345)
+    count = int(rng.lognormvariate(COUNT_MU, COUNT_SIGMA))
+    count = max(1, min(count, MAX_OBJECTS))
+    objects: List[WebObject] = []
+    # The main document.
+    objects.append(WebObject(0, rng.randint(20 * 1024, 100 * 1024)))
+    for index in range(1, count):
+        size = int(rng.lognormvariate(SIZE_MU, SIZE_SIGMA))
+        size = max(200, min(size, MAX_OBJECT_BYTES))
+        objects.append(WebObject(index, size))
+    return WebPage(name or f"synthetic-{seed}", tuple(objects))
+
+
+def synthetic_corpus(n_pages: int, seed: int = 0) -> List[WebPage]:
+    """A corpus of ``n_pages`` synthetic pages (Das used 500 real ones)."""
+    if n_pages < 1:
+        raise ValueError("need at least one page")
+    return [synthetic_page(seed * 1000 + i) for i in range(n_pages)]
+
+
+def corpus_statistics(corpus: List[WebPage]) -> dict:
+    """Summary statistics a measurement paper would report."""
+    counts = sorted(page.object_count for page in corpus)
+    totals = sorted(page.total_bytes for page in corpus)
+
+    def median(values):
+        mid = len(values) // 2
+        return values[mid]
+
+    return {
+        "pages": len(corpus),
+        "median_objects": median(counts),
+        "max_objects": counts[-1],
+        "median_total_kb": median(totals) // 1024,
+        "max_total_kb": totals[-1] // 1024,
+    }

@@ -1,0 +1,42 @@
+"""Object servers for the PLT experiments.
+
+The server side of the paper's testbed is Apache (TCP) and the Chromium
+standalone QUIC server, both serving the same static objects from the
+same machine (Fig. 1).  Here both transports share one request handler
+built from a :class:`~repro.http.objects.WebPage`: requests carry
+``{"obj": id, "size": bytes}`` metadata, responses are the object bytes.
+
+HTTP caching directives / cache clearing (Sec. 3.1) need no modelling —
+every simulated request is served in full.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .objects import WebPage
+
+RequestHandler = Callable[[Any], Optional[int]]
+
+
+def page_request_handler(page: WebPage) -> RequestHandler:
+    """Handler serving the objects of one page by id."""
+    sizes: Dict[int, int] = {o.obj_id: o.size_bytes for o in page.objects}
+
+    def handler(meta: Any) -> int:
+        obj_id = meta["obj"]
+        try:
+            return sizes[obj_id]
+        except KeyError:
+            raise KeyError(f"server has no object {obj_id!r} for page {page.name}")
+
+    return handler
+
+
+def sized_request_handler() -> RequestHandler:
+    """Handler that echoes the size the request asks for (raw transfers)."""
+
+    def handler(meta: Any) -> int:
+        return int(meta["size"])
+
+    return handler

@@ -1,0 +1,313 @@
+"""Emulated links: rate limiting, queueing, delay, jitter, loss, reordering.
+
+This module reimplements the subset of Linux ``tc``/``netem`` behaviour the
+paper's router used (Sec. 3.2 of the paper):
+
+* **Token-bucket rate limiting (TBF)** — modelled as a serialising
+  transmitter: the link is busy for ``size * 8 / rate`` seconds per packet
+  and excess packets wait in a finite droptail queue.  This is equivalent
+  to a TBF whose bucket is one MTU, which is the regime the paper
+  calibrated its queue/bucket sizes to (flows achieve close to the cap
+  without huge bursts).
+* **Droptail buffer** — ``queue_bytes`` bounds the backlog; the 30 KB
+  buffer of the fairness experiments (Table 4) is this knob.
+* **netem delay + jitter** — every packet independently receives
+  ``delay ± U(0, jitter)`` of propagation latency and is delivered at its
+  own computed arrival time.  Exactly like ``netem``, this *re-orders*
+  packets when jitter exceeds packet spacing — the behaviour behind the
+  paper's Fig. 10 finding that QUIC melts down under reordering.
+* **Bernoulli loss** — i.i.d. drops with probability ``loss_rate``,
+  applied at the egress of the queue (as ``netem`` does on the router,
+  deliberately *not* at the endpoint; see Sec. 3.2's pitfall discussion).
+* **Explicit reordering** — ``reorder_prob`` holds a packet back by
+  ``reorder_extra`` seconds, matching the measured reordering rates of the
+  cellular networks in Table 5.
+* **Variable bandwidth** — :class:`BandwidthSchedule` re-draws the rate on
+  a fixed period within a range (Fig. 11's 50–150 Mbps fluctuation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from .packet import Packet
+from .sim import Simulator
+
+Receiver = Callable[[Packet], None]
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bits/second (readability helper)."""
+    return value * 1_000_000.0
+
+
+class LinkStats:
+    """Byte/packet counters maintained by every :class:`Link`."""
+
+    __slots__ = (
+        "enqueued_packets",
+        "enqueued_bytes",
+        "dropped_packets",
+        "dropped_bytes",
+        "lost_packets",
+        "delivered_packets",
+        "delivered_bytes",
+        "reordered_packets",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued_packets = 0
+        self.enqueued_bytes = 0
+        self.dropped_packets = 0  # droptail (queue overflow)
+        self.dropped_bytes = 0
+        self.lost_packets = 0  # random (netem) loss
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.reordered_packets = 0  # delivered out of enqueue order
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Link:
+    """A unidirectional emulated link.
+
+    Parameters
+    ----------
+    sim:
+        The event loop.
+    rate_bps:
+        Serialisation rate in bits/second (use :func:`mbps`).
+        ``None`` means infinite rate (no serialisation delay, no queue).
+    delay:
+        One-way propagation delay in seconds.
+    jitter:
+        netem-style jitter: each packet's delay is drawn uniformly from
+        ``[delay - jitter, delay + jitter]`` (floored at 0).  Non-zero
+        jitter causes packet reordering, as in the paper's testbed.
+    loss_rate:
+        i.i.d. drop probability in [0, 1).
+    queue_bytes:
+        Droptail buffer size in bytes; ``None`` means unbounded.
+    queue:
+        Alternative queue discipline (e.g. :class:`~repro.netem.queues.RED`
+        or :class:`~repro.netem.queues.CoDel`); overrides ``queue_bytes``.
+    reorder_prob / reorder_extra:
+        With probability ``reorder_prob`` a packet is additionally delayed
+        by ``reorder_extra`` seconds, modelling measured cellular
+        reordering (Table 5).
+    rng:
+        Private random stream (determinism).
+    name:
+        For debugging and monitor output.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: Optional[float],
+        delay: float,
+        *,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        queue_bytes: Optional[int] = None,
+        queue: Optional["QueueDiscipline"] = None,
+        reorder_prob: float = 0.0,
+        reorder_extra: float = 0.0,
+        rng: Optional[random.Random] = None,
+        name: str = "link",
+    ) -> None:
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError("rate_bps must be positive or None")
+        if delay < 0 or jitter < 0:
+            raise ValueError("delay and jitter must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= reorder_prob <= 1.0:
+            raise ValueError("reorder_prob must be in [0, 1]")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.queue_bytes = queue_bytes
+        self.reorder_prob = reorder_prob
+        self.reorder_extra = reorder_extra
+        self.rng = rng if rng is not None else random.Random(0)
+        self.name = name
+        self.stats = LinkStats()
+        self._receiver: Optional[Receiver] = None
+        if queue is not None:
+            self._queue = queue
+        else:
+            from .queues import DropTail
+
+            self._queue = DropTail(queue_bytes)
+        self._queue.on_drop = self._count_drop
+        self._busy = False
+        #: Deterministic drop injection for experiments/tests: the next
+        #: ``n`` packets offered to the wire are discarded.
+        self._force_drops = 0
+        #: Monotone counter of enqueue order, used to detect reordering.
+        self._enqueue_seq = 0
+        self._last_delivered_seq = 0
+        self._seq_of: dict = {}
+        #: Optional tap invoked on every delivery: f(time, packet).
+        self.on_deliver: Optional[Callable[[float, Packet], None]] = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, receiver: Receiver) -> None:
+        """Connect the far end of the link."""
+        self._receiver = receiver
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to the link (called by the upstream node)."""
+        if self._receiver is None:
+            raise RuntimeError(f"{self.name}: no receiver attached")
+        packet.enqueued_at = self.sim.now
+        if self.rate_bps is None:
+            # Infinite-rate link: skip the queue entirely.
+            self.stats.enqueued_packets += 1
+            self.stats.enqueued_bytes += packet.size_bytes
+            self._launch(packet)
+            return
+        if not self._queue.enqueue(self.sim.now, packet):
+            return
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size_bytes
+        if not self._busy:
+            self._transmit_next()
+
+    def _count_drop(self, packet: Packet) -> None:
+        self.stats.dropped_packets += 1
+        self.stats.dropped_bytes += packet.size_bytes
+
+    def _transmit_next(self) -> None:
+        packet = self._queue.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size_bytes * 8.0 / self.rate_bps
+        self.sim.schedule(tx_time, self._transmission_done, packet)
+
+    def _transmission_done(self, packet: Packet) -> None:
+        self._launch(packet)
+        self._transmit_next()
+
+    def drop_next(self, n: int = 1) -> None:
+        """Deterministically drop the next ``n`` packets (tail-loss tests)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._force_drops += n
+
+    def _launch(self, packet: Packet) -> None:
+        """Apply loss / delay / jitter / reordering and schedule delivery."""
+        if self._force_drops > 0:
+            self._force_drops -= 1
+            self.stats.lost_packets += 1
+            return
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.stats.lost_packets += 1
+            return
+        latency = self.delay
+        if self.jitter > 0.0:
+            latency += self.rng.uniform(-self.jitter, self.jitter)
+            if latency < 0.0:
+                latency = 0.0
+        if self.reorder_prob > 0.0 and self.rng.random() < self.reorder_prob:
+            latency += self.reorder_extra
+        self._enqueue_seq += 1
+        self._seq_of[packet.packet_id] = self._enqueue_seq
+        self.sim.schedule(latency, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size_bytes
+        seq = self._seq_of.pop(packet.packet_id, 0)
+        if seq < self._last_delivered_seq:
+            self.stats.reordered_packets += 1
+        else:
+            self._last_delivered_seq = seq
+        if self.on_deliver is not None:
+            self.on_deliver(self.sim.now, packet)
+        self._receiver(packet)
+
+    # ------------------------------------------------------------------
+    # runtime reconfiguration
+    # ------------------------------------------------------------------
+    def set_rate(self, rate_bps: Optional[float]) -> None:
+        """Change the link rate; takes effect for the next transmission."""
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError("rate_bps must be positive or None")
+        was_infinite = self.rate_bps is None
+        self.rate_bps = rate_bps
+        if (was_infinite and rate_bps is not None and not self._busy
+                and self._queue.backlog_bytes > 0):
+            self._transmit_next()
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently waiting in the queue discipline."""
+        return self._queue.backlog_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rate = "inf" if self.rate_bps is None else f"{self.rate_bps / 1e6:.1f}Mbps"
+        return (f"<Link {self.name} {rate} {self.delay * 1000:.1f}ms "
+                f"q={self.backlog_bytes}B>")
+
+
+class BandwidthSchedule:
+    """Fluctuates a link's rate, as in Fig. 11.
+
+    Every ``period`` seconds the rate is redrawn uniformly at random from
+    ``[low_bps, high_bps]``.  The schedule keeps a history of
+    ``(time, rate_bps)`` samples for plotting/verification.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        links: List[Link],
+        low_bps: float,
+        high_bps: float,
+        period: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if low_bps <= 0 or high_bps < low_bps:
+            raise ValueError("need 0 < low_bps <= high_bps")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.links = links
+        self.low_bps = low_bps
+        self.high_bps = high_bps
+        self.period = period
+        self.rng = rng if rng is not None else random.Random(0)
+        self.history: List[Tuple[float, float]] = []
+        self._event = None
+        self._stopped = False
+
+    def start(self) -> None:
+        """Apply an initial draw immediately and re-draw every period."""
+        self._tick()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        rate = self.rng.uniform(self.low_bps, self.high_bps)
+        for link in self.links:
+            link.set_rate(rate)
+        self.history.append((self.sim.now, rate))
+        self._event = self.sim.schedule(self.period, self._tick)

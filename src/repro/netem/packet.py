@@ -1,0 +1,65 @@
+"""Packets as they travel through the emulated network.
+
+The network layer is deliberately thin: a packet is an addressed, sized
+envelope around an opaque transport payload.  Links and routers only look
+at ``size_bytes``, ``src`` and ``dst``; everything else is the transport's
+business (mirroring how the paper's `tc`/`netem` router shaped QUIC's UDP
+datagrams and TCP's segments without understanding either).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Transport payload bytes per packet.  We use one MTU-ish payload size for
+#: both protocols so that packet-count comparisons between QUIC and TCP are
+#: apples-to-apples (QUIC's real-world 1350-byte UDP payload).
+DEFAULT_MSS = 1350
+
+#: Fixed per-packet header overhead charged on the wire (IP+UDP+QUIC or
+#: IP+TCP; the small difference between the two is irrelevant at the
+#: granularity of the paper's experiments).
+HEADER_BYTES = 40
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One network-layer packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Host addresses (opaque strings) used by routers for forwarding.
+    size_bytes:
+        Wire size including headers; this is what token buckets charge.
+    payload:
+        The transport-layer message (a QUIC packet, a TCP segment, ...).
+        The network never inspects it.
+    flow_id:
+        Optional label for per-flow accounting in shared-bottleneck
+        experiments (Table 4 / Fig. 4).
+    """
+
+    src: str
+    dst: str
+    size_bytes: int
+    payload: Any = None
+    flow_id: Optional[str] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Stamped by the first link the packet enters; used for one-way-delay
+    #: accounting and debugging.
+    enqueued_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.packet_id} {self.src}->{self.dst} "
+            f"{self.size_bytes}B flow={self.flow_id}>"
+        )

@@ -1,0 +1,221 @@
+"""Network scenarios: the emulation grid of Table 2 and the cell networks of Table 5.
+
+A :class:`Scenario` captures one row of the paper's emulated-network matrix:
+bottleneck rate, base RTT, extra delay, extra loss, jitter, reordering and
+queue size.  Named constructors provide the exact parameter values the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from .link import mbps
+
+#: Rate limits tested in the paper (Table 2), Mbps.
+RATE_LIMITS_MBPS: Tuple[float, ...] = (5.0, 10.0, 50.0, 100.0)
+#: Extra one-way... the paper phrases these as added round-trip delay (ms).
+EXTRA_DELAYS_MS: Tuple[float, ...] = (0.0, 50.0, 100.0)
+#: Extra loss rates tested (fraction).
+EXTRA_LOSS: Tuple[float, ...] = (0.001, 0.01)
+#: Object-count grid (Table 2).
+OBJECT_COUNTS: Tuple[int, ...] = (1, 2, 5, 10, 100, 200)
+#: Object-size grid in KB (Table 2).  210 MB appears only in the
+#: variable-bandwidth experiment (Fig. 11).
+OBJECT_SIZES_KB: Tuple[int, ...] = (5, 10, 100, 200, 500, 1000, 10_000)
+
+#: Base round-trip time of the testbed during PLT experiments (Sec. 5.2).
+BASE_RTT = 0.036
+#: Empirical client->EC2 RTT quoted in Fig. 1.
+EC2_RTT = 0.012
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One emulated network environment.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in experiment reports.
+    rate_mbps:
+        Bottleneck rate cap; ``None`` disables rate limiting.
+    rtt:
+        Base round-trip propagation delay in seconds (split across the
+        path's links).
+    extra_delay:
+        Additional round-trip delay in seconds applied at the bottleneck
+        (the paper's "+50ms"/"+100ms" netem knob).
+    loss_rate:
+        i.i.d. loss probability at the bottleneck, applied once per
+        direction (as netem on the router did).
+    jitter:
+        netem jitter in seconds at the bottleneck (causes reordering).
+    reorder_prob / reorder_extra:
+        Explicit reordering (cellular profiles, Table 5).
+    queue_bytes:
+        Droptail bottleneck buffer; ``None`` selects an auto size of
+        ~1.5 x BDP (the paper tuned TBF queues so flows reach the cap).
+    rtt_run_variation:
+        Per-*run* fractional RTT perturbation (default 2%), modelling the
+        round-to-round path variation of a real testbed.  Without it the
+        simulator is fully deterministic on clean links and Welch's
+        t-test degenerates; the paper's environment has natural noise.
+    """
+
+    name: str
+    rate_mbps: Optional[float] = None
+    rtt: float = BASE_RTT
+    extra_delay: float = 0.0
+    loss_rate: float = 0.0
+    jitter: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_extra: float = 0.0
+    queue_bytes: Optional[int] = None
+    rtt_run_variation: float = 0.02
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def total_rtt(self) -> float:
+        """Base RTT plus the added netem delay."""
+        return self.rtt + self.extra_delay
+
+    @property
+    def rate_bps(self) -> Optional[float]:
+        return None if self.rate_mbps is None else mbps(self.rate_mbps)
+
+    def effective_queue_bytes(self) -> Optional[int]:
+        """The droptail buffer to configure at the bottleneck."""
+        if self.queue_bytes is not None:
+            return self.queue_bytes
+        if self.rate_mbps is None:
+            return None
+        bdp = self.rate_bps * self.total_rtt / 8.0
+        return int(max(1.5 * bdp, 32_000))
+
+    def with_(self, **changes) -> "Scenario":
+        """Return a modified copy (thin wrapper over dataclasses.replace)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        parts = [self.name]
+        if self.rate_mbps is not None:
+            parts.append(f"{self.rate_mbps:g}Mbps")
+        parts.append(f"rtt={self.total_rtt * 1000:.0f}ms")
+        if self.loss_rate:
+            parts.append(f"loss={self.loss_rate * 100:g}%")
+        if self.jitter:
+            parts.append(f"jitter={self.jitter * 1000:g}ms")
+        if self.reorder_prob:
+            parts.append(f"reorder={self.reorder_prob * 100:g}%")
+        return " ".join(parts)
+
+
+def emulated(rate_mbps: Optional[float], *, extra_delay_ms: float = 0.0,
+             loss_pct: float = 0.0, jitter_ms: float = 0.0,
+             name: Optional[str] = None) -> Scenario:
+    """Build one cell of the paper's emulation grid.
+
+    ``extra_delay_ms`` and ``loss_pct`` use the paper's units (added RTT in
+    milliseconds; loss in percent).
+    """
+    label = name or (
+        f"{rate_mbps:g}Mbps+{extra_delay_ms:g}ms+{loss_pct:g}%loss"
+        if rate_mbps is not None
+        else f"unlimited+{extra_delay_ms:g}ms+{loss_pct:g}%loss"
+    )
+    return Scenario(
+        name=label,
+        rate_mbps=rate_mbps,
+        extra_delay=extra_delay_ms / 1000.0,
+        loss_rate=loss_pct / 100.0,
+        jitter=jitter_ms / 1000.0,
+    )
+
+
+def fairness_bottleneck() -> Scenario:
+    """The Table 4 / Fig. 4 environment: 5 Mbps, RTT 36 ms, 30 KB buffer."""
+    return Scenario(
+        name="fairness-5Mbps",
+        rate_mbps=5.0,
+        rtt=0.036,
+        queue_bytes=30_000,
+    )
+
+
+def reordering_scenario() -> Scenario:
+    """Fig. 10: 112 ms RTT with 10 ms jitter causing deep reordering."""
+    return Scenario(
+        name="reorder-112ms-10msjitter",
+        rate_mbps=100.0,
+        rtt=0.112,
+        jitter=0.010,
+    )
+
+
+def variable_bandwidth_scenario() -> Scenario:
+    """Fig. 11 base: rate is fluctuated by a BandwidthSchedule at runtime.
+
+    The queue is kept deliberately short (~0.2 x BDP at the 150 Mbps
+    peak), matching the paper's TBF calibration goal of reaching the
+    rate caps without long standing queues; a deep buffer would smooth
+    the rate transitions away and hide the protocols' tracking behaviour.
+    """
+    return Scenario(name="variable-bw-50-150Mbps", rate_mbps=100.0,
+                    rtt=0.036, queue_bytes=100_000)
+
+
+@dataclass(frozen=True)
+class CellularProfile:
+    """Measured characteristics of one operational cell network (Table 5)."""
+
+    name: str
+    throughput_mbps: float
+    rtt_ms: float
+    rtt_std_ms: float
+    reordering_pct: float
+    loss_pct: float
+
+    def scenario(self) -> Scenario:
+        """Translate the measured characteristics into an emulation scenario.
+
+        Reordering in Table 5 is the *fraction of packets observed out of
+        order*, so the emulation must reproduce it at the network's own
+        packet spacing: the explicit reordering delay is ~2.5 spacings
+        (guaranteeing the delayed packet is actually overtaken), while
+        delay jitter is kept below the spacing so it models RTT
+        variability without adding accidental reordering on top of the
+        measured rate.
+        """
+        spacing = 1350 * 8 / (self.throughput_mbps * 1e6)
+        jitter = min(self.rtt_std_ms / 1000.0 / 4.0, spacing / 3.0)
+        reorder_extra = max(2.5 * spacing, self.rtt_std_ms / 1000.0)
+        return Scenario(
+            name=self.name,
+            rate_mbps=self.throughput_mbps,
+            rtt=self.rtt_ms / 1000.0,
+            jitter=jitter,
+            loss_rate=self.loss_pct / 100.0,
+            reorder_prob=self.reordering_pct / 100.0,
+            reorder_extra=reorder_extra,
+        )
+
+
+#: Table 5 of the paper, verbatim.
+CELLULAR_PROFILES: Dict[str, CellularProfile] = {
+    "verizon-3g": CellularProfile("verizon-3g", 0.17, 109.0, 20.0, 1.71, 0.05),
+    "verizon-lte": CellularProfile("verizon-lte", 4.0, 61.0, 14.0, 0.25, 0.0),
+    "sprint-3g": CellularProfile("sprint-3g", 0.31, 70.0, 39.0, 1.38, 0.02),
+    "sprint-lte": CellularProfile("sprint-lte", 2.4, 55.0, 11.0, 0.13, 0.02),
+}
+
+
+def plt_grid(rates: Tuple[float, ...] = RATE_LIMITS_MBPS,
+             extra_delay_ms: float = 0.0,
+             loss_pct: float = 0.0) -> List[Scenario]:
+    """All rate-limit scenarios for one heatmap row dimension."""
+    return [
+        emulated(rate, extra_delay_ms=extra_delay_ms, loss_pct=loss_pct)
+        for rate in rates
+    ]

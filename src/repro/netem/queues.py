@@ -1,0 +1,215 @@
+"""Queue disciplines for the bottleneck link.
+
+The paper's router used token-bucket + droptail (Sec. 3.2), and droptail
+is this simulator's default.  Real bottlenecks increasingly run AQM, and
+"how would the QUIC/TCP comparison change under AQM?" is a natural
+follow-on question — so the link's queue is pluggable:
+
+* :class:`DropTail` — the paper's discipline: reject when full.
+* :class:`RED` — random early detection: probabilistic early drops as the
+  EWMA queue occupancy climbs between two thresholds.
+* :class:`CoDel` — controlled delay: drop at *dequeue* when packets'
+  sojourn times stay above ``target`` for longer than ``interval``,
+  with the square-root drop-spacing schedule.
+
+All three expose the same tiny interface consumed by
+:class:`~repro.netem.link.Link`: ``enqueue(now, packet) -> bool``,
+``dequeue(now) -> Optional[Packet]``, ``backlog_bytes``.  Drops made at
+dequeue time (CoDel) are reported through ``on_drop``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from .packet import Packet
+
+DropHook = Callable[[Packet], None]
+
+
+class QueueDiscipline:
+    """Interface; subclasses manage their own backlog accounting."""
+
+    def __init__(self) -> None:
+        self.on_drop: Optional[DropHook] = None
+
+    def enqueue(self, now: float, packet: Packet) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Packet]:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def backlog_bytes(self) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def _drop(self, packet: Packet) -> None:
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
+
+class DropTail(QueueDiscipline):
+    """The classic FIFO: accept until the byte limit, then tail-drop."""
+
+    def __init__(self, limit_bytes: Optional[int]) -> None:
+        super().__init__()
+        self.limit_bytes = limit_bytes
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        if (self.limit_bytes is not None
+                and self._bytes + packet.size_bytes > self.limit_bytes):
+            self._drop(packet)
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        return packet
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes
+
+
+class RED(QueueDiscipline):
+    """Random Early Detection (byte mode, EWMA average occupancy)."""
+
+    def __init__(self, limit_bytes: int, *, min_threshold: Optional[int] = None,
+                 max_threshold: Optional[int] = None, max_probability: float = 0.1,
+                 weight: float = 0.2, rng: Optional[random.Random] = None) -> None:
+        super().__init__()
+        if limit_bytes <= 0:
+            raise ValueError("limit_bytes must be positive")
+        self.limit_bytes = limit_bytes
+        self.min_threshold = (min_threshold if min_threshold is not None
+                              else limit_bytes // 4)
+        self.max_threshold = (max_threshold if max_threshold is not None
+                              else limit_bytes // 2)
+        if not 0 < self.min_threshold < self.max_threshold <= limit_bytes:
+            raise ValueError("need 0 < min_th < max_th <= limit")
+        self.max_probability = max_probability
+        self.weight = weight
+        self.rng = rng if rng is not None else random.Random(0)
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self._avg = 0.0
+        self.early_drops = 0
+
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        self._avg = (1 - self.weight) * self._avg + self.weight * self._bytes
+        if self._bytes + packet.size_bytes > self.limit_bytes:
+            self._drop(packet)
+            return False
+        if self._avg >= self.max_threshold:
+            self.early_drops += 1
+            self._drop(packet)
+            return False
+        if self._avg > self.min_threshold:
+            fraction = ((self._avg - self.min_threshold)
+                        / (self.max_threshold - self.min_threshold))
+            if self.rng.random() < fraction * self.max_probability:
+                self.early_drops += 1
+                self._drop(packet)
+                return False
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        return packet
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes
+
+
+class CoDel(QueueDiscipline):
+    """Controlled Delay AQM (RFC 8289, simplified).
+
+    Packets carry their enqueue time; at dequeue, if every packet's
+    sojourn has exceeded ``target`` for at least ``interval``, packets
+    are dropped with the 1/sqrt(count) spacing schedule until sojourn
+    falls back under target.
+    """
+
+    def __init__(self, target: float = 0.005, interval: float = 0.100,
+                 limit_bytes: Optional[int] = 10_000_000) -> None:
+        super().__init__()
+        if target <= 0 or interval <= 0:
+            raise ValueError("target and interval must be positive")
+        self.target = target
+        self.interval = interval
+        self.limit_bytes = limit_bytes
+        self._queue: Deque[Tuple[float, Packet]] = deque()
+        self._bytes = 0
+        self._first_above: Optional[float] = None
+        self._dropping = False
+        self._drop_next = 0.0
+        self._drop_count = 0
+        self.codel_drops = 0
+
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        if (self.limit_bytes is not None
+                and self._bytes + packet.size_bytes > self.limit_bytes):
+            self._drop(packet)
+            return False
+        self._queue.append((now, packet))
+        self._bytes += packet.size_bytes
+        return True
+
+    def _pop(self) -> Tuple[float, Packet]:
+        entered, packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        return entered, packet
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        while self._queue:
+            entered, packet = self._pop()
+            sojourn = now - entered
+            if sojourn < self.target or not self._queue:
+                # Below target (or queue nearly empty): leave drop state.
+                self._first_above = None
+                if sojourn < self.target:
+                    self._dropping = False
+                return packet
+            if self._first_above is None:
+                self._first_above = now + self.interval
+                return packet
+            if not self._dropping:
+                if now >= self._first_above:
+                    # Sojourn has been above target for a full interval.
+                    self._dropping = True
+                    self._drop_count = max(self._drop_count - 2, 1)
+                    self._drop_next = now + self.interval / math.sqrt(
+                        self._drop_count)
+                    self.codel_drops += 1
+                    self._drop(packet)
+                    continue
+                return packet
+            if now >= self._drop_next:
+                self._drop_count += 1
+                self._drop_next = now + self.interval / math.sqrt(
+                    self._drop_count)
+                self.codel_drops += 1
+                self._drop(packet)
+                continue
+            return packet
+        return None
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes

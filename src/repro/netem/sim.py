@@ -1,0 +1,196 @@
+"""Discrete-event simulation core.
+
+Everything in :mod:`repro` runs on top of this tiny, deterministic event
+loop.  It plays the role that real wall-clock time, the OpenWRT router and
+the operating system schedulers played in the paper's physical testbed:
+links, transport timers (RTO, TLP, delayed ACK), device CPU models and the
+video player all schedule callbacks here.
+
+Design notes
+------------
+* Time is a ``float`` number of seconds.  All components treat it as
+  opaque "now"; only differences of times are meaningful.
+* Events scheduled for the same instant fire in FIFO order (a
+  monotonically increasing sequence number breaks ties), which keeps runs
+  fully deterministic for a given seed.
+* Events are cancellable.  Transport retransmission timers rely on this.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.at`.  Holding on to the event allows cancelling or
+    inspecting it; dropping it is fine, the simulator keeps its own
+    reference until the event fires.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is a no-op."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has not been cancelled (it may still have fired)."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(0.010, handler, arg1, arg2)   # 10 ms from now
+        sim.run()                                   # until queue drains
+
+    The simulator is intentionally minimal: no processes, no channels.
+    Higher-level abstractions (links, connections) are plain objects that
+    schedule callbacks.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events that have fired (cancelled ones excluded)."""
+        return self._event_count
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative.  Returns a cancellable
+        :class:`Event`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.at(self._now + delay, callback, *args)
+
+    def at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before now={self._now}"
+            )
+        event = Event(when, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            this time; the clock is then advanced to ``until``.
+        max_events:
+            Safety valve for tests: raise :class:`SimulationError` if more
+            than this many events fire.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._event_count += 1
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                event.callback(*event.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float,
+                  max_events: Optional[int] = None) -> bool:
+        """Run until ``predicate()`` becomes true or ``timeout`` is reached.
+
+        Returns ``True`` if the predicate was satisfied.  The predicate is
+        checked after every event, so it sees a consistent world.
+        """
+        if predicate():
+            return True
+        deadline = self._now + timeout
+        fired = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.time > deadline:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._event_count += 1
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            event.callback(*event.args)
+            if predicate():
+                return True
+        if self._now < deadline:
+            self._now = deadline
+        return predicate()
+
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events (O(n); for tests)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

@@ -1,0 +1,195 @@
+"""Canned testbed topologies matching the paper's figures.
+
+* :func:`build_path` — Fig. 1: client — router — server, with all
+  emulation (rate cap, delay, jitter, loss, reordering) applied at the
+  router's WAN link, exactly where the paper applied ``tc``/``netem``
+  (Sec. 3.2 explains why shaping must not happen at an endpoint).
+* :func:`build_bottleneck` — the fairness dumbbell of Fig. 4 / Table 4:
+  N client/server pairs share one bottleneck link.
+* :func:`build_proxy_path` — Fig. 16: a proxy midway between client and
+  server; each leg carries half the delay and (approximately) half the
+  loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .link import Link
+from .node import Network, Node
+from .profiles import Scenario
+from .sim import Simulator
+
+#: Per-direction delay of the client's LAN hop (fast, uncongested).
+LAN_DELAY = 0.0005
+
+
+def _run_rtt_factor(scenario: Scenario, seed: int) -> float:
+    """Per-run RTT perturbation (testbed round-to-round noise).
+
+    Deterministic in the seed, so a run is reproducible, but different
+    rounds of an experiment see slightly different base RTTs — without
+    this, clean-link scenarios are exactly link-clocked and Welch's
+    t-test has zero variance to work with.
+    """
+    if scenario.rtt_run_variation <= 0:
+        return 1.0
+    rng = random.Random((seed * 2_654_435_761) ^ 0x5EED)
+    return 1.0 + rng.uniform(-scenario.rtt_run_variation,
+                             scenario.rtt_run_variation)
+
+
+@dataclass
+class Path:
+    """A built client—server path and the handles experiments need."""
+
+    sim: Simulator
+    network: Network
+    client: Node
+    server: Node
+    #: The shaped bottleneck links (downstream = server->client direction).
+    bottleneck_down: Link
+    bottleneck_up: Link
+    #: Present only for proxy topologies.
+    proxy: Optional[Node] = None
+
+
+def _split_loss(total: float) -> float:
+    """Loss applied per direction so that the *round trip* sees ``total``.
+
+    The paper's netem applied loss at the router, affecting each direction
+    independently; we keep per-direction loss equal to the configured rate
+    (as tc does), so ``total`` is simply passed through.
+    """
+    return total
+
+
+def build_path(sim: Simulator, scenario: Scenario,
+               seed: int = 0) -> Path:
+    """Build the Fig. 1 testbed for one scenario.
+
+    The scenario's RTT is split as: LAN hop (0.5 ms each way) and the
+    remainder on the WAN (router—server) link.  Rate limiting, loss,
+    jitter and reordering are applied on both directions of the WAN link,
+    which is what the paper's OpenWRT router did.
+    """
+    rng_down = random.Random((seed * 1_000_003) ^ 0xD0)
+    rng_up = random.Random((seed * 1_000_003) ^ 0x0B)
+    net = Network(sim)
+    net.add_node("client")
+    net.add_node("router")
+    net.add_node("server")
+
+    net.duplex_link("client", "router", rate_bps=None, delay=LAN_DELAY)
+
+    one_way = max(scenario.total_rtt / 2.0 - LAN_DELAY, 0.0)
+    one_way *= _run_rtt_factor(scenario, seed)
+    queue = scenario.effective_queue_bytes()
+    wan_down, wan_up = net.duplex_link(
+        "router", "server",
+        rate_bps=scenario.rate_bps,
+        delay=one_way,
+        jitter=scenario.jitter,
+        loss_rate=_split_loss(scenario.loss_rate),
+        queue_bytes=queue,
+        reorder_prob=scenario.reorder_prob,
+        reorder_extra=scenario.reorder_extra,
+    )
+    # Give each direction an independent random stream.
+    wan_down.rng = rng_down
+    wan_up.rng = rng_up
+    net.build_routes()
+    return Path(
+        sim=sim,
+        network=net,
+        client=net.node("client"),
+        server=net.node("server"),
+        bottleneck_down=wan_up,   # server -> router -> client direction
+        bottleneck_up=wan_down,   # client -> server direction
+    )
+
+
+def build_bottleneck(sim: Simulator, scenario: Scenario, n_pairs: int,
+                     seed: int = 0) -> Tuple[Network, List[Node], List[Node], Link]:
+    """Build a dumbbell: ``n_pairs`` client/server pairs share one bottleneck.
+
+    Returns ``(network, clients, servers, bottleneck_down_link)`` where the
+    bottleneck link is the server-side to client-side direction (the data
+    direction for download experiments, the one whose 30 KB buffer matters
+    in Table 4).
+    """
+    if n_pairs < 1:
+        raise ValueError("need at least one pair")
+    net = Network(sim)
+    net.add_node("agg-left")
+    net.add_node("agg-right")
+    clients: List[Node] = []
+    servers: List[Node] = []
+    for i in range(n_pairs):
+        c = net.add_node(f"client{i}")
+        s = net.add_node(f"server{i}")
+        clients.append(c)
+        servers.append(s)
+        net.duplex_link(c.name, "agg-left", rate_bps=None, delay=LAN_DELAY)
+        net.duplex_link(s.name, "agg-right", rate_bps=None, delay=LAN_DELAY)
+
+    one_way = max(scenario.total_rtt / 2.0 - 2 * LAN_DELAY, 0.0)
+    one_way *= _run_rtt_factor(scenario, seed)
+    queue = scenario.effective_queue_bytes()
+    up, down = net.duplex_link(
+        "agg-left", "agg-right",
+        rate_bps=scenario.rate_bps,
+        delay=one_way,
+        jitter=scenario.jitter,
+        loss_rate=scenario.loss_rate,
+        queue_bytes=queue,
+    )
+    up.rng = random.Random((seed * 7_777_777) ^ 0xA1)
+    down.rng = random.Random((seed * 7_777_777) ^ 0xB2)
+    net.build_routes()
+    return net, clients, servers, down
+
+
+def build_proxy_path(sim: Simulator, scenario: Scenario,
+                     seed: int = 0) -> Path:
+    """Build Fig. 16: client — router — proxy — router — server.
+
+    The proxy sits midway: each leg carries half the propagation delay and
+    the full per-direction loss rate is split so that the end-to-end loss
+    matches the direct path (1 - (1-p/2)^2 ~= p for small p).  The rate cap
+    applies to both legs (the bottleneck discipline is unchanged by the
+    proxy).
+    """
+    net = Network(sim)
+    for name in ("client", "router-a", "proxy", "router-b", "server"):
+        net.add_node(name)
+    net.duplex_link("client", "router-a", rate_bps=None, delay=LAN_DELAY)
+    net.duplex_link("router-b", "server", rate_bps=None, delay=LAN_DELAY)
+
+    leg_delay = max((scenario.total_rtt / 2.0 - 2 * LAN_DELAY) / 2.0, 0.0)
+    leg_delay *= _run_rtt_factor(scenario, seed)
+    leg_loss = scenario.loss_rate / 2.0
+    queue = scenario.effective_queue_bytes()
+    common = dict(
+        rate_bps=scenario.rate_bps,
+        delay=leg_delay,
+        jitter=scenario.jitter / 2.0,
+        loss_rate=leg_loss,
+        queue_bytes=queue,
+    )
+    a_fwd, a_bwd = net.duplex_link("router-a", "proxy", **common)
+    b_fwd, b_bwd = net.duplex_link("proxy", "router-b", **common)
+    for i, link in enumerate((a_fwd, a_bwd, b_fwd, b_bwd)):
+        link.rng = random.Random((seed * 9_999_991) ^ (0xC0 + i))
+    net.build_routes()
+    return Path(
+        sim=sim,
+        network=net,
+        client=net.node("client"),
+        server=net.node("server"),
+        bottleneck_down=b_bwd,
+        bottleneck_up=a_fwd,
+        proxy=net.node("proxy"),
+    )

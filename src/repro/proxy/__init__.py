@@ -1,0 +1,5 @@
+"""Split-connection proxies (TCP PEP and the "unoptimized" QUIC proxy)."""
+
+from .base import SplitConnectionProxy, install_proxy
+
+__all__ = ["SplitConnectionProxy", "install_proxy"]

@@ -1,0 +1,50 @@
+"""From-scratch QUIC transport (GQUIC versions 25-37 as the paper ran them)."""
+
+from .config import (
+    KNOWN_VERSIONS,
+    MACW_CALIBRATED,
+    MACW_PUBLIC_DEFAULT,
+    MACW_QUIC37,
+    QuicConfig,
+    quic_config,
+)
+from .connection import QuicConnection, open_quic_pair
+from .fec import FecDecoder, FecEncoder, FecFrame, FecPacketPayload
+from .frames import (
+    AckFrame,
+    CryptoFrame,
+    MaxDataFrame,
+    MaxStreamDataFrame,
+    QuicPacket,
+    StreamFrame,
+)
+from .loss import LossDetector, SentPacketRecord
+from .sessions import CachedServerConfig, SessionCache
+from .streams import RecvStream, SendStream
+
+__all__ = [
+    "KNOWN_VERSIONS",
+    "MACW_CALIBRATED",
+    "MACW_PUBLIC_DEFAULT",
+    "MACW_QUIC37",
+    "QuicConfig",
+    "quic_config",
+    "QuicConnection",
+    "open_quic_pair",
+    "FecDecoder",
+    "FecEncoder",
+    "FecFrame",
+    "FecPacketPayload",
+    "AckFrame",
+    "CryptoFrame",
+    "MaxDataFrame",
+    "MaxStreamDataFrame",
+    "QuicPacket",
+    "StreamFrame",
+    "LossDetector",
+    "SentPacketRecord",
+    "CachedServerConfig",
+    "SessionCache",
+    "RecvStream",
+    "SendStream",
+]

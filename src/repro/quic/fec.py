@@ -1,0 +1,132 @@
+"""XOR forward error correction (the feature QUIC removed in early 2016).
+
+The paper does not evaluate FEC because Google removed it for poor
+performance (Sec. 2.1 footnote 4), citing the same conclusion Carlucci
+et al. [17] reached experimentally.  This module implements GQUIC's
+original scheme so the repository can *reproduce that removal decision*
+(see ``benchmarks/ablations``):
+
+* the sender groups consecutive retransmittable packets and, after every
+  ``group_size`` of them, emits one FEC packet whose payload is the XOR
+  of the group (modelled as a packet carrying the group's frame copies
+  and costing as many bytes as the largest group member);
+* the receiver can *revive* exactly one missing packet per group: when
+  the FEC packet plus all-but-one member have arrived, the missing
+  packet's frames are reconstructed and processed, and its number is
+  reported as received (GQUIC acked revived packets normally).
+
+The trade-off GQUIC measured — and this model reproduces — is that the
+~``1/(group_size+1)`` bandwidth tax and the queue pressure of the extra
+packets usually cost more than the retransmissions they avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .frames import StreamFrame
+
+
+@dataclass
+class FecPacketPayload:
+    """The simulation stand-in for an XOR FEC packet.
+
+    ``members`` maps each protected packet number to (copies of) its
+    frames; XOR reconstruction of a single missing member is modelled by
+    replaying that member's frames.
+    """
+
+    group_id: int
+    members: Dict[int, List[Any]]
+    size_bytes: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.size_bytes
+
+
+@dataclass
+class FecFrame:
+    """Carries one :class:`FecPacketPayload` inside a QUIC packet."""
+
+    payload: FecPacketPayload
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload.wire_bytes
+
+
+class FecEncoder:
+    """Sender side: accumulate packets, emit one FEC payload per group."""
+
+    def __init__(self, group_size: int = 5) -> None:
+        if group_size < 2:
+            raise ValueError("FEC group size must be at least 2")
+        self.group_size = group_size
+        self._group: Dict[int, List[Any]] = {}
+        self._max_size = 0
+        self._next_group_id = 1
+        self.fec_packets_built = 0
+
+    def on_packet_sent(self, pkt_num: int, frames: List[Any],
+                       size_bytes: int) -> Optional[FecPacketPayload]:
+        """Track a protected packet; returns an FEC payload when a group
+        completes."""
+        stream_frames = [f for f in frames if isinstance(f, StreamFrame)]
+        if not stream_frames:
+            return None
+        self._group[pkt_num] = list(stream_frames)
+        self._max_size = max(self._max_size, size_bytes)
+        if len(self._group) < self.group_size:
+            return None
+        payload = FecPacketPayload(
+            group_id=self._next_group_id,
+            members=self._group,
+            size_bytes=self._max_size + 16,
+        )
+        self._next_group_id += 1
+        self._group = {}
+        self._max_size = 0
+        self.fec_packets_built += 1
+        return payload
+
+    def flush(self) -> Optional[FecPacketPayload]:
+        """Emit a short group at end of data (GQUIC flushed on stream FIN)."""
+        if len(self._group) < 2:
+            return None
+        payload = FecPacketPayload(
+            group_id=self._next_group_id,
+            members=self._group,
+            size_bytes=self._max_size + 16,
+        )
+        self._next_group_id += 1
+        self._group = {}
+        self._max_size = 0
+        self.fec_packets_built += 1
+        return payload
+
+
+class FecDecoder:
+    """Receiver side: revive at most one missing packet per group."""
+
+    def __init__(self) -> None:
+        self.revived_packets = 0
+        self.unhelpful_fec_packets = 0
+
+    def on_fec_packet(self, payload: FecPacketPayload,
+                      received_pkt_nums) -> Optional[Tuple[int, List[Any]]]:
+        """Returns ``(revived_pkt_num, frames)`` if exactly one member of
+        the group is missing, else None.
+
+        ``received_pkt_nums`` is any object with a ``contains(num)``
+        method (the connection's received-number RangeSet).
+        """
+        missing = [num for num in payload.members
+                   if not received_pkt_nums.contains(num)]
+        if len(missing) != 1:
+            self.unhelpful_fec_packets += 1
+            return None
+        self.revived_packets += 1
+        num = missing[0]
+        return num, payload.members[num]

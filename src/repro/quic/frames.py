@@ -1,0 +1,138 @@
+"""QUIC wire elements: frames and packets.
+
+Only the structure that matters for performance is modelled — sizes,
+packet numbers, offsets, ACK blocks, timestamps.  Frame "contents" are
+byte *counts*; application metadata rides along unserialised (the network
+layer never looks inside).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+#: Per-frame header overheads (approximating GQUIC wire format).
+STREAM_FRAME_OVERHEAD = 12
+ACK_FRAME_BASE = 16
+ACK_BLOCK_BYTES = 8
+WINDOW_UPDATE_BYTES = 14
+
+
+@dataclass
+class StreamFrame:
+    """``length`` bytes of stream ``stream_id`` starting at ``offset``."""
+
+    stream_id: int
+    offset: int
+    length: int
+    fin: bool = False
+    #: Opaque application payload reference (e.g. an HTTP request object);
+    #: carried only on the frame that opens a request/response.
+    meta: Any = None
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.length + STREAM_FRAME_OVERHEAD
+
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+@dataclass
+class AckFrame:
+    """Acknowledges packet-number ranges with precise timing information.
+
+    ``blocks`` are inclusive ``(lo, hi)`` packet-number ranges, highest
+    first.  ``ack_delay`` is the receiver-measured delay between receiving
+    the largest acked packet and emitting this frame — QUIC's mechanism
+    for unambiguous RTT samples (paper Sec. 2.1).
+    """
+
+    largest_acked: int
+    ack_delay: float
+    blocks: Tuple[Tuple[int, int], ...]
+
+    @property
+    def wire_bytes(self) -> int:
+        return ACK_FRAME_BASE + ACK_BLOCK_BYTES * len(self.blocks)
+
+    def acked_numbers(self) -> List[int]:
+        out: List[int] = []
+        for lo, hi in self.blocks:
+            out.extend(range(lo, hi + 1))
+        return out
+
+
+@dataclass
+class CryptoFrame:
+    """A handshake message (inchoate CHLO / CHLO / REJ / SHLO)."""
+
+    kind: str
+    size: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.size
+
+
+@dataclass
+class MaxDataFrame:
+    """Connection-level flow-control credit up to byte ``max_data``."""
+
+    max_data: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return WINDOW_UPDATE_BYTES
+
+
+@dataclass
+class MaxStreamDataFrame:
+    """Stream-level flow-control credit."""
+
+    stream_id: int
+    max_data: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return WINDOW_UPDATE_BYTES
+
+
+Frame = Any  # union of the frame classes above
+
+
+@dataclass
+class QuicPacket:
+    """One QUIC packet: a numbered bundle of frames on a connection."""
+
+    conn_id: str
+    pkt_num: int
+    frames: List[Frame] = field(default_factory=list)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(f.wire_bytes for f in self.frames)
+
+    @property
+    def retransmittable(self) -> bool:
+        """ACK-only packets are not congestion-controlled or acked.
+
+        Window updates are retransmittable (losing one could deadlock the
+        peer's flow control), matching GQUIC.  FEC packets are tracked
+        and congestion-charged like data (GQUIC numbered and acked them)
+        but carry no re-sendable frames — their loss is absorbed.
+        """
+        for f in self.frames:
+            if isinstance(f, (StreamFrame, CryptoFrame, MaxDataFrame,
+                              MaxStreamDataFrame)):
+                return True
+            if type(f).__name__ == "FecFrame":
+                return True
+        return False
+
+    def stream_frames(self) -> List[StreamFrame]:
+        return [f for f in self.frames if isinstance(f, StreamFrame)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(type(f).__name__ for f in self.frames)
+        return f"<QuicPacket {self.conn_id}#{self.pkt_num} [{kinds}]>"

@@ -1,0 +1,74 @@
+"""Client-side session state for 0-RTT (paper Secs. 3.1/5.2).
+
+The paper's protocol: clear caches and sockets between runs, but *keep*
+"the state used for QUIC's 0-RTT connection establishment" — i.e. the
+cached server config that lets a returning client skip the inchoate
+CHLO/REJ round.  This module makes that state explicit:
+
+* a :class:`SessionCache` remembers which servers a client has completed
+  a handshake with (and when);
+* a connection created with a cache attempts 0-RTT only if the cache
+  holds a (fresh) config for the server — the first-ever contact pays the
+  1-RTT REJ round and *populates* the cache, exactly like Chrome.
+
+Experiments that want the paper's steady-state behaviour simply pass a
+pre-warmed cache (or use ``zero_rtt=True`` directly, the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class CachedServerConfig:
+    """What the client retains from a prior handshake."""
+
+    server: str
+    stored_at: float
+
+
+class SessionCache:
+    """Per-client store of server configs enabling 0-RTT."""
+
+    def __init__(self, lifetime: Optional[float] = None) -> None:
+        #: Config lifetime in seconds; None = never expires (GQUIC's
+        #: server configs lasted days — effectively forever per run).
+        self.lifetime = lifetime
+        self._configs: Dict[str, CachedServerConfig] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def has_config(self, server: str, now: float = 0.0) -> bool:
+        """True if a usable (fresh) config for ``server`` is cached."""
+        entry = self._configs.get(server)
+        if entry is None:
+            self.misses += 1
+            return False
+        if self.lifetime is not None and now - entry.stored_at > self.lifetime:
+            del self._configs[server]
+            self.misses += 1
+            return False
+        self.hits += 1
+        return True
+
+    def store(self, server: str, now: float) -> None:
+        """Record a completed handshake with ``server``."""
+        self._configs[server] = CachedServerConfig(server, now)
+
+    def clear(self) -> None:
+        """Forget everything (a 'cold' client)."""
+        self._configs.clear()
+
+    def prewarmed(self, *servers: str) -> "SessionCache":
+        """Convenience: mark servers as already visited (paper default)."""
+        for server in servers:
+            self.store(server, 0.0)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __contains__(self, server: str) -> bool:
+        return server in self._configs

@@ -1,0 +1,16 @@
+"""From-scratch TCP(+TLS, HTTP/2 framing) — the paper's baseline stack."""
+
+from .config import TcpConfig, default_tcp_cubic, tcp_config
+from .connection import TcpConnection, open_tcp_pair
+from .segment import Piece, SegmentRecord, TcpSegment
+
+__all__ = [
+    "TcpConfig",
+    "default_tcp_cubic",
+    "tcp_config",
+    "TcpConnection",
+    "open_tcp_pair",
+    "Piece",
+    "SegmentRecord",
+    "TcpSegment",
+]

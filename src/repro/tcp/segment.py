@@ -1,0 +1,97 @@
+"""TCP wire elements: segments with cumulative ACK, SACK and DSACK.
+
+As with QUIC, only performance-relevant structure is modelled: sequence
+ranges, ACK fields, advertised window.  A data segment also carries its
+"pieces" — the mapping from byte ranges to application messages — which
+stands in for HTTP/2 frame headers inside the TLS stream (the receiver
+can only use them once the bytes are *in order*: that is TCP's
+head-of-line blocking, modelled exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+#: TCP+TLS per-segment overhead beyond the network HEADER_BYTES (TLS
+#: record framing etc.); small and identical for both directions.
+SEGMENT_OVERHEAD = 12
+
+
+@dataclass
+class Piece:
+    """``length`` bytes of message ``msg_id`` within a segment.
+
+    ``total`` and ``meta`` ride on a message's first piece so the receiver
+    learns the message's size and application metadata (an HTTP/2 HEADERS
+    frame, in effect).
+    """
+
+    msg_id: int
+    length: int
+    total: Optional[int] = None
+    meta: Any = None
+    #: True on a message's final piece (HTTP/2 END_STREAM flag).
+    fin: bool = False
+
+
+@dataclass
+class TcpSegment:
+    """One TCP segment (data, pure ACK, or handshake control)."""
+
+    conn_id: str
+    kind: str  # "data" | "ack" | "ctrl"
+    #: Data fields.
+    seq: int = 0
+    length: int = 0
+    pieces: List[Piece] = field(default_factory=list)
+    #: ACK fields (piggybacked on data too).
+    cum_ack: Optional[int] = None
+    sack_blocks: Tuple[Tuple[int, int], ...] = ()
+    dsack: Optional[Tuple[int, int]] = None
+    rwnd: Optional[int] = None
+    #: Handshake fields.
+    ctrl: Optional[str] = None
+    ctrl_size: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        if self.kind == "ctrl":
+            return self.ctrl_size + SEGMENT_OVERHEAD
+        return self.length + SEGMENT_OVERHEAD
+
+    @property
+    def end(self) -> int:
+        return self.seq + self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "data":
+            return f"<TcpSegment data [{self.seq},{self.end}) ack={self.cum_ack}>"
+        if self.kind == "ack":
+            return f"<TcpSegment ack={self.cum_ack} sack={self.sack_blocks}>"
+        return f"<TcpSegment ctrl {self.ctrl}>"
+
+
+@dataclass
+class SegmentRecord:
+    """Sender-side bookkeeping for one transmitted data segment."""
+
+    seq: int
+    length: int
+    sent_time: float
+    pieces: List[Piece]
+    retx_count: int = 0
+    #: Bytes SACKed above this segment when it was declared lost (the
+    #: reordering-depth evidence DSACK adaptation uses).
+    nack_bytes: int = 0
+    declared_lost: bool = False
+    #: ``snd_nxt`` at the moment of the last retransmission.  A
+    #: retransmitted segment may only be re-declared lost from SACK
+    #: evidence *above this edge* — i.e. acknowledgements of data sent
+    #: after the retransmission (RFC 6675 spirit; prevents instant
+    #: re-loss from SACKs of packets that were already in flight).
+    retx_edge: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.seq + self.length

@@ -1,0 +1,14 @@
+"""Shared transport machinery: RTT estimation, congestion control, muxing."""
+
+from .base import HostMux, TransportEndpoint, fresh_conn_id, mux_for
+from .rtt import RttEstimator
+from .util import RangeSet
+
+__all__ = [
+    "HostMux",
+    "TransportEndpoint",
+    "fresh_conn_id",
+    "mux_for",
+    "RttEstimator",
+    "RangeSet",
+]

@@ -1,0 +1,20 @@
+"""Congestion-control implementations shared by QUIC and TCP."""
+
+from .bbr import BBR, BBRState
+from .cubic import CubicCC, CubicConfig
+from .hybrid_slow_start import HybridSlowStart
+from .interface import CCState, CongestionController
+from .pacing import Pacer
+from .prr import ProportionalRateReduction
+
+__all__ = [
+    "BBR",
+    "BBRState",
+    "CubicCC",
+    "CubicConfig",
+    "HybridSlowStart",
+    "CCState",
+    "CongestionController",
+    "Pacer",
+    "ProportionalRateReduction",
+]

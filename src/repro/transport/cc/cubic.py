@@ -1,0 +1,359 @@
+"""Cubic congestion control, parameterised for both QUIC and TCP.
+
+The paper's central protocol comparison is *Cubic vs. Cubic*: "we expect
+that QUIC and TCP should be relatively fair to each other because they
+both use the Cubic congestion control protocol" (Sec. 5.1) — and yet QUIC
+wins, because of how it is *driven* (per-packet unambiguous ACKs, pacing,
+N-connection emulation, PRR, TLP, a maximum allowed congestion window).
+
+This class implements RFC-8312-style Cubic with the Chromium extensions
+the paper discusses:
+
+* **N-connection emulation** (``num_emulated_connections``): Chromium's
+  ``cubic.cc`` scales beta to ``(N - 1 + 0.7) / N`` and the Reno-friendly
+  alpha to ``3 N² (1 - beta) / (1 + beta)`` so one QUIC connection behaves
+  like N TCP connections (default N=2 in QUIC 34, N=1 in QUIC 37).
+* **Maximum allowed congestion window** (``max_cwnd_packets``): the MACW
+  of Sec. 4.1/5.4 — 107 packets in the uncalibrated public server, 430 in
+  Chrome at paper time, 2000 in QUIC 37.  Hitting it puts the sender in
+  the ``CongestionAvoidanceMaxed`` state of Table 3.
+* **Hybrid Slow Start** with Chromium's delay-increase exit.
+* **PRR** during recovery.
+* The **Chromium-52 ssthresh bug** (Sec. 4.1): when
+  ``ssthresh_from_receiver_buffer`` is False, ssthresh stays at the small
+  ``buggy_initial_ssthresh_packets`` default instead of being raised to
+  the receiver-advertised buffer, forcing an early slow-start exit.
+
+State bookkeeping follows Table 3; transitions are logged to the attached
+:class:`~repro.core.instrumentation.Trace` for state-machine inference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...core.instrumentation import Trace
+from ..rtt import RttEstimator
+from .hybrid_slow_start import HybridSlowStart
+from .interface import CCState, CongestionController
+from .prr import ProportionalRateReduction
+
+
+@dataclass
+class CubicConfig:
+    """Tunables for one Cubic instance.
+
+    The defaults correspond to QUIC version 34 as calibrated in the paper
+    (Sec. 4.1); :mod:`repro.quic.config` and :mod:`repro.tcp.config`
+    derive protocol- and version-specific variants.
+    """
+
+    mss: int = 1350
+    #: Initial congestion window, packets (Chromium QUIC default).
+    initial_cwnd_packets: int = 32
+    #: Maximum allowed congestion window (MACW), packets; None = unlimited.
+    max_cwnd_packets: Optional[int] = 430
+    #: Minimum window after an RTO, packets.
+    min_cwnd_packets: int = 2
+    #: Cubic scaling constant C (packets/sec^3) and backoff beta.
+    cubic_c: float = 0.4
+    beta: float = 0.7
+    #: Chromium's N-connection emulation (Sec. 5.1).
+    num_emulated_connections: int = 1
+    #: Fast convergence halves W_max further on repeated losses.
+    fast_convergence: bool = True
+    #: Hybrid Slow Start on/off and sensitivity.
+    hybrid_slow_start: bool = True
+    hss_threshold_divisor: float = 8.0
+    #: Proportional rate reduction during recovery.
+    prr: bool = True
+    #: Pacing gains (bytes/sec = gain * cwnd / srtt); None disables pacing.
+    pacing_gain_slow_start: Optional[float] = 2.0
+    pacing_gain_ca: Optional[float] = 1.25
+    #: Receiver-buffer-driven ssthresh initialisation (the Chromium-52
+    #: bug of Sec. 4.1 is modelled by turning this off).
+    ssthresh_from_receiver_buffer: bool = True
+    buggy_initial_ssthresh_packets: int = 100
+
+    def scaled_beta(self) -> float:
+        n = max(self.num_emulated_connections, 1)
+        return (n - 1 + self.beta) / n
+
+    def reno_alpha(self) -> float:
+        """TCP-friendly additive-increase factor for N emulated connections."""
+        n = max(self.num_emulated_connections, 1)
+        beta = self.scaled_beta()
+        return 3.0 * n * n * (1.0 - beta) / (1.0 + beta)
+
+
+class CubicCC(CongestionController):
+    """Cubic with Hybrid Slow Start, PRR, MACW and N-connection emulation."""
+
+    def __init__(self, config: CubicConfig, rtt: RttEstimator,
+                 trace: Optional[Trace] = None) -> None:
+        super().__init__(trace)
+        self.config = config
+        self.rtt = rtt
+        self._cwnd = config.initial_cwnd_packets * config.mss
+        self._min_cwnd = config.min_cwnd_packets * config.mss
+        self._max_cwnd = (
+            config.max_cwnd_packets * config.mss
+            if config.max_cwnd_packets is not None
+            else None
+        )
+        if config.ssthresh_from_receiver_buffer:
+            self._ssthresh: float = float("inf")
+        else:
+            # Chromium-52 bug: ssthresh never raised to the receiver buffer.
+            self._ssthresh = config.buggy_initial_ssthresh_packets * config.mss
+        self._hss = HybridSlowStart(config.hss_threshold_divisor)
+        # Cubic epoch variables (packet units).
+        self._w_max: float = 0.0
+        self._epoch_start: Optional[float] = None
+        self._k: float = 0.0
+        self._origin_point: float = 0.0
+        self._w_est: float = 0.0
+        self._prr: Optional[ProportionalRateReduction] = None
+        self._in_recovery = False
+        self._in_rto = False
+        self._in_tlp = False
+        self._app_limited = False
+        #: Phase when no overlay (recovery/RTO/TLP/app-limited) is active.
+        self._started = False
+        # Statistics for root-cause analysis.
+        self.loss_events = 0
+        self.rto_events = 0
+        self.slow_start_exits_by_delay = 0
+        self.trace.log_state(0.0, CCState.INIT.value)
+        self.trace.log_cwnd(0.0, self._cwnd)
+
+    # ------------------------------------------------------------------
+    # window & pacing
+    # ------------------------------------------------------------------
+    @property
+    def cwnd(self) -> int:
+        return int(self._cwnd)
+
+    @property
+    def ssthresh(self) -> float:
+        return self._ssthresh
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self._cwnd < self._ssthresh and not self._in_recovery
+
+    @property
+    def in_recovery(self) -> bool:
+        return self._in_recovery
+
+    def can_send_bytes(self, in_flight: int) -> int:
+        if self._in_recovery and self._prr is not None:
+            return self._prr.can_send(in_flight)
+        return max(int(self._cwnd) - in_flight, 0)
+
+    def pacing_rate(self) -> Optional[float]:
+        gain = (
+            self.config.pacing_gain_slow_start
+            if self.in_slow_start
+            else self.config.pacing_gain_ca
+        )
+        if gain is None:
+            return None
+        return gain * self._cwnd / max(self.rtt.smoothed_rtt(), 1e-6)
+
+    # ------------------------------------------------------------------
+    # receiver buffer (calibration / Chromium-52 bug)
+    # ------------------------------------------------------------------
+    def on_receiver_buffer(self, buffer_bytes: int) -> None:
+        """Receiver advertised its buffer; raise ssthresh accordingly.
+
+        With ``ssthresh_from_receiver_buffer`` off this is the no-op that
+        constitutes the Chromium-52 bug (Sec. 4.1).
+        """
+        if not self.config.ssthresh_from_receiver_buffer:
+            return
+        if not math.isfinite(self._ssthresh):
+            # First advertisement: anchor ssthresh at the receiver buffer.
+            # Later congestion events lower it; never raise it back here.
+            self._ssthresh = float(max(buffer_bytes, self._min_cwnd))
+
+    # ------------------------------------------------------------------
+    # event hooks
+    # ------------------------------------------------------------------
+    def on_connection_start(self, now: float) -> None:
+        if not self._started:
+            self._started = True
+            self._set_state(now, self._phase_state())
+
+    def on_packet_sent(self, now: float, size_bytes: int,
+                       is_retransmission: bool) -> None:
+        if self._prr is not None and self._in_recovery:
+            self._prr.on_sent(size_bytes)
+        if self._app_limited:
+            self._app_limited = False
+            self._refresh_state(now)
+
+    def on_ack(self, now: float, acked_bytes: int, *, cwnd_limited: bool) -> None:
+        if self._in_rto:
+            self._in_rto = False
+            self._refresh_state(now)
+        if self._in_tlp:
+            self._in_tlp = False
+            self._refresh_state(now)
+        if self._in_recovery:
+            if self._prr is not None:
+                self._prr.on_ack(acked_bytes)
+            return
+        if not cwnd_limited:
+            # RFC 7661: do not grow a window the application is not using.
+            return
+        if self._cwnd < self._ssthresh:
+            self._slow_start_increase(now, acked_bytes)
+        else:
+            self._congestion_avoidance_increase(now, acked_bytes)
+        self._clamp_cwnd()
+        self.trace.log_cwnd(now, int(self._cwnd))
+        self._refresh_state(now)
+
+    def on_rtt_sample(self, now: float, rtt: float) -> None:
+        if not (self.config.hybrid_slow_start and self.in_slow_start):
+            return
+        should_exit = self._hss.on_rtt_sample(
+            now, rtt,
+            baseline_min_rtt=self.rtt.min_rtt(),
+            srtt=self.rtt.smoothed_rtt(),
+            cwnd_packets=self._cwnd / self.config.mss,
+        )
+        if should_exit:
+            self._ssthresh = self._cwnd
+            self.slow_start_exits_by_delay += 1
+            self.trace.log(now, "hss_exit", int(self._cwnd))
+            self._refresh_state(now)
+
+    def on_congestion_event(self, now: float, in_flight: int) -> None:
+        self.loss_events += 1
+        cwnd_packets = self._cwnd / self.config.mss
+        beta = self.config.scaled_beta()
+        if self.config.fast_convergence and cwnd_packets < self._w_max:
+            self._w_max = cwnd_packets * (1.0 + beta) / 2.0
+        else:
+            self._w_max = cwnd_packets
+        self._ssthresh = max(self._cwnd * beta, float(self._min_cwnd))
+        self._epoch_start = None
+        self._in_recovery = True
+        if self.config.prr:
+            self._prr = ProportionalRateReduction(
+                int(self._ssthresh), int(self._cwnd), in_flight, self.config.mss
+            )
+        else:
+            self._prr = None
+            self._cwnd = self._ssthresh
+        self._set_state(now, CCState.RECOVERY.value)
+        self.trace.log_cwnd(now, int(self._cwnd))
+
+    def on_recovery_exit(self, now: float) -> None:
+        if not self._in_recovery:
+            return
+        self._in_recovery = False
+        self._prr = None
+        self._cwnd = max(self._ssthresh, float(self._min_cwnd))
+        self._clamp_cwnd()
+        self.trace.log_cwnd(now, int(self._cwnd))
+        self._refresh_state(now)
+
+    def on_retransmission_timeout(self, now: float) -> None:
+        self.rto_events += 1
+        self._ssthresh = max(self._cwnd * self.config.scaled_beta(),
+                             float(self._min_cwnd))
+        self._cwnd = float(self._min_cwnd)
+        self._in_recovery = False
+        self._prr = None
+        self._in_rto = True
+        self._epoch_start = None
+        self._w_max = max(self._w_max, self._ssthresh / self.config.mss)
+        self._hss.restart()
+        self._set_state(now, CCState.RETRANSMISSION_TIMEOUT.value)
+        self.trace.log_cwnd(now, int(self._cwnd))
+
+    def on_rto_resolved(self, now: float) -> None:
+        if self._in_rto:
+            self._in_rto = False
+            self._refresh_state(now)
+
+    def on_tail_loss_probe(self, now: float) -> None:
+        self._in_tlp = True
+        self._set_state(now, CCState.TAIL_LOSS_PROBE.value)
+
+    def on_tlp_resolved(self, now: float) -> None:
+        if self._in_tlp:
+            self._in_tlp = False
+            self._refresh_state(now)
+
+    def on_application_limited(self, now: float) -> None:
+        if self._in_recovery or self._in_rto or self._in_tlp:
+            return
+        if not self._app_limited:
+            self._app_limited = True
+            self._set_state(now, CCState.APPLICATION_LIMITED.value)
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def _slow_start_increase(self, now: float, acked_bytes: int) -> None:
+        self._cwnd += acked_bytes
+
+    def _congestion_avoidance_increase(self, now: float, acked_bytes: int) -> None:
+        """Cubic window growth with the TCP-friendly (Reno) floor."""
+        mss = self.config.mss
+        cwnd_packets = self._cwnd / mss
+        if self._epoch_start is None:
+            self._epoch_start = now
+            if cwnd_packets < self._w_max:
+                self._k = ((self._w_max - cwnd_packets) / self.config.cubic_c) ** (1.0 / 3.0)
+                self._origin_point = self._w_max
+            else:
+                self._k = 0.0
+                self._origin_point = cwnd_packets
+            self._w_est = cwnd_packets
+        t = now - self._epoch_start + self.rtt.min_rtt()
+        target = self._origin_point + self.config.cubic_c * (t - self._k) ** 3
+        # TCP-friendly region (scaled for N emulated connections).
+        self._w_est += self.config.reno_alpha() * (acked_bytes / self._cwnd)
+        target = max(target, self._w_est)
+        # Limit growth to 1.5x per RTT worth of ACKs (Chromium clamp).
+        if target > cwnd_packets:
+            increase = (target - cwnd_packets) / cwnd_packets
+            self._cwnd += min(increase, 0.5) * acked_bytes
+        else:
+            # Below the cubic curve: still grow slowly (1 packet / 100 acks).
+            self._cwnd += acked_bytes / (100.0 * cwnd_packets) * 1.0
+
+    def _clamp_cwnd(self) -> None:
+        if self._max_cwnd is not None and self._cwnd > self._max_cwnd:
+            self._cwnd = float(self._max_cwnd)
+        if self._cwnd < self._min_cwnd:
+            self._cwnd = float(self._min_cwnd)
+
+    # ------------------------------------------------------------------
+    # state resolution
+    # ------------------------------------------------------------------
+    def _phase_state(self) -> str:
+        if self._max_cwnd is not None and self._cwnd >= self._max_cwnd:
+            return CCState.CA_MAXED.value
+        if self._cwnd < self._ssthresh:
+            return CCState.SLOW_START.value
+        return CCState.CONGESTION_AVOIDANCE.value
+
+    def _refresh_state(self, now: float) -> None:
+        if self._in_rto:
+            self._set_state(now, CCState.RETRANSMISSION_TIMEOUT.value)
+        elif self._in_recovery:
+            self._set_state(now, CCState.RECOVERY.value)
+        elif self._in_tlp:
+            self._set_state(now, CCState.TAIL_LOSS_PROBE.value)
+        elif self._app_limited:
+            self._set_state(now, CCState.APPLICATION_LIMITED.value)
+        else:
+            self._set_state(now, self._phase_state())

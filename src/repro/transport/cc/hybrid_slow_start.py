@@ -1,0 +1,81 @@
+"""Hybrid Slow Start (Ha & Rhee; Chromium's implementation).
+
+QUIC exits slow start before the first loss when the minimum RTT observed
+in the current round rises noticeably above the connection's minimum —
+evidence that the path's queue has started filling.  The paper identifies
+this delay-increase exit as the root cause of QUIC's poor page-load times
+for *large numbers of small objects* (Sec. 5.2): multiplexing bursts push
+up the observed minimum RTT and trigger a premature exit, and short flows
+never regain the lost window.
+
+Constants follow Chromium (``hybrid_slow_start.cc``): 8 samples per round,
+an exit threshold of ``min_rtt / 8`` clamped to [4 ms, 16 ms], and no exit
+below a 16-packet window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class HybridSlowStart:
+    """Delay-increase slow-start exit detector."""
+
+    #: Number of RTT samples examined per round.
+    SAMPLES_PER_ROUND = 8
+    #: Exit-threshold clamp, seconds.
+    DELAY_MIN = 0.004
+    DELAY_MAX = 0.016
+    #: Minimum congestion window (in packets) for an exit to be allowed.
+    LOW_WINDOW_PACKETS = 16
+
+    def __init__(self, threshold_divisor: float = 8.0) -> None:
+        if threshold_divisor <= 0:
+            raise ValueError("threshold_divisor must be positive")
+        self.threshold_divisor = threshold_divisor
+        self._round_start: Optional[float] = None
+        self._round_min_rtt: Optional[float] = None
+        self._samples_this_round = 0
+        self.exited = False
+        #: Statistics for root-cause analysis.
+        self.rounds_observed = 0
+        self.exit_time: Optional[float] = None
+
+    def restart(self) -> None:
+        """Re-arm after slow start resumes (e.g. after an RTO)."""
+        self._round_start = None
+        self._round_min_rtt = None
+        self._samples_this_round = 0
+        self.exited = False
+        self.exit_time = None
+
+    def on_rtt_sample(self, now: float, rtt: float, baseline_min_rtt: float,
+                      srtt: float, cwnd_packets: float) -> bool:
+        """Feed one RTT sample; returns True if slow start should end now.
+
+        ``baseline_min_rtt`` is the connection-lifetime minimum RTT, which
+        Chromium compares the current round's minimum against.
+        """
+        if self.exited:
+            return False
+        if self._round_start is None or now - self._round_start > srtt:
+            # New round: reset the per-round minimum.
+            self._round_start = now
+            self._round_min_rtt = rtt
+            self._samples_this_round = 1
+            self.rounds_observed += 1
+            return False
+        self._samples_this_round += 1
+        if self._round_min_rtt is None or rtt < self._round_min_rtt:
+            self._round_min_rtt = rtt
+        if self._samples_this_round < self.SAMPLES_PER_ROUND:
+            return False
+        if cwnd_packets < self.LOW_WINDOW_PACKETS:
+            return False
+        threshold = baseline_min_rtt / self.threshold_divisor
+        threshold = min(max(threshold, self.DELAY_MIN), self.DELAY_MAX)
+        if self._round_min_rtt > baseline_min_rtt + threshold:
+            self.exited = True
+            self.exit_time = now
+            return True
+        return False

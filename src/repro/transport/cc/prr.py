@@ -1,0 +1,48 @@
+"""Proportional Rate Reduction (RFC 6937).
+
+Both QUIC (paper Sec. 2.1) and modern Linux TCP use PRR to spread the
+window reduction over a recovery episode instead of stalling transmission.
+The algorithm paces retransmissions/new data so that by the end of
+recovery exactly ``ssthresh`` bytes are in flight.
+"""
+
+from __future__ import annotations
+
+
+class ProportionalRateReduction:
+    """One PRR episode; create a fresh instance per congestion event."""
+
+    def __init__(self, ssthresh_bytes: int, cwnd_at_loss: int,
+                 in_flight_at_loss: int, mss: int) -> None:
+        self.ssthresh = max(ssthresh_bytes, mss)
+        #: RecoverFS in the RFC: in-flight when recovery started.
+        self.recover_fs = max(in_flight_at_loss, 1)
+        self.mss = mss
+        self.prr_delivered = 0
+        self.prr_out = 0
+
+    def on_ack(self, delivered_bytes: int) -> None:
+        """Account bytes newly delivered (cum-acked or SACKed) to the peer."""
+        self.prr_delivered += max(delivered_bytes, 0)
+
+    def on_sent(self, sent_bytes: int) -> None:
+        """Account bytes we transmitted during recovery."""
+        self.prr_out += max(sent_bytes, 0)
+
+    def can_send(self, in_flight: int) -> int:
+        """Bytes allowed to be sent right now (RFC 6937 with SSRB).
+
+        * If in-flight exceeds ssthresh: proportional reduction —
+          ``sndcnt = ceil(prr_delivered * ssthresh / RecoverFS) - prr_out``.
+        * Otherwise: slow-start rebound — send the larger of what was
+          delivered and one MSS, but never exceed ssthresh.
+        """
+        if in_flight > self.ssthresh:
+            budget = (
+                (self.prr_delivered * self.ssthresh + self.recover_fs - 1)
+                // self.recover_fs
+            ) - self.prr_out
+            return max(budget, 0)
+        # Slow-start rebound (SSRB): grow back toward ssthresh.
+        limit = max(self.prr_delivered - self.prr_out, self.mss)
+        return max(min(limit, self.ssthresh - in_flight), 0)

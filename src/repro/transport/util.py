@@ -1,0 +1,163 @@
+"""Shared transport utilities.
+
+:class:`RangeSet` tracks sets of half-open integer intervals.  It backs
+
+* QUIC stream reassembly (which byte ranges of a stream have arrived),
+* TCP out-of-order queues and SACK block generation,
+* ACK-block bookkeeping for QUIC packet numbers.
+
+The structure keeps a sorted list of disjoint ``[lo, hi)`` ranges and is
+exercised heavily by hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+Range = Tuple[int, int]
+
+
+class RangeSet:
+    """A set of non-overlapping half-open integer ranges ``[lo, hi)``.
+
+    Ranges are merged on insertion; adding overlapping or adjacent ranges
+    coalesces them.  All query methods run in O(log n) or O(n).
+    """
+
+    __slots__ = ("_ranges", "_total")
+
+    def __init__(self, ranges: Optional[Iterable[Range]] = None) -> None:
+        self._ranges: List[Range] = []
+        self._total = 0
+        if ranges:
+            for lo, hi in ranges:
+                self.add(lo, hi)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, lo: int, hi: int) -> int:
+        """Insert ``[lo, hi)``; returns the number of *newly covered* units.
+
+        Adding an empty or inverted range is a no-op returning 0.
+        """
+        if hi <= lo:
+            return 0
+        # Find all ranges overlapping or adjacent to [lo, hi).
+        i = bisect.bisect_left(self._ranges, (lo, lo)) - 1
+        if i >= 0 and self._ranges[i][1] >= lo:
+            start = i
+        else:
+            start = i + 1
+        j = start
+        new_lo, new_hi = lo, hi
+        overlapped = 0
+        while j < len(self._ranges) and self._ranges[j][0] <= hi:
+            r_lo, r_hi = self._ranges[j]
+            overlapped += r_hi - r_lo
+            if r_lo < new_lo:
+                new_lo = r_lo
+            if r_hi > new_hi:
+                new_hi = r_hi
+            j += 1
+        self._ranges[start:j] = [(new_lo, new_hi)]
+        added = (new_hi - new_lo) - overlapped
+        self._total += added
+        return added
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def total(self) -> int:
+        """Total number of covered integer units (O(1), kept incrementally)."""
+        return self._total
+
+    def contains(self, value: int) -> bool:
+        """True if ``value`` lies inside a covered range."""
+        i = bisect.bisect_right(self._ranges, (value, float("inf"))) - 1
+        return i >= 0 and self._ranges[i][0] <= value < self._ranges[i][1]
+
+    def containing(self, value: int) -> Optional[Range]:
+        """The covered range holding ``value``, or None."""
+        i = bisect.bisect_right(self._ranges, (value, float("inf"))) - 1
+        if i >= 0 and self._ranges[i][0] <= value < self._ranges[i][1]:
+            return self._ranges[i]
+        return None
+
+    def covers(self, lo: int, hi: int) -> bool:
+        """True if the whole ``[lo, hi)`` range is covered."""
+        if hi <= lo:
+            return True
+        i = bisect.bisect_right(self._ranges, (lo, float("inf"))) - 1
+        return i >= 0 and self._ranges[i][0] <= lo and self._ranges[i][1] >= hi
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """True if any part of ``[lo, hi)`` is already covered."""
+        if hi <= lo:
+            return False
+        i = bisect.bisect_left(self._ranges, (lo, lo)) - 1
+        if i >= 0 and self._ranges[i][1] > lo:
+            return True
+        j = i + 1
+        return j < len(self._ranges) and self._ranges[j][0] < hi
+
+    def contiguous_from(self, origin: int = 0) -> int:
+        """Highest value ``x`` such that ``[origin, x)`` is fully covered.
+
+        This is TCP's ``rcv_nxt`` computation: the in-order delivery
+        frontier given out-of-order arrivals.
+        """
+        i = bisect.bisect_right(self._ranges, (origin, float("inf"))) - 1
+        if i >= 0 and self._ranges[i][0] <= origin < self._ranges[i][1]:
+            return self._ranges[i][1]
+        if i + 1 < len(self._ranges) and self._ranges[i + 1][0] == origin:
+            return self._ranges[i + 1][1]
+        return origin
+
+    def gaps(self, lo: int, hi: int) -> List[Range]:
+        """Uncovered sub-ranges of ``[lo, hi)``."""
+        out: List[Range] = []
+        cursor = lo
+        for r_lo, r_hi in self._ranges:
+            if r_hi <= lo:
+                continue
+            if r_lo >= hi:
+                break
+            if r_lo > cursor:
+                out.append((cursor, min(r_lo, hi)))
+            cursor = max(cursor, r_hi)
+            if cursor >= hi:
+                break
+        if cursor < hi:
+            out.append((cursor, hi))
+        return out
+
+    def ranges(self) -> List[Range]:
+        """A copy of the covered ranges, ascending."""
+        return list(self._ranges)
+
+    def max_covered(self) -> Optional[int]:
+        """Highest covered value + 1 (i.e. the end of the last range)."""
+        if not self._ranges:
+            return None
+        return self._ranges[-1][1]
+
+    def __iter__(self) -> Iterator[Range]:
+        return iter(self._ranges)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeSet):
+            return NotImplemented
+        return self._ranges == other._ranges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"[{lo},{hi})" for lo, hi in self._ranges[:8])
+        more = "..." if len(self._ranges) > 8 else ""
+        return f"<RangeSet {inner}{more}>"

@@ -1,0 +1,20 @@
+"""Video streaming QoE (paper Sec. 5.3 / Table 6)."""
+
+from .abr import AbrVideoPlayer
+from .catalog import QUALITIES, QUALITY_BITRATES, Video, VideoSegment, one_hour_video
+from .player import QoEMetrics, VideoPlayer
+from .qoe import QoEAggregate, measure_video_qoe, play_video_once
+
+__all__ = [
+    "AbrVideoPlayer",
+    "QUALITIES",
+    "QUALITY_BITRATES",
+    "Video",
+    "VideoSegment",
+    "one_hour_video",
+    "QoEMetrics",
+    "VideoPlayer",
+    "QoEAggregate",
+    "measure_video_qoe",
+    "play_video_once",
+]

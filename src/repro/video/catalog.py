@@ -1,0 +1,68 @@
+"""The video catalog: a one-hour title in every quality (paper Sec. 5.3).
+
+The paper streams a one-hour YouTube video pinned to each quality level
+from "tiny" to 4K.  We model the title as fixed-duration segments whose
+size follows the quality's nominal bitrate; the segment grid is what the
+player requests over the transport under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Nominal bitrates (bits/second) per YouTube-style quality label.
+QUALITY_BITRATES: Dict[str, float] = {
+    "tiny": 0.11e6,     # 144p
+    "medium": 0.75e6,   # 360p
+    "hd720": 2.5e6,
+    "hd2160": 35.0e6,   # 4K
+}
+
+#: The paper pins these four (Table 2 / Table 6).
+QUALITIES: Tuple[str, ...] = ("tiny", "medium", "hd720", "hd2160")
+
+
+@dataclass(frozen=True)
+class VideoSegment:
+    """One media segment: ``index`` within the title, ``size_bytes`` on disk."""
+
+    index: int
+    duration: float
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class Video:
+    """A title encoded at one quality."""
+
+    quality: str
+    duration: float
+    segment_duration: float
+    bitrate: float
+
+    @property
+    def segment_count(self) -> int:
+        return int(self.duration / self.segment_duration)
+
+    def segment(self, index: int) -> VideoSegment:
+        if not 0 <= index < self.segment_count:
+            raise IndexError(f"segment {index} out of range")
+        size = int(self.bitrate * self.segment_duration / 8)
+        return VideoSegment(index, self.segment_duration, max(size, 1))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.segment(0).size_bytes * self.segment_count
+
+
+def one_hour_video(quality: str, segment_duration: float = 2.0) -> Video:
+    """The paper's one-hour test title at the given quality."""
+    if quality not in QUALITY_BITRATES:
+        raise KeyError(f"unknown quality {quality!r}; choose from {QUALITIES}")
+    return Video(
+        quality=quality,
+        duration=3600.0,
+        segment_duration=segment_duration,
+        bitrate=QUALITY_BITRATES[quality],
+    )

@@ -1,0 +1,71 @@
+"""Tests for server calibration (Sec. 4.1, Fig. 2)."""
+
+import pytest
+
+from repro.core.calibration import (
+    GAEFrontend,
+    calibrate_macw,
+    measure_server_configuration,
+    uncalibrated_vs_calibrated,
+)
+from repro.netem import emulated
+from repro.quic import quic_config
+
+
+class TestGAEFrontend:
+    def test_wait_times_variable_and_positive(self):
+        frontend = GAEFrontend(None, seed=1)
+        waits = [frontend.wait_time() for _ in range(50)]
+        assert all(w >= frontend.base_wait for w in waits)
+        assert max(waits) - min(waits) > 0.05  # the Fig. 2 variability
+
+    def test_seeded_reproducibility(self):
+        a = GAEFrontend(None, seed=9)
+        b = GAEFrontend(None, seed=9)
+        assert [a.wait_time() for _ in range(5)] == \
+            [b.wait_time() for _ in range(5)]
+
+
+class TestServerMeasurement:
+    def test_gae_like_inflates_wait(self):
+        scenario = emulated(100.0)
+        cfg = quic_config(34)
+        plain = measure_server_configuration(
+            "ec2", cfg, scenario=scenario, size_bytes=1_000_000, runs=3)
+        gae = measure_server_configuration(
+            "gae", cfg, scenario=scenario, size_bytes=1_000_000, runs=3,
+            gae_like=True)
+        assert gae.mean_wait > plain.mean_wait * 3
+        assert "wait" in gae.describe()
+
+    def test_uncalibrated_download_slower(self):
+        """Fig. 2's left vs right bars: the public default (small MACW +
+        ssthresh bug) downloads a 10 MB object much slower."""
+        bars = uncalibrated_vs_calibrated(
+            scenario=emulated(100.0), size_bytes=10 * 1024 * 1024, runs=2)
+        by_label = {m.label: m for m in bars}
+        public = by_label["public default (MACW=107,bug)"]
+        calibrated = by_label["calibrated EC2 (MACW=430)"]
+        assert public.mean_download > calibrated.mean_download * 1.4
+
+
+class TestMacwCalibration:
+    def test_search_selects_reference_macw(self):
+        result = calibrate_macw(
+            candidates=(107, 430),
+            scenario=emulated(100.0),
+            size_bytes=5 * 1024 * 1024,
+            runs=2,
+        )
+        assert result.best_macw == 430
+        assert "selected" in result.describe()
+
+    def test_candidate_plts_ordered_by_macw(self):
+        result = calibrate_macw(
+            candidates=(107, 430),
+            scenario=emulated(100.0),
+            size_bytes=5 * 1024 * 1024,
+            runs=2,
+        )
+        plts = dict(result.candidates)
+        assert plts[107] > plts[430]

@@ -1,0 +1,149 @@
+"""Tests for PRR, Hybrid Slow Start, and the pacer."""
+
+import pytest
+
+from repro.transport.cc.hybrid_slow_start import HybridSlowStart
+from repro.transport.cc.pacing import Pacer
+from repro.transport.cc.prr import ProportionalRateReduction
+
+MSS = 1350
+
+
+class TestPrr:
+    def test_proportional_phase_limits_sending(self):
+        # cwnd 20 MSS at loss, ssthresh 14 MSS, everything in flight.
+        prr = ProportionalRateReduction(14 * MSS, 20 * MSS, 20 * MSS, MSS)
+        assert prr.can_send(20 * MSS) == 0  # nothing delivered yet
+        prr.on_ack(2 * MSS)
+        allowed = prr.can_send(18 * MSS)
+        # sndcnt ~= delivered * ssthresh / RecoverFS = 2 * 14/20 = 1.4 MSS
+        assert 1 * MSS <= allowed <= 2 * MSS
+
+    def test_sent_bytes_reduce_budget(self):
+        prr = ProportionalRateReduction(14 * MSS, 20 * MSS, 20 * MSS, MSS)
+        prr.on_ack(4 * MSS)
+        first = prr.can_send(16 * MSS)
+        prr.on_sent(first)
+        assert prr.can_send(16 * MSS + first) <= MSS
+
+    def test_ssrb_rebound_when_flight_below_ssthresh(self):
+        prr = ProportionalRateReduction(14 * MSS, 20 * MSS, 20 * MSS, MSS)
+        prr.on_ack(10 * MSS)
+        # in flight collapsed below ssthresh: slow-start rebound applies,
+        # bounded by the gap to ssthresh.
+        allowed = prr.can_send(5 * MSS)
+        assert 0 < allowed <= 9 * MSS
+
+    def test_total_sent_converges_to_ssthresh(self):
+        # Simulate a full recovery: acks arrive, we always send the budget.
+        prr = ProportionalRateReduction(10 * MSS, 20 * MSS, 20 * MSS, MSS)
+        in_flight = 20 * MSS
+        sent_total = 0
+        for _ in range(20):
+            prr.on_ack(MSS)
+            in_flight -= MSS
+            budget = prr.can_send(in_flight)
+            prr.on_sent(budget)
+            in_flight += budget
+            sent_total += budget
+        assert in_flight == pytest.approx(10 * MSS, abs=2 * MSS)
+
+    def test_never_negative(self):
+        prr = ProportionalRateReduction(10 * MSS, 20 * MSS, 20 * MSS, MSS)
+        prr.on_sent(50 * MSS)
+        assert prr.can_send(50 * MSS) == 0
+
+
+class TestHybridSlowStart:
+    def run_round(self, hss, now, rtt, baseline, srtt=0.05, cwnd=64,
+                  samples=None):
+        exited = False
+        for i in range(samples or hss.SAMPLES_PER_ROUND):
+            exited = hss.on_rtt_sample(now + i * 1e-4, rtt, baseline, srtt, cwnd)
+        return exited
+
+    def test_no_exit_on_flat_rtt(self):
+        hss = HybridSlowStart()
+        for round_idx in range(5):
+            assert not self.run_round(hss, round_idx * 0.06, 0.05, 0.05)
+
+    def test_exits_on_delay_increase(self):
+        hss = HybridSlowStart()
+        self.run_round(hss, 0.0, 0.050, 0.050)
+        exited = self.run_round(hss, 0.1, 0.080, 0.050)
+        assert exited
+        assert hss.exited
+        assert hss.exit_time is not None
+
+    def test_threshold_clamped_to_min_4ms(self):
+        hss = HybridSlowStart()
+        # baseline 8ms -> raw threshold 1ms, clamped to 4ms; +3ms must NOT exit.
+        self.run_round(hss, 0.0, 0.008, 0.008, srtt=0.008)
+        assert not self.run_round(hss, 0.05, 0.011, 0.008, srtt=0.008)
+        # +5ms exceeds the clamp: exit.
+        assert self.run_round(hss, 0.1, 0.013, 0.008, srtt=0.008)
+
+    def test_threshold_clamped_to_max_16ms(self):
+        hss = HybridSlowStart()
+        # baseline 400ms -> raw threshold 50ms, clamped to 16ms.
+        self.run_round(hss, 0.0, 0.400, 0.400, srtt=0.4)
+        assert self.run_round(hss, 0.5, 0.420, 0.400, srtt=0.4)
+
+    def test_no_exit_below_low_window(self):
+        hss = HybridSlowStart()
+        self.run_round(hss, 0.0, 0.05, 0.05, cwnd=8)
+        assert not self.run_round(hss, 0.1, 0.2, 0.05, cwnd=8)
+
+    def test_needs_enough_samples(self):
+        hss = HybridSlowStart()
+        self.run_round(hss, 0.0, 0.05, 0.05)
+        assert not self.run_round(hss, 0.1, 0.2, 0.05, samples=3)
+
+    def test_restart_rearms(self):
+        hss = HybridSlowStart()
+        self.run_round(hss, 0.0, 0.05, 0.05)
+        assert self.run_round(hss, 0.1, 0.09, 0.05)
+        hss.restart()
+        assert not hss.exited
+        self.run_round(hss, 1.0, 0.05, 0.05)
+        assert self.run_round(hss, 1.1, 0.09, 0.05)
+
+
+class TestPacer:
+    def test_initial_burst_unpaced(self):
+        pacer = Pacer(initial_burst_packets=3)
+        rate = 1350 / 0.01  # 10 ms per packet
+        times = [pacer.release_time(0.0, 1350, rate) for _ in range(3)]
+        assert times == [0.0, 0.0, 0.0]
+
+    def test_spacing_after_burst(self):
+        pacer = Pacer(initial_burst_packets=0, lump_packets=1)
+        rate = 1350 / 0.01
+        t1 = pacer.release_time(0.0, 1350, rate)
+        t2 = pacer.release_time(0.0, 1350, rate)
+        t3 = pacer.release_time(0.0, 1350, rate)
+        assert t1 == 0.0
+        assert t2 == pytest.approx(0.01)
+        assert t3 == pytest.approx(0.02)
+
+    def test_none_rate_disables_pacing(self):
+        pacer = Pacer(initial_burst_packets=0)
+        assert pacer.release_time(1.0, 1350, None) == 1.0
+        assert pacer.release_time(1.0, 1350, None) == 1.0
+
+    def test_idle_resets_schedule(self):
+        pacer = Pacer(initial_burst_packets=0, lump_packets=1)
+        rate = 1350 / 0.01
+        pacer.release_time(0.0, 1350, rate)
+        pacer.release_time(0.0, 1350, rate)
+        # Much later: no stale backlog of release times.
+        t = pacer.release_time(10.0, 1350, rate)
+        assert t == 10.0
+
+    def test_rate_respected_over_many_packets(self):
+        pacer = Pacer(initial_burst_packets=0, lump_packets=1)
+        rate = 1350 / 0.001
+        last = 0.0
+        for _ in range(100):
+            last = pacer.release_time(0.0, 1350, rate)
+        assert last == pytest.approx(0.099, rel=0.05)

@@ -1,0 +1,147 @@
+"""Property-based tests for congestion-controller invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.cc.cubic import CubicCC, CubicConfig
+from repro.transport.cc.interface import CCState
+from repro.transport.rtt import RttEstimator
+
+MSS = 1350
+
+events = st.lists(
+    st.sampled_from(["ack", "ack_small", "loss", "rto", "recovery_exit",
+                     "app_limited", "sent", "tlp", "tlp_resolved"]),
+    min_size=1,
+    max_size=120,
+)
+
+
+def drive(cc, sequence):
+    """Apply an arbitrary event sequence with a monotone clock."""
+    t = 0.0
+    in_flight = cc.cwnd // 2
+    cc.on_connection_start(t)
+    for event in sequence:
+        t += 0.01
+        if event == "ack":
+            cc.on_ack(t, 10 * MSS, cwnd_limited=True)
+        elif event == "ack_small":
+            cc.on_ack(t, MSS, cwnd_limited=True)
+        elif event == "loss":
+            cc.on_congestion_event(t, in_flight)
+        elif event == "rto":
+            cc.on_retransmission_timeout(t)
+        elif event == "recovery_exit":
+            cc.on_recovery_exit(t)
+        elif event == "app_limited":
+            cc.on_application_limited(t)
+        elif event == "sent":
+            cc.on_packet_sent(t, MSS, False)
+        elif event == "tlp":
+            cc.on_tail_loss_probe(t)
+        elif event == "tlp_resolved":
+            cc.on_tlp_resolved(t)
+    return t
+
+
+@settings(max_examples=200, deadline=None)
+@given(events, st.sampled_from([None, 40, 430]),
+       st.sampled_from([1, 2]))
+def test_cwnd_always_within_bounds(sequence, macw, n_conn):
+    cfg = CubicConfig(max_cwnd_packets=macw,
+                      num_emulated_connections=n_conn)
+    rtt = RttEstimator(initial_rtt=0.05)
+    rtt.on_sample(0.05, now=0.0)
+    cc = CubicCC(cfg, rtt)
+    cc.on_receiver_buffer(64 * 1024 * 1024)
+    drive(cc, sequence)
+    assert cc.cwnd >= cfg.min_cwnd_packets * MSS
+    if macw is not None:
+        assert cc.cwnd <= macw * MSS
+
+
+@settings(max_examples=200, deadline=None)
+@given(events)
+def test_state_is_always_a_table3_state(sequence):
+    cfg = CubicConfig()
+    rtt = RttEstimator(initial_rtt=0.05)
+    rtt.on_sample(0.05, now=0.0)
+    cc = CubicCC(cfg, rtt)
+    cc.on_receiver_buffer(64 * 1024 * 1024)
+    valid = {state.value for state in CCState}
+    drive(cc, sequence)
+    assert cc.state in valid
+
+
+@settings(max_examples=150, deadline=None)
+@given(events)
+def test_can_send_never_negative_and_bounded(sequence):
+    cfg = CubicConfig()
+    rtt = RttEstimator(initial_rtt=0.05)
+    rtt.on_sample(0.05, now=0.0)
+    cc = CubicCC(cfg, rtt)
+    cc.on_receiver_buffer(64 * 1024 * 1024)
+    drive(cc, sequence)
+    for in_flight in (0, MSS, cc.cwnd, cc.cwnd * 3):
+        allowed = cc.can_send_bytes(in_flight)
+        assert allowed >= 0
+        if not cc.in_recovery:
+            assert allowed <= cc.cwnd
+
+
+@settings(max_examples=150, deadline=None)
+@given(events)
+def test_congestion_responses_track_cwnd(sequence):
+    """Congestion responses set ssthresh relative to the *current* cwnd
+    (beta-scaled, floored at the minimum window); window growth itself
+    never touches ssthresh."""
+    cfg = CubicConfig()
+    rtt = RttEstimator(initial_rtt=0.05)
+    rtt.on_sample(0.05, now=0.0)
+    cc = CubicCC(cfg, rtt)
+    cc.on_receiver_buffer(64 * 1024 * 1024)
+    t = 0.0
+    cc.on_connection_start(t)
+    in_flight = cc.cwnd // 2
+    floor = cfg.min_cwnd_packets * MSS
+    for event in sequence:
+        t += 0.01
+        before_ssthresh = cc.ssthresh
+        before_cwnd = cc.cwnd
+        if event == "loss":
+            cc.on_congestion_event(t, in_flight)
+            expected = max(before_cwnd * cfg.scaled_beta(), floor)
+            # before_cwnd is the int-truncated view of a float window.
+            assert cc.ssthresh == pytest.approx(expected, rel=1e-3)
+        elif event == "rto":
+            cc.on_retransmission_timeout(t)
+            assert cc.ssthresh <= max(before_cwnd, floor)
+            assert cc.cwnd == floor
+        elif event == "ack":
+            cc.on_ack(t, 4 * MSS, cwnd_limited=True)
+            # Growth never raises ssthresh.
+            assert cc.ssthresh == before_ssthresh
+        elif event == "recovery_exit":
+            cc.on_recovery_exit(t)
+            assert cc.ssthresh == before_ssthresh
+    assert cc.ssthresh > 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_pacing_rate_positive_whenever_enabled(seed):
+    rng = random.Random(seed)
+    cfg = CubicConfig()
+    rtt = RttEstimator(initial_rtt=0.05)
+    rtt.on_sample(rng.uniform(0.001, 0.5), now=0.0)
+    cc = CubicCC(cfg, rtt)
+    cc.on_receiver_buffer(64 * 1024 * 1024)
+    cc.on_connection_start(0.0)
+    for i in range(rng.randint(0, 50)):
+        cc.on_ack(0.01 * (i + 1), MSS, cwnd_limited=True)
+    rate = cc.pacing_rate()
+    assert rate is not None and rate > 0

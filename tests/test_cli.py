@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.rate == 10.0
+        assert args.runs == 10
+        assert args.device == "desktop"
+
+
+class TestCommands:
+    def test_versions(self, capsys):
+        assert main(["versions"]) == 0
+        out = capsys.readouterr().out
+        assert "QUIC 34" in out and "MACW=430" in out
+        assert "QUIC 37" in out and "MACW=2000" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--rate", "10", "--size-kb", "50",
+                     "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "QUIC" in out and "TCP" in out and "p=" in out
+
+    def test_compare_multi_object(self, capsys):
+        assert main(["compare", "--rate", "10", "--size-kb", "10",
+                     "--objects", "5", "--runs", "2"]) == 0
+        assert "5x10KB" in capsys.readouterr().out
+
+    def test_heatmap(self, capsys):
+        assert main(["heatmap", "--rates", "10", "--sizes-kb", "10,100",
+                     "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1x10KB" in out and "1x100KB" in out
+
+    def test_fairness(self, capsys):
+        assert main(["fairness", "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "quic" in out and "tcp" in out and "share" in out
+
+    def test_bulk_with_nack_override(self, capsys):
+        assert main(["bulk", "--protocol", "quic", "--size-mb", "0.5",
+                     "--rate", "20", "--nack-threshold", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Mbps" in out and "losses=" in out
+
+    def test_bulk_tcp(self, capsys):
+        assert main(["bulk", "--protocol", "tcp", "--size-mb", "0.5",
+                     "--rate", "20"]) == 0
+        assert "tcp:" in capsys.readouterr().out
+
+    def test_statemachine_writes_dot(self, tmp_path, capsys):
+        out_file = tmp_path / "fsm.dot"
+        assert main(["statemachine", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "digraph" in out_file.read_text()
+        assert "SlowStart" in capsys.readouterr().out
+
+    def test_video(self, capsys):
+        assert main(["video", "--quality", "medium", "--rate", "50",
+                     "--loss", "0", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "quic" in out and "tcp" in out
+
+
+class TestSpecCommand:
+    def test_spec_runs_file(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "name": "cli-spec",
+            "scenarios": [{"rate_mbps": 10.0}],
+            "workloads": [{"objects": 1, "size_kb": 20}],
+            "runs": 2,
+        }
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec))
+        out_file = tmp_path / "result.json"
+        assert main(["spec", "--file", str(spec_file),
+                     "--out", str(out_file)]) == 0
+        assert "cli-spec" in capsys.readouterr().out
+        assert out_file.exists()
+        from repro.core.experiment import ExperimentResult
+
+        restored = ExperimentResult.from_json(out_file.read_text())
+        assert len(restored.samples) == 2

@@ -1,0 +1,82 @@
+"""Tests for Comparison cells and Heatmap grids."""
+
+import pytest
+
+from repro.core.comparison import Comparison
+from repro.core.heatmap import Heatmap
+
+
+def cell(quic, tcp, label="cell"):
+    return Comparison(label, quic, tcp)
+
+
+class TestComparison:
+    def test_pct_diff_paper_convention(self):
+        c = cell([0.8] * 5, [1.0] * 5)
+        assert c.pct_diff == pytest.approx(20.0)
+        assert c.winner == "quic"
+
+    def test_tcp_win(self):
+        c = cell([1.2] * 5, [1.0] * 5)
+        assert c.pct_diff == pytest.approx(-20.0)
+        assert c.winner == "tcp"
+
+    def test_inconclusive_when_noisy(self):
+        quic = [1.0, 1.4, 0.7, 1.2, 0.9]
+        tcp = [1.1, 0.8, 1.3, 0.9, 1.15]
+        c = cell(quic, tcp)
+        assert c.winner == "inconclusive"
+        assert c.cell_text().strip() == "·"
+
+    def test_cell_text_for_significant_cell(self):
+        c = cell([0.8] * 5, [1.0] * 5)
+        assert "+20%" in c.cell_text()
+
+    def test_describe_mentions_p_value(self):
+        text = cell([0.8] * 5, [1.0] * 5).describe()
+        assert "p=" in text and "quic" in text.lower()
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("x", [], [1.0])
+
+
+class TestHeatmap:
+    def make(self):
+        hm = Heatmap("t", ["5Mbps", "10Mbps"], ["small", "large"])
+        hm.put("5Mbps", "small", cell([0.8] * 5, [1.0] * 5))
+        hm.put("5Mbps", "large", cell([1.2] * 5, [1.0] * 5))
+        hm.put("10Mbps", "small", cell([1.0, 1.4, 0.7, 1.2, 0.9],
+                                       [1.1, 0.8, 1.3, 0.9, 1.15]))
+        return hm
+
+    def test_put_outside_grid_rejected(self):
+        hm = self.make()
+        with pytest.raises(KeyError):
+            hm.put("99Mbps", "small", cell([1], [1]))
+
+    def test_get(self):
+        hm = self.make()
+        assert hm.get("5Mbps", "small").pct_diff == pytest.approx(20.0)
+        assert hm.get("10Mbps", "large") is None
+
+    def test_render_contains_labels_and_cells(self):
+        text = self.make().render()
+        assert "5Mbps" in text and "large" in text
+        assert "+20%" in text and "-20%" in text
+        assert "·" in text  # the inconclusive cell
+        assert "-" in text  # the missing cell
+
+    def test_fraction_favoring_treatment(self):
+        hm = self.make()
+        # Two significant cells, one favouring QUIC.
+        assert hm.fraction_favoring_treatment() == pytest.approx(0.5)
+
+    def test_significant_cells(self):
+        assert len(self.make().significant_cells()) == 2
+
+    def test_mean_pct_diff(self):
+        hm = Heatmap("t", ["r"], ["a", "b"])
+        hm.put("r", "a", cell([0.8] * 5, [1.0] * 5))
+        hm.put("r", "b", cell([0.6] * 5, [1.0] * 5))
+        assert hm.mean_pct_diff() == pytest.approx(30.0)

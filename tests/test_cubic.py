@@ -1,0 +1,239 @@
+"""Tests for the shared Cubic congestion controller (Table 3 semantics)."""
+
+import math
+
+import pytest
+
+from repro.core.instrumentation import Trace
+from repro.transport.cc.cubic import CubicCC, CubicConfig
+from repro.transport.cc.interface import CCState
+from repro.transport.rtt import RttEstimator
+
+MSS = 1350
+
+
+def make_cc(trace=None, **cfg_kwargs):
+    cfg = CubicConfig(**cfg_kwargs)
+    rtt = RttEstimator(initial_rtt=0.05)
+    rtt.on_sample(0.05, now=0.0)
+    cc = CubicCC(cfg, rtt, trace=trace)
+    cc.on_receiver_buffer(100 * 1024 * 1024)
+    return cc, rtt
+
+
+class TestConfig:
+    def test_n_connection_beta_scaling(self):
+        one = CubicConfig(num_emulated_connections=1)
+        two = CubicConfig(num_emulated_connections=2)
+        assert one.scaled_beta() == pytest.approx(0.7)
+        assert two.scaled_beta() == pytest.approx(0.85)
+
+    def test_n_connection_alpha_scaling(self):
+        one = CubicConfig(num_emulated_connections=1)
+        two = CubicConfig(num_emulated_connections=2)
+        assert one.reno_alpha() == pytest.approx(3 * 0.3 / 1.7)
+        assert two.reno_alpha() == pytest.approx(12 * 0.15 / 1.85)
+        assert two.reno_alpha() > one.reno_alpha()
+
+
+class TestSlowStart:
+    def test_initial_window(self):
+        cc, _ = make_cc(initial_cwnd_packets=32)
+        assert cc.cwnd == 32 * MSS
+
+    def test_exponential_growth_per_ack(self):
+        cc, _ = make_cc()
+        cc.on_connection_start(0.0)
+        before = cc.cwnd
+        cc.on_ack(0.01, 10 * MSS, cwnd_limited=True)
+        assert cc.cwnd == before + 10 * MSS
+
+    def test_no_growth_when_app_limited(self):
+        cc, _ = make_cc()
+        cc.on_connection_start(0.0)
+        before = cc.cwnd
+        cc.on_ack(0.01, 10 * MSS, cwnd_limited=False)
+        assert cc.cwnd == before
+
+    def test_in_slow_start_property(self):
+        cc, _ = make_cc()
+        assert cc.in_slow_start
+
+    def test_buggy_ssthresh_forces_early_exit(self):
+        """The Chromium-52 bug: ssthresh stuck at a small default."""
+        cfg = CubicConfig(ssthresh_from_receiver_buffer=False,
+                          buggy_initial_ssthresh_packets=50,
+                          initial_cwnd_packets=32)
+        rtt = RttEstimator(initial_rtt=0.05)
+        cc = CubicCC(cfg, rtt)
+        cc.on_receiver_buffer(100 * 1024 * 1024)  # bug: must be ignored
+        assert cc.ssthresh == 50 * MSS
+        cc.on_connection_start(0.0)
+        for i in range(10):
+            cc.on_ack(0.01 * i, 10 * MSS, cwnd_limited=True)
+        assert not cc.in_slow_start  # exited at the tiny threshold
+
+    def test_fixed_config_uses_receiver_buffer(self):
+        cc, _ = make_cc()
+        assert cc.ssthresh == 100 * 1024 * 1024
+
+    def test_hss_exit_raises_ssthresh_to_cwnd(self):
+        cc, rtt = make_cc()
+        cc.on_connection_start(0.0)
+        # Feed a full round of flat samples, then a round of inflated ones.
+        for i in range(8):
+            cc.on_rtt_sample(0.001 * i, 0.05)
+        for i in range(8):
+            cc.on_rtt_sample(0.06 + 0.001 * i, 0.09)
+        assert cc.slow_start_exits_by_delay == 1
+        assert cc.ssthresh == cc.cwnd
+        assert not cc.in_slow_start
+
+
+class TestLossResponse:
+    def test_congestion_event_sets_ssthresh_beta(self):
+        cc, _ = make_cc(num_emulated_connections=1, prr=False)
+        cc.on_connection_start(0.0)
+        cwnd = cc.cwnd
+        cc.on_congestion_event(0.1, in_flight=cwnd)
+        assert cc.in_recovery
+        assert cc.ssthresh == pytest.approx(cwnd * 0.7)
+        assert cc.state == CCState.RECOVERY.value
+
+    def test_n2_backoff_is_gentler(self):
+        cc1, _ = make_cc(num_emulated_connections=1)
+        cc2, _ = make_cc(num_emulated_connections=2)
+        for cc in (cc1, cc2):
+            cc.on_connection_start(0.0)
+            cc.on_congestion_event(0.1, in_flight=cc.cwnd)
+        assert cc2.ssthresh > cc1.ssthresh
+
+    def test_recovery_exit_restores_ssthresh_window(self):
+        cc, _ = make_cc()
+        cc.on_connection_start(0.0)
+        cwnd = cc.cwnd
+        cc.on_congestion_event(0.1, in_flight=cwnd)
+        cc.on_recovery_exit(0.2)
+        assert not cc.in_recovery
+        assert cc.cwnd == pytest.approx(cwnd * 0.7, rel=0.01)  # beta, N=1
+
+    def test_prr_gates_sending_during_recovery(self):
+        cc, _ = make_cc(prr=True)
+        cc.on_connection_start(0.0)
+        cc.on_congestion_event(0.1, in_flight=cc.cwnd)
+        assert cc.can_send_bytes(cc.cwnd) == 0
+        cc.on_ack(0.15, 4 * MSS, cwnd_limited=True)
+        assert cc.can_send_bytes(cc.cwnd - 4 * MSS) > 0
+
+    def test_cubic_growth_after_recovery(self):
+        cc, _ = make_cc()
+        cc.on_connection_start(0.0)
+        cc.on_congestion_event(0.1, in_flight=cc.cwnd)
+        cc.on_recovery_exit(0.2)
+        w = cc.cwnd
+        t = 0.3
+        for i in range(200):
+            cc.on_ack(t, 2 * MSS, cwnd_limited=True)
+            t += 0.01
+        assert cc.cwnd > w  # grows along the cubic/Reno curve
+
+    def test_rto_collapses_window(self):
+        cc, _ = make_cc(min_cwnd_packets=2)
+        cc.on_connection_start(0.0)
+        cc.on_retransmission_timeout(0.5)
+        assert cc.cwnd == 2 * MSS
+        assert cc.state == CCState.RETRANSMISSION_TIMEOUT.value
+        cc.on_rto_resolved(0.6)
+        assert cc.state == CCState.SLOW_START.value
+        assert cc.rto_events == 1
+
+
+class TestMacw:
+    def test_cwnd_capped_at_macw(self):
+        cc, _ = make_cc(max_cwnd_packets=40)
+        cc.on_connection_start(0.0)
+        for i in range(100):
+            cc.on_ack(0.01 * i, 10 * MSS, cwnd_limited=True)
+        assert cc.cwnd == 40 * MSS
+
+    def test_ca_maxed_state_when_capped(self):
+        cc, _ = make_cc(max_cwnd_packets=40)
+        cc.on_connection_start(0.0)
+        for i in range(100):
+            cc.on_ack(0.01 * i, 10 * MSS, cwnd_limited=True)
+        assert cc.state == CCState.CA_MAXED.value
+
+    def test_larger_macw_allows_larger_window(self):
+        small, _ = make_cc(max_cwnd_packets=107)
+        large, _ = make_cc(max_cwnd_packets=430)
+        for cc in (small, large):
+            cc.on_connection_start(0.0)
+            for i in range(200):
+                cc.on_ack(0.01 * i, 10 * MSS, cwnd_limited=True)
+        assert small.cwnd == 107 * MSS
+        assert large.cwnd == 430 * MSS
+
+    def test_unlimited_macw(self):
+        cc, _ = make_cc(max_cwnd_packets=None)
+        cc.on_connection_start(0.0)
+        for i in range(500):
+            cc.on_ack(0.01 * i, 10 * MSS, cwnd_limited=True)
+        assert cc.cwnd > 2000 * MSS
+
+
+class TestStates:
+    def test_initial_state_is_init(self):
+        cc, _ = make_cc()
+        assert cc.state == CCState.INIT.value
+
+    def test_start_moves_to_slow_start(self):
+        cc, _ = make_cc()
+        cc.on_connection_start(0.0)
+        assert cc.state == CCState.SLOW_START.value
+
+    def test_application_limited_overlay(self):
+        cc, _ = make_cc()
+        cc.on_connection_start(0.0)
+        cc.on_application_limited(0.1)
+        assert cc.state == CCState.APPLICATION_LIMITED.value
+        cc.on_packet_sent(0.2, MSS, False)
+        assert cc.state == CCState.SLOW_START.value
+
+    def test_app_limited_ignored_during_recovery(self):
+        cc, _ = make_cc()
+        cc.on_connection_start(0.0)
+        cc.on_congestion_event(0.1, in_flight=cc.cwnd)
+        cc.on_application_limited(0.2)
+        assert cc.state == CCState.RECOVERY.value
+
+    def test_tlp_state_round_trip(self):
+        cc, _ = make_cc()
+        cc.on_connection_start(0.0)
+        cc.on_tail_loss_probe(0.1)
+        assert cc.state == CCState.TAIL_LOSS_PROBE.value
+        cc.on_tlp_resolved(0.2)
+        assert cc.state == CCState.SLOW_START.value
+
+    def test_transitions_logged_to_trace(self):
+        trace = Trace("cc", enabled=True)
+        cc, _ = make_cc(trace=trace)
+        cc.on_connection_start(0.0)
+        cc.on_congestion_event(0.1, in_flight=cc.cwnd)
+        cc.on_recovery_exit(0.2)
+        states = trace.state_sequence()
+        assert states[:2] == [CCState.INIT.value, CCState.SLOW_START.value]
+        assert CCState.RECOVERY.value in states
+
+    def test_pacing_rate_higher_in_slow_start(self):
+        cc, _ = make_cc()
+        cc.on_connection_start(0.0)
+        ss_rate = cc.pacing_rate()
+        cc.on_congestion_event(0.1, in_flight=cc.cwnd)
+        cc.on_recovery_exit(0.2)
+        ca_rate = cc.pacing_rate()
+        # 2.0x gain in slow start vs 1.25x in CA on a smaller window.
+        assert ss_rate > ca_rate
+
+    def test_pacing_disabled_returns_none(self):
+        cc, _ = make_cc(pacing_gain_slow_start=None, pacing_gain_ca=None)
+        assert cc.pacing_rate() is None

@@ -1,0 +1,109 @@
+"""Tests for state-machine differencing (the Sec. 5.4 longitudinal tool)."""
+
+import pytest
+
+from repro.core.diffing import ModelDiff, diff_models, version_stability_report
+from repro.core.statemachine import StateMachineModel, infer_from_sequences
+from repro.core.instrumentation import Trace
+from repro.core.statemachine import infer
+
+
+def model_from(*sequences):
+    return infer_from_sequences(sequences)
+
+
+class TestDiffModels:
+    def test_identical_models_empty_diff(self):
+        a = model_from(["Init", "SlowStart", "CA"])
+        b = model_from(["Init", "SlowStart", "CA"])
+        diff = diff_models(a, b)
+        assert diff.is_empty
+        assert "no behavioural change" in diff.render()
+
+    def test_added_and_removed_states(self):
+        a = model_from(["Init", "SlowStart"])
+        b = model_from(["Init", "SlowStart", "Recovery"])
+        diff = diff_models(a, b)
+        assert diff.states_added == {"Recovery"}
+        assert diff.states_removed == set()
+        back = diff_models(b, a)
+        assert back.states_removed == {"Recovery"}
+
+    def test_transition_changes(self):
+        a = model_from(["Init", "SlowStart", "CA"])
+        b = model_from(["Init", "SlowStart", "CA"], ["Init", "CA"])
+        diff = diff_models(a, b)
+        assert ("Init", "CA") in diff.transitions_added
+
+    def test_probability_shift_detected(self):
+        a = model_from(*([["SS", "CA"]] * 9 + [["SS", "Recovery"]]))
+        b = model_from(*([["SS", "CA"]] * 5 + [["SS", "Recovery"]] * 5))
+        diff = diff_models(a, b)
+        assert ("SS", "CA") in diff.probability_shifts
+        pa, pb = diff.probability_shifts[("SS", "CA")]
+        assert pa == pytest.approx(0.9) and pb == pytest.approx(0.5)
+
+    def test_small_probability_wobble_ignored(self):
+        a = model_from(*([["SS", "CA"]] * 9 + [["SS", "Recovery"]]))
+        b = model_from(*([["SS", "CA"]] * 8 + [["SS", "Recovery"]]))
+        assert diff_models(a, b).is_empty
+
+    def test_dwell_shift_detected(self):
+        def traced(app_limited_seconds):
+            t = Trace(enabled=True)
+            t.log_state(0.0, "CA")
+            t.log_state(5.0, "AppLimited")
+            t.close(5.0 + app_limited_seconds)
+            return t
+
+        a = infer([traced(0.5)])
+        b = infer([traced(9.0)])
+        diff = diff_models(a, b)
+        assert "AppLimited" in diff.dwell_shifts
+        assert "dwell AppLimited" in diff.render()
+
+
+class TestVersionStabilityReport:
+    def test_reports_identical_versions(self):
+        models = {25: model_from(["Init", "SS", "CA"]),
+                  30: model_from(["Init", "SS", "CA"]),
+                  34: model_from(["Init", "SS", "CA"])}
+        report = version_stability_report(models)
+        assert report.count("identical") == 2
+        assert "CHANGED" not in report
+
+    def test_flags_changed_version(self):
+        models = {25: model_from(["Init", "SS", "CA"]),
+                  37: model_from(["Init", "SS", "CA", "CAMaxed"])}
+        report = version_stability_report(models)
+        assert "CHANGED" in report
+        assert "+ state CAMaxed" in report
+
+    def test_custom_baseline(self):
+        models = {25: model_from(["A", "B"]), 34: model_from(["A", "B"])}
+        report = version_stability_report(models, baseline=34)
+        assert "vs QUIC 34" in report
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            version_stability_report({})
+        with pytest.raises(KeyError):
+            version_stability_report({25: model_from(["A"])}, baseline=99)
+
+
+class TestEndToEndDiff:
+    def test_desktop_vs_motog_diff_flags_app_limited(self):
+        from repro.core.runner import run_page_load
+        from repro.devices import MOTOG
+        from repro.http import single_object_page
+        from repro.netem import emulated
+
+        scn = emulated(50.0)
+        page = single_object_page(5 * 1024 * 1024)
+        desktop = run_page_load(scn, page, "quic", seed=1, trace=True)
+        motog = run_page_load(scn, page, "quic", seed=1, trace=True,
+                              device=MOTOG)
+        diff = diff_models(infer([desktop.server_trace]),
+                           infer([motog.server_trace]),
+                           label_a="desktop", label_b="motog")
+        assert "ApplicationLimited" in diff.dwell_shifts

@@ -1,0 +1,110 @@
+"""Tests for declarative experiment specs and their execution."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_experiment,
+)
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(
+        name="tiny",
+        scenarios=[ScenarioSpec(rate_mbps=10.0)],
+        workloads=[WorkloadSpec(objects=1, size_kb=50)],
+        runs=2,
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+class TestSpecValidation:
+    def test_requires_scenarios_and_workloads(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec("x", [], [WorkloadSpec()])
+        with pytest.raises(ValueError):
+            ExperimentSpec("x", [ScenarioSpec()], [])
+
+    def test_rejects_unknown_device(self):
+        with pytest.raises(ValueError):
+            tiny_spec(device="iphone99")
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            tiny_spec(protocols=("quic", "sctp"))
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            tiny_spec(runs=0)
+
+
+class TestSerialisation:
+    def test_spec_json_round_trip(self):
+        spec = tiny_spec(
+            scenarios=[ScenarioSpec(10.0, loss_pct=1.0),
+                       ScenarioSpec(50.0, delay_ms=50.0)],
+            workloads=[WorkloadSpec(1, 100), WorkloadSpec(200, 10)],
+            device="motog",
+            quic_version=37,
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+
+    def test_from_json_applies_defaults(self):
+        raw = {
+            "name": "d",
+            "scenarios": [{"rate_mbps": 5.0}],
+            "workloads": [{"objects": 1, "size_kb": 10}],
+        }
+        spec = ExperimentSpec.from_json(json.dumps(raw))
+        assert spec.runs == 10
+        assert spec.protocols == ("quic", "tcp")
+        assert spec.device == "desktop"
+
+    def test_labels(self):
+        assert WorkloadSpec(200, 10).label == "200x10KB"
+        assert "5Mbps" in ScenarioSpec(5.0).label
+
+
+class TestExecution:
+    def test_run_fills_every_cell(self):
+        spec = tiny_spec(
+            scenarios=[ScenarioSpec(10.0), ScenarioSpec(50.0)],
+            workloads=[WorkloadSpec(1, 20)],
+        )
+        result = run_experiment(spec)
+        assert len(result.samples) == 2 * 1 * 2  # scenarios x loads x protos
+        for values in result.samples.values():
+            assert len(values) == 2
+            assert all(v > 0 for v in values)
+
+    def test_heatmap_and_comparisons(self):
+        result = run_experiment(tiny_spec(runs=3))
+        hm = result.heatmap()
+        assert len(hm.cells) == 1
+        cell = result.comparison(
+            result.spec.scenarios[0].label, result.spec.workloads[0].label)
+        assert cell.quic_mean > 0 and cell.tcp_mean > 0
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        run_experiment(tiny_spec(), progress=lambda key, plts: calls.append(key))
+        assert len(calls) == 2
+
+    def test_result_json_round_trip(self):
+        result = run_experiment(tiny_spec())
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.spec == result.spec
+        assert restored.samples == result.samples
+
+    def test_summary_rows(self):
+        result = run_experiment(tiny_spec())
+        rows = result.summary_rows()
+        assert len(rows) == 2
+        assert any("quic" in row for row in rows)

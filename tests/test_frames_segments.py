@@ -1,0 +1,82 @@
+"""Unit tests for QUIC frames / packets and TCP segment structures."""
+
+import pytest
+
+from repro.quic.fec import FecFrame, FecPacketPayload
+from repro.quic.frames import (
+    ACK_BLOCK_BYTES,
+    ACK_FRAME_BASE,
+    AckFrame,
+    CryptoFrame,
+    MaxDataFrame,
+    MaxStreamDataFrame,
+    QuicPacket,
+    STREAM_FRAME_OVERHEAD,
+    StreamFrame,
+)
+from repro.tcp.segment import Piece, SEGMENT_OVERHEAD, SegmentRecord, TcpSegment
+
+
+class TestQuicFrames:
+    def test_stream_frame_wire_size(self):
+        frame = StreamFrame(1, 0, 1000)
+        assert frame.wire_bytes == 1000 + STREAM_FRAME_OVERHEAD
+        assert frame.end() == 1000
+
+    def test_ack_frame_size_scales_with_blocks(self):
+        one = AckFrame(10, 0.0, ((1, 10),))
+        three = AckFrame(30, 0.0, ((25, 30), (15, 20), (1, 10)))
+        assert one.wire_bytes == ACK_FRAME_BASE + ACK_BLOCK_BYTES
+        assert three.wire_bytes == ACK_FRAME_BASE + 3 * ACK_BLOCK_BYTES
+
+    def test_ack_frame_acked_numbers(self):
+        ack = AckFrame(5, 0.0, ((4, 5), (1, 2)))
+        assert sorted(ack.acked_numbers()) == [1, 2, 4, 5]
+
+    def test_packet_payload_is_frame_sum(self):
+        packet = QuicPacket("c", 1, [StreamFrame(1, 0, 100),
+                                     MaxDataFrame(5000)])
+        assert packet.payload_bytes == (100 + STREAM_FRAME_OVERHEAD) + 14
+
+    @pytest.mark.parametrize("frames,expected", [
+        ([StreamFrame(1, 0, 10)], True),
+        ([CryptoFrame("chlo", 100)], True),
+        ([MaxDataFrame(1)], True),
+        ([MaxStreamDataFrame(1, 1)], True),
+        ([AckFrame(1, 0.0, ((1, 1),))], False),
+        ([], False),
+    ])
+    def test_retransmittable_classification(self, frames, expected):
+        assert QuicPacket("c", 1, frames).retransmittable is expected
+
+    def test_fec_packets_are_tracked(self):
+        payload = FecPacketPayload(1, {1: []}, 1000)
+        packet = QuicPacket("c", 2, [FecFrame(payload)])
+        assert packet.retransmittable is True
+        assert packet.payload_bytes == 1000
+
+    def test_stream_frames_selector(self):
+        packet = QuicPacket("c", 1, [AckFrame(1, 0.0, ((1, 1),)),
+                                     StreamFrame(3, 0, 10)])
+        assert [f.stream_id for f in packet.stream_frames()] == [3]
+
+
+class TestTcpSegments:
+    def test_data_segment_wire_size(self):
+        seg = TcpSegment("c", "data", seq=0, length=1000)
+        assert seg.wire_bytes == 1000 + SEGMENT_OVERHEAD
+        assert seg.end == 1000
+
+    def test_ctrl_segment_wire_size(self):
+        seg = TcpSegment("c", "ctrl", ctrl="syn", ctrl_size=40)
+        assert seg.wire_bytes == 40 + SEGMENT_OVERHEAD
+
+    def test_piece_defaults(self):
+        piece = Piece(7, 500)
+        assert piece.total is None and piece.meta is None and not piece.fin
+
+    def test_segment_record_end(self):
+        record = SegmentRecord(1000, 500, 0.0, [])
+        assert record.end == 1500
+        assert record.retx_count == 0
+        assert not record.declared_lost

@@ -1,0 +1,95 @@
+"""Tests for the trace/instrumentation layer (Sec. 4.2)."""
+
+import pytest
+
+from repro.core.instrumentation import CWND, STATE, Trace, merge_state_sequences
+
+
+class TestStateLogging:
+    def test_sequence_recorded(self):
+        trace = Trace("t", enabled=True)
+        trace.log_state(0.0, "Init")
+        trace.log_state(0.1, "SlowStart")
+        trace.log_state(0.5, "CongestionAvoidance")
+        assert trace.state_sequence() == ["Init", "SlowStart", "CongestionAvoidance"]
+
+    def test_repeated_state_not_duplicated(self):
+        trace = Trace("t", enabled=True)
+        trace.log_state(0.0, "SlowStart")
+        trace.log_state(0.1, "SlowStart")
+        assert trace.state_sequence() == ["SlowStart"]
+
+    def test_dwell_accounting(self):
+        trace = Trace("t", enabled=True)
+        trace.log_state(0.0, "A")
+        trace.log_state(1.0, "B")
+        trace.log_state(3.0, "A")
+        trace.close(4.0)
+        assert trace.dwell == {"A": pytest.approx(2.0), "B": pytest.approx(2.0)}
+
+    def test_dwell_fractions_sum_to_one(self):
+        trace = Trace("t", enabled=True)
+        trace.log_state(0.0, "A")
+        trace.log_state(1.0, "B")
+        trace.close(10.0)
+        fractions = trace.dwell_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["B"] == pytest.approx(0.9)
+
+    def test_dwell_tracked_even_when_disabled(self):
+        trace = Trace("t", enabled=False)
+        trace.log_state(0.0, "A")
+        trace.log_state(2.0, "B")
+        trace.close(3.0)
+        assert trace.dwell["A"] == pytest.approx(2.0)
+        assert len(trace) == 0  # no records stored
+
+    def test_state_intervals(self):
+        trace = Trace("t", enabled=True)
+        trace.log_state(0.0, "A")
+        trace.log_state(1.0, "B")
+        trace.close(2.5)
+        assert trace.state_intervals() == [("A", 0.0, 1.0), ("B", 1.0, 2.5)]
+
+    def test_close_idempotent(self):
+        trace = Trace("t", enabled=True)
+        trace.log_state(0.0, "A")
+        trace.close(1.0)
+        trace.close(5.0)
+        assert trace.dwell["A"] == pytest.approx(1.0)
+
+
+class TestGenericRecords:
+    def test_counters_and_series(self):
+        trace = Trace("t", enabled=True)
+        trace.log(0.1, "loss", 5)
+        trace.log(0.2, "loss", 9)
+        trace.log(0.3, "rtt", 0.05)
+        assert trace.count("loss") == 2
+        assert trace.series("loss") == [(0.1, 5), (0.2, 9)]
+
+    def test_counters_kept_when_disabled(self):
+        trace = Trace("t", enabled=False)
+        trace.log(0.1, "loss", 5)
+        assert trace.count("loss") == 1
+        assert trace.series("loss") == []
+
+    def test_cwnd_downsampling(self):
+        trace = Trace("t", enabled=True, cwnd_min_interval=0.1)
+        for i in range(100):
+            trace.log_cwnd(i * 0.01, 1000 + i)
+        samples = trace.series(CWND)
+        assert 9 <= len(samples) <= 11
+
+    def test_cwnd_every_change_when_interval_zero(self):
+        trace = Trace("t", enabled=True, cwnd_min_interval=0.0)
+        trace.log_cwnd(0.0, 1)
+        trace.log_cwnd(0.0, 2)
+        assert len(trace.series(CWND)) == 2
+
+
+def test_merge_state_sequences_skips_empty():
+    t1 = Trace(enabled=True)
+    t1.log_state(0.0, "A")
+    t2 = Trace(enabled=True)
+    assert merge_state_sequences([t1, t2]) == [["A"]]

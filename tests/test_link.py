@@ -1,0 +1,225 @@
+"""Unit tests for the netem-style link: rate, queue, delay, jitter, loss."""
+
+import random
+
+import pytest
+
+from repro.netem.link import BandwidthSchedule, Link, mbps
+from repro.netem.packet import Packet
+from repro.netem.sim import Simulator
+
+
+def collect(link):
+    received = []
+    link.attach(lambda p: received.append((link.sim.now, p)))
+    return received
+
+
+def pkt(size=1000, pid=None):
+    return Packet("a", "b", size)
+
+
+class TestRateLimiting:
+    def test_serialization_delay(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8000.0, delay=0.0)  # 1000 bytes/sec
+        received = collect(link)
+        link.send(pkt(size=500))
+        sim.run()
+        assert received[0][0] == pytest.approx(0.5)
+
+    def test_back_to_back_packets_queue(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8000.0, delay=0.0)
+        received = collect(link)
+        link.send(pkt(size=500))
+        link.send(pkt(size=500))
+        sim.run()
+        assert [t for t, _ in received] == pytest.approx([0.5, 1.0])
+
+    def test_infinite_rate_no_delay(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=None, delay=0.0)
+        received = collect(link)
+        link.send(pkt())
+        sim.run()
+        assert received[0][0] == 0.0
+
+    def test_propagation_delay_added(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8000.0, delay=0.25)
+        received = collect(link)
+        link.send(pkt(size=500))
+        sim.run()
+        assert received[0][0] == pytest.approx(0.75)
+
+    def test_mbps_helper(self):
+        assert mbps(10) == 10_000_000.0
+
+    def test_set_rate_affects_next_transmission(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8000.0, delay=0.0)
+        received = collect(link)
+        link.send(pkt(size=1000))  # 1 s at 8 kbit/s
+        sim.run()
+        link.set_rate(16000.0)
+        link.send(pkt(size=1000))  # 0.5 s at 16 kbit/s
+        sim.run()
+        assert received[1][0] - received[0][0] == pytest.approx(0.5)
+
+    def test_throughput_approaches_rate(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=mbps(10), delay=0.0, queue_bytes=10**9)
+        received = collect(link)
+        n, size = 500, 1250
+        for _ in range(n):
+            link.send(pkt(size=size))
+        sim.run()
+        elapsed = received[-1][0]
+        assert n * size * 8 / elapsed == pytest.approx(10e6, rel=0.01)
+
+
+class TestQueue:
+    def test_droptail_overflow(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8000.0, delay=0.0, queue_bytes=1500)
+        received = collect(link)
+        for _ in range(5):
+            link.send(pkt(size=1000))
+        sim.run()
+        # One in flight + one queued fit; the rest drop.
+        assert link.stats.dropped_packets == 3
+        assert len(received) == 2
+
+    def test_backlog_bytes(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8000.0, delay=0.0, queue_bytes=10_000)
+        collect(link)
+        link.send(pkt(size=1000))
+        link.send(pkt(size=1000))
+        # First packet dequeued for transmission; second still queued.
+        assert link.backlog_bytes == 1000
+        sim.run()
+        assert link.backlog_bytes == 0
+
+
+class TestLoss:
+    def test_zero_loss_delivers_all(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=None, delay=0.0, loss_rate=0.0)
+        received = collect(link)
+        for _ in range(100):
+            link.send(pkt())
+        sim.run()
+        assert len(received) == 100
+
+    def test_loss_rate_statistics(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=None, delay=0.0, loss_rate=0.1,
+                    rng=random.Random(42))
+        received = collect(link)
+        n = 5000
+        for _ in range(n):
+            link.send(pkt())
+        sim.run()
+        observed = 1 - len(received) / n
+        assert observed == pytest.approx(0.1, abs=0.02)
+        assert link.stats.lost_packets == n - len(received)
+
+    def test_invalid_loss_rate_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, rate_bps=None, delay=0.0, loss_rate=1.0)
+
+
+class TestJitterAndReordering:
+    def test_jitter_causes_reordering(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=mbps(100), delay=0.1, jitter=0.05,
+                    rng=random.Random(7))
+        received = collect(link)
+        ids = []
+        for i in range(200):
+            p = Packet("a", "b", 1350)
+            ids.append(p.packet_id)
+            link.send(p)
+        sim.run()
+        out_ids = [p.packet_id for _, p in received]
+        assert out_ids != ids  # reordered
+        assert sorted(out_ids) == sorted(ids)  # nothing lost
+        assert link.stats.reordered_packets > 0
+
+    def test_no_jitter_preserves_order(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=mbps(100), delay=0.1)
+        received = collect(link)
+        ids = []
+        for _ in range(100):
+            p = Packet("a", "b", 1350)
+            ids.append(p.packet_id)
+            link.send(p)
+        sim.run()
+        assert [p.packet_id for _, p in received] == ids
+        assert link.stats.reordered_packets == 0
+
+    def test_explicit_reorder_prob(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=mbps(100), delay=0.05,
+                    reorder_prob=0.2, reorder_extra=0.05,
+                    rng=random.Random(3))
+        received = collect(link)
+        for _ in range(500):
+            link.send(pkt(size=1350))
+        sim.run()
+        assert link.stats.reordered_packets > 0
+
+
+class TestBandwidthSchedule:
+    def test_rates_stay_in_range_and_history_recorded(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=mbps(100), delay=0.0)
+        collect(link)
+        sched = BandwidthSchedule(sim, [link], mbps(50), mbps(150),
+                                  period=1.0, rng=random.Random(5))
+        sched.start()
+        sim.run(until=10.0)
+        sched.stop()
+        assert len(sched.history) >= 10
+        for _t, rate in sched.history:
+            assert mbps(50) <= rate <= mbps(150)
+        assert mbps(50) <= link.rate_bps <= mbps(150)
+
+    def test_stop_halts_redraws(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=mbps(100), delay=0.0)
+        sched = BandwidthSchedule(sim, [link], mbps(50), mbps(150), period=1.0)
+        sched.start()
+        sim.run(until=2.5)
+        sched.stop()
+        n = len(sched.history)
+        sim.run(until=10.0)
+        assert len(sched.history) == n
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=None, delay=0.0)
+        with pytest.raises(ValueError):
+            BandwidthSchedule(sim, [link], 0, mbps(10))
+        with pytest.raises(ValueError):
+            BandwidthSchedule(sim, [link], mbps(10), mbps(5))
+
+
+class TestStats:
+    def test_counters_consistent(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8000.0, delay=0.0, queue_bytes=2000,
+                    loss_rate=0.3, rng=random.Random(1))
+        received = collect(link)
+        for _ in range(50):
+            link.send(pkt(size=1000))
+        sim.run()
+        s = link.stats
+        assert s.enqueued_packets + s.dropped_packets == 50
+        assert s.delivered_packets + s.lost_packets == s.enqueued_packets
+        assert s.delivered_packets == len(received)
+        assert set(s.as_dict()) >= {"enqueued_packets", "delivered_bytes"}

@@ -1,0 +1,71 @@
+"""Additional routing and node edge cases."""
+
+import pytest
+
+from repro.netem import Network, Packet, Simulator
+
+
+def diamond():
+    """a - {b,c} - d with asymmetric delays."""
+    sim = Simulator()
+    net = Network(sim)
+    for name in ("a", "b", "c", "d"):
+        net.add_node(name)
+    net.duplex_link("a", "b", rate_bps=None, delay=0.010)
+    net.duplex_link("b", "d", rate_bps=None, delay=0.010)
+    net.duplex_link("a", "c", rate_bps=None, delay=0.001)
+    net.duplex_link("c", "d", rate_bps=None, delay=0.001)
+    net.build_routes()
+    return sim, net
+
+
+class TestRoutingEdges:
+    def test_diamond_prefers_low_delay_branch(self):
+        sim, net = diamond()
+        got = []
+        net.node("d").register_handler(lambda p: got.append(sim.now))
+        net.node("a").send(Packet("a", "d", 100))
+        sim.run()
+        assert got[0] == pytest.approx(0.002)
+
+    def test_intermediate_forwarding_no_handler_needed(self):
+        sim, net = diamond()
+        got = []
+        net.node("d").register_handler(lambda p: got.append(p))
+        # c has no local handler but must forward transit traffic.
+        net.node("a").send(Packet("a", "d", 100))
+        sim.run()
+        assert len(got) == 1
+        assert net.node("c").no_route_drops == 0
+
+    def test_delivery_to_router_without_handler_counts_drop(self):
+        sim, net = diamond()
+        net.node("a").send(Packet("a", "b", 100))
+        sim.run()
+        assert net.node("b").no_route_drops == 1
+
+    def test_rebuild_routes_after_topology_growth(self):
+        sim, net = diamond()
+        net.add_node("e")
+        net.duplex_link("d", "e", rate_bps=None, delay=0.001)
+        net.build_routes()
+        got = []
+        net.node("e").register_handler(lambda p: got.append(sim.now))
+        net.node("a").send(Packet("a", "e", 100))
+        sim.run()
+        assert got and got[0] == pytest.approx(0.003)
+
+    def test_node_repr_distinguishes_roles(self):
+        sim, net = diamond()
+        net.node("d").register_handler(lambda p: None)
+        assert "host" in repr(net.node("d"))
+        assert "router" in repr(net.node("b"))
+
+    def test_many_flows_keep_distinct_paths(self):
+        sim, net = diamond()
+        seen = []
+        net.node("d").register_handler(lambda p: seen.append(p.flow_id))
+        for i in range(20):
+            net.node("a").send(Packet("a", "d", 100, flow_id=f"f{i}"))
+        sim.run()
+        assert sorted(seen) == sorted(f"f{i}" for i in range(20))

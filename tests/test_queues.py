@@ -1,0 +1,137 @@
+"""Tests for queue disciplines (DropTail / RED / CoDel)."""
+
+import random
+
+import pytest
+
+from repro.netem import Link, Packet, Simulator, mbps
+from repro.netem.queues import CoDel, DropTail, RED
+
+
+def pkt(size=1000):
+    return Packet("a", "b", size)
+
+
+class TestDropTail:
+    def test_accepts_until_limit(self):
+        q = DropTail(2500)
+        assert q.enqueue(0.0, pkt())
+        assert q.enqueue(0.0, pkt())
+        assert not q.enqueue(0.0, pkt())
+        assert q.backlog_bytes == 2000
+
+    def test_unbounded(self):
+        q = DropTail(None)
+        for _ in range(1000):
+            assert q.enqueue(0.0, pkt())
+
+    def test_fifo_order(self):
+        q = DropTail(None)
+        a, b = pkt(), pkt()
+        q.enqueue(0.0, a)
+        q.enqueue(0.0, b)
+        assert q.dequeue(0.0) is a
+        assert q.dequeue(0.0) is b
+        assert q.dequeue(0.0) is None
+
+    def test_drop_hook_invoked(self):
+        dropped = []
+        q = DropTail(500)
+        q.on_drop = dropped.append
+        q.enqueue(0.0, pkt())
+        assert dropped and dropped[0].size_bytes == 1000
+
+
+class TestRed:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RED(0)
+        with pytest.raises(ValueError):
+            RED(1000, min_threshold=900, max_threshold=500)
+
+    def test_no_early_drops_when_queue_short(self):
+        q = RED(100_000, rng=random.Random(1))
+        for _ in range(10):
+            assert q.enqueue(0.0, pkt())
+        assert q.early_drops == 0
+
+    def test_early_drops_as_average_climbs(self):
+        q = RED(100_000, rng=random.Random(1))
+        accepted = 0
+        for _ in range(200):
+            if q.enqueue(0.0, pkt()):
+                accepted += 1
+        assert q.early_drops > 0
+        assert accepted < 200
+        # But RED never exceeds the hard limit either.
+        assert q.backlog_bytes <= 100_000
+
+    def test_dequeue_drains(self):
+        q = RED(100_000, rng=random.Random(1))
+        q.enqueue(0.0, pkt())
+        assert q.dequeue(0.0) is not None
+        assert q.backlog_bytes == 0
+
+
+class TestCoDel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoDel(target=0)
+
+    def test_no_drops_when_sojourn_low(self):
+        q = CoDel(target=0.005, interval=0.1)
+        for t in range(100):
+            q.enqueue(t * 0.001, pkt())
+            q.dequeue(t * 0.001 + 0.001)  # 1 ms sojourn
+        assert q.codel_drops == 0
+
+    def test_drops_under_persistent_standing_queue(self):
+        q = CoDel(target=0.005, interval=0.05)
+        dropped = []
+        q.on_drop = dropped.append
+        # Build a standing queue, then dequeue slowly: sojourn >> target.
+        for i in range(400):
+            q.enqueue(i * 0.0001, pkt())
+        t = 1.0
+        out = 0
+        while True:
+            packet = q.dequeue(t)
+            if packet is None:
+                break
+            out += 1
+            t += 0.01
+        assert q.codel_drops > 0
+        assert out + q.codel_drops == 400
+
+    def test_hard_limit_respected(self):
+        q = CoDel(limit_bytes=2000)
+        assert q.enqueue(0.0, pkt())
+        assert q.enqueue(0.0, pkt())
+        assert not q.enqueue(0.0, pkt())
+
+
+class TestLinkIntegration:
+    def run_flood(self, queue, n=300, rate=mbps(5)):
+        sim = Simulator()
+        link = Link(sim, rate_bps=rate, delay=0.01, queue=queue)
+        got = []
+        link.attach(lambda p: got.append(p))
+        for _ in range(n):
+            link.send(pkt(1250))
+        sim.run()
+        return sim, link, got
+
+    def test_red_link_drops_early(self):
+        queue = RED(60_000, rng=random.Random(2))
+        _sim, link, got = self.run_flood(queue)
+        assert link.stats.dropped_packets > 0
+        assert len(got) + link.stats.dropped_packets == 300
+
+    def test_codel_link_sheds_standing_queue(self):
+        """A one-shot flood builds a standing queue; CoDel sheds part of
+        it to cap sojourn time, and every packet is accounted for."""
+        codel_q = CoDel(target=0.005, interval=0.05)
+        _sim, link, codel_got = self.run_flood(codel_q, n=600)
+        assert codel_q.codel_drops > 0
+        assert len(codel_got) + link.stats.dropped_packets == 600
+        assert link.stats.dropped_packets == codel_q.codel_drops

@@ -1,0 +1,133 @@
+"""White-box tests for QUIC connection internals: ACK blocks, flow
+control granting, packet packing, and handshake message flow."""
+
+import pytest
+
+from repro.netem import Simulator, emulated
+from repro.quic import quic_config
+from repro.quic.frames import AckFrame, MaxDataFrame, StreamFrame
+
+from .conftest import MEDIUM, make_quic_pair, quic_download
+
+
+class TestAckGeneration:
+    def test_ack_every_second_packet(self, sim):
+        _, client, server = make_quic_pair(sim, MEDIUM)
+        quic_download(sim, client, 200_000)
+        # Client acks ~every 2nd retransmittable packet.
+        data_packets = server.stats.data_packets_sent
+        acks = client.stats.acks_sent
+        assert acks >= data_packets // 2 - 5
+        assert acks <= data_packets + 5
+
+    def test_ack_blocks_reflect_gaps(self, sim):
+        _, client, server = make_quic_pair(sim, MEDIUM)
+        # Simulate receiving packets 1,2,4,5 (3 missing).
+        client._record_received(0.1, 1, True)
+        client._record_received(0.1, 2, True)
+        client._record_received(0.2, 4, True)
+        client._record_received(0.2, 5, True)
+        ack = client._make_ack_frame()
+        assert ack.largest_acked == 5
+        assert (4, 5) in ack.blocks and (1, 2) in ack.blocks
+
+    def test_ack_delay_measured_from_largest(self, sim):
+        _, client, _ = make_quic_pair(sim, MEDIUM)
+        client._record_received(0.0, 1, True)
+        sim.run(until=0.030)
+        ack = client._make_ack_frame()
+        assert ack.ack_delay == pytest.approx(0.030)
+
+    def test_block_count_capped(self, sim):
+        cfg = quic_config(34)
+        cfg.max_ack_blocks = 4
+        _, client, _ = make_quic_pair(sim, MEDIUM, cfg=cfg)
+        for num in range(1, 41, 2):  # 20 isolated packets = 20 ranges
+            client._record_received(0.1, num, True)
+        ack = client._make_ack_frame()
+        assert len(ack.blocks) == 4
+        assert ack.largest_acked == 39
+
+
+class TestFlowControlGrants:
+    def test_conn_window_update_sent_at_half(self, sim):
+        cfg = quic_config(34)
+        cfg.conn_flow_window = 100_000
+        cfg.conn_flow_window_cap = 100_000  # no auto-tune
+        _, client, server = make_quic_pair(sim, MEDIUM, cfg=cfg)
+        quic_download(sim, client, 300_000)
+        # The transfer exceeded the initial window: updates were granted.
+        assert client._conn_granted > 100_000
+        assert server._peer_conn_limit == client._conn_granted
+
+    def test_auto_tune_doubles_on_frequent_updates(self, sim):
+        cfg = quic_config(34)
+        cfg.conn_flow_window = 50_000
+        cfg.conn_flow_window_cap = 1_000_000
+        _, client, _ = make_quic_pair(sim, emulated(50.0), cfg=cfg)
+        quic_download(sim, client, 2_000_000)
+        assert client._conn_window > 50_000  # grew toward the cap
+
+    def test_window_cap_respected(self, sim):
+        cfg = quic_config(34)
+        cfg.conn_flow_window = 50_000
+        cfg.conn_flow_window_cap = 120_000
+        _, client, _ = make_quic_pair(sim, emulated(50.0), cfg=cfg)
+        quic_download(sim, client, 2_000_000)
+        assert client._conn_window <= 120_000
+
+    def test_sender_never_exceeds_peer_limit(self, sim):
+        cfg = quic_config(34)
+        cfg.conn_flow_window = 64_000
+        cfg.conn_flow_window_cap = 128_000
+        _, client, server = make_quic_pair(sim, MEDIUM, cfg=cfg)
+        quic_download(sim, client, 500_000)
+        assert server._conn_new_bytes_sent <= server._peer_conn_limit
+
+
+class TestPacketPacking:
+    def test_small_requests_bundle_into_one_packet(self, sim):
+        """Several small request frames share a packet (multiplexing)."""
+        _, client, server = make_quic_pair(sim, MEDIUM)
+        done = {}
+        client.connect()
+        for i in range(4):
+            client.request({"size": 5_000, "i": i},
+                           lambda s, m, t: done.update({m["i"]: t}),
+                           request_bytes=120)
+        sim.run_until(lambda: len(done) == 4, timeout=30.0)
+        # 4 x (120+12) request bytes + CHLO fit in far fewer packets
+        # than 1 + 4 (the CHLO packet carries request frames too).
+        assert client.stats.data_packets_sent <= 3
+
+    def test_mtu_respected(self, sim):
+        _, client, server = make_quic_pair(sim, MEDIUM)
+        quic_download(sim, client, 100_000)
+        mtu = server.config.mss
+        # No emitted data packet exceeds the MSS payload budget.
+        assert server.stats.bytes_sent <= server.stats.packets_sent * (mtu + 60)
+
+
+class TestHandshakeMessages:
+    def test_zero_rtt_sends_full_chlo_only(self, sim):
+        _, client, server = make_quic_pair(sim, MEDIUM)
+        quic_download(sim, client, 10_000)
+        assert server._server_ready_at is not None
+
+    def test_rej_flow_without_cached_config(self, sim):
+        cfg = quic_config(34, zero_rtt=False)
+        _, client, server = make_quic_pair(sim, MEDIUM, cfg=cfg)
+        ready = {}
+        client.connect(lambda now: ready.update({"t": now}))
+        sim.run_until(lambda: "t" in ready, timeout=5.0)
+        # Ready after ~1 RTT (inchoate CHLO -> REJ).
+        assert ready["t"] == pytest.approx(0.036, rel=0.2)
+
+    def test_requests_queued_until_rej(self, sim):
+        cfg = quic_config(34, zero_rtt=False)
+        _, client, _ = make_quic_pair(sim, MEDIUM, cfg=cfg)
+        client.connect()
+        client.request({"size": 1000}, lambda *a: None)
+        assert len(client._request_queue) == 1
+        sim.run(until=0.1)
+        assert len(client._request_queue) == 0

@@ -1,0 +1,195 @@
+"""Tests for QUIC stream send/receive state machines."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quic.streams import RecvStream, SendStream
+
+WINDOW = 1_000_000
+
+
+class TestSendStream:
+    def test_chunks_in_order(self):
+        s = SendStream(1, 3000, WINDOW)
+        chunks = []
+        while s.has_data_to_send:
+            chunks.append(s.next_chunk(1350))
+        offsets = [c[0] for c in chunks]
+        assert offsets == [0, 1350, 2700]
+        assert chunks[-1][2] is True  # fin on last chunk
+
+    def test_fin_only_on_final_chunk(self):
+        s = SendStream(1, 2000, WINDOW)
+        first = s.next_chunk(1350)
+        second = s.next_chunk(1350)
+        assert first[2] is False
+        assert second[2] is True
+        assert second[1] == 650
+
+    def test_meta_attached_to_first_chunk_only(self):
+        s = SendStream(1, 3000, WINDOW, meta={"obj": 7})
+        first = s.next_chunk(1350)
+        second = s.next_chunk(1350)
+        assert first[3] == {"obj": 7}
+        assert second[3] is None
+
+    def test_stream_flow_limit_blocks_new_data(self):
+        s = SendStream(1, 10_000, flow_window=2000)
+        s.next_chunk(1350)
+        chunk = s.next_chunk(1350)
+        assert chunk[1] == 650  # clipped at the 2000-byte flow limit
+        assert s.next_chunk(1350) is None
+        assert s.flow_blocked
+
+    def test_flow_limit_raise_unblocks(self):
+        s = SendStream(1, 10_000, flow_window=1000)
+        s.next_chunk(1350)
+        assert s.next_chunk(1350) is None
+        s.flow_limit = 5000
+        assert s.next_chunk(1350) is not None
+
+    def test_conn_credit_limits_new_data(self):
+        s = SendStream(1, 10_000, WINDOW)
+        chunk = s.next_chunk(1350, new_data_limit=500)
+        assert chunk[1] == 500
+
+    def test_retransmission_goes_first_and_ignores_flow_limit(self):
+        s = SendStream(1, 10_000, flow_window=4000)
+        sent = []
+        for _ in range(3):
+            sent.append(s.next_chunk(1350))
+        s.on_range_lost(0, 1350, False)
+        nxt = s.next_chunk(1350, new_data_limit=0)
+        assert nxt[0] == 0 and nxt[1] == 1350
+
+    def test_acked_range_not_retransmitted(self):
+        s = SendStream(1, 5000, WINDOW)
+        s.next_chunk(1350)
+        s.on_range_acked(0, 1350, False)
+        s.on_range_lost(0, 1350, False)
+        nxt = s.next_chunk(1350)
+        assert nxt[0] == 1350  # continues with new data
+
+    def test_fin_lost_and_resent(self):
+        s = SendStream(1, 1000, WINDOW)
+        offset, length, fin, _ = s.next_chunk(1350)
+        assert fin
+        s.on_range_lost(offset, length, True)
+        again = s.next_chunk(1350)
+        assert again[2] is True
+
+    def test_fully_acked(self):
+        s = SendStream(1, 2000, WINDOW)
+        c1 = s.next_chunk(1350)
+        c2 = s.next_chunk(1350)
+        s.on_range_acked(c1[0], c1[1], c1[2])
+        assert not s.fully_acked
+        s.on_range_acked(c2[0], c2[1], c2[2])
+        assert s.fully_acked
+
+    def test_streaming_append_and_finish(self):
+        s = SendStream(1, 0, WINDOW, finalized=False)
+        assert not s.has_data_to_send
+        s.append(1000)
+        chunk = s.next_chunk(1350)
+        assert chunk[1] == 1000 and chunk[2] is False  # no fin yet
+        assert not s.has_data_to_send
+        s.finish()
+        assert s.has_data_to_send
+        bare_fin = s.next_chunk(1350)
+        assert bare_fin[1] == 0 and bare_fin[2] is True
+
+    def test_append_to_finalized_rejected(self):
+        s = SendStream(1, 100, WINDOW)
+        with pytest.raises(RuntimeError):
+            s.append(10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SendStream(1, -5, WINDOW)
+
+
+class TestRecvStream:
+    def test_in_order_completion(self):
+        r = RecvStream(1, WINDOW)
+        r.on_frame(0.1, 0, 1350, False, None)
+        r.on_frame(0.2, 1350, 650, True, None)
+        assert r.complete
+        assert r.completed_at == 0.2
+        assert r.bytes_received == 2000
+
+    def test_out_of_order_completion(self):
+        r = RecvStream(1, WINDOW)
+        r.on_frame(0.1, 1350, 650, True, None)
+        assert not r.complete
+        r.on_frame(0.2, 0, 1350, False, None)
+        assert r.complete
+
+    def test_duplicate_bytes_not_counted(self):
+        r = RecvStream(1, WINDOW)
+        assert r.on_frame(0.1, 0, 1000, False, None) == 1000
+        assert r.on_frame(0.2, 0, 1000, False, None) == 0
+
+    def test_meta_from_first_carrying_frame(self):
+        r = RecvStream(1, WINDOW)
+        r.on_frame(0.1, 0, 100, False, {"obj": 3})
+        r.on_frame(0.2, 100, 100, False, None)
+        assert r.meta == {"obj": 3}
+
+    def test_first_byte_timestamp(self):
+        r = RecvStream(1, WINDOW)
+        r.on_frame(0.5, 0, 10, False, None)
+        r.on_frame(0.9, 10, 10, False, None)
+        assert r.first_byte_at == 0.5
+
+    def test_zero_length_fin(self):
+        r = RecvStream(1, WINDOW)
+        r.on_frame(0.1, 0, 1000, False, None)
+        r.on_frame(0.2, 1000, 0, True, None)
+        assert r.complete
+        assert r.fin_offset == 1000
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 50_000), st.randoms(use_true_random=False))
+def test_property_any_delivery_order_completes(total, rnd):
+    """Chunks delivered in any order complete exactly once with all bytes."""
+    s = SendStream(1, total, 10**9)
+    chunks = []
+    while s.has_data_to_send:
+        chunks.append(s.next_chunk(1350))
+    rnd.shuffle(chunks)
+    r = RecvStream(1, 10**9)
+    for i, (offset, length, fin, meta) in enumerate(chunks):
+        r.on_frame(float(i), offset, length, fin, meta)
+    assert r.complete
+    assert r.bytes_received == total
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 30_000), st.randoms(use_true_random=False),
+       st.integers(1, 8))
+def test_property_loss_and_retransmission_still_complete(total, rnd, loss_mod):
+    """Randomly 'lose' chunks; after retransmission the receiver completes."""
+    s = SendStream(1, total, 10**9)
+    r = RecvStream(1, 10**9)
+    time = 0.0
+    pending = []
+    while s.has_data_to_send:
+        pending.append(s.next_chunk(1350))
+    lost = [c for i, c in enumerate(pending) if i % loss_mod == 0]
+    delivered = [c for i, c in enumerate(pending) if i % loss_mod != 0]
+    for offset, length, fin, meta in delivered:
+        time += 0.01
+        r.on_frame(time, offset, length, fin, meta)
+    for offset, length, fin, meta in lost:
+        s.on_range_lost(offset, length, fin)
+    while s.has_data_to_send:
+        chunk = s.next_chunk(1350)
+        time += 0.01
+        r.on_frame(time, chunk[0], chunk[1], chunk[2], chunk[3])
+    assert r.complete
+    assert r.bytes_received == total

@@ -1,0 +1,86 @@
+"""Tests for Chrome-style QUIC/TCP connection racing."""
+
+import pytest
+
+from repro.http import RacingLoader, page, page_request_handler
+from repro.netem import Simulator, build_path, emulated
+from repro.quic import open_quic_pair, quic_config
+from repro.tcp import open_tcp_pair, tcp_config
+
+
+def make_race(scenario, *, zero_rtt=True, blackhole_quic=False, seed=1):
+    sim = Simulator()
+    path = build_path(sim, scenario, seed=seed)
+    web_page = page(2, 20 * 1024)
+    handler = page_request_handler(web_page)
+    quic_client, _ = open_quic_pair(
+        sim, path.client, path.server, quic_config(34, zero_rtt=zero_rtt),
+        request_handler=handler, seed=seed,
+    )
+    tcp_client, _ = open_tcp_pair(
+        sim, path.client, path.server, tcp_config(),
+        request_handler=handler, seed=seed,
+    )
+    if blackhole_quic:
+        # A UDP-dropping middlebox: QUIC packets never arrive.
+        original = path.client.send
+
+        def filtered(packet):
+            conn_id = getattr(packet.payload, "conn_id", "")
+            if str(conn_id).startswith("quic"):
+                return  # dropped
+            original(packet)
+
+        path.client.send = filtered
+    racer = RacingLoader(sim, quic_client, tcp_client, web_page)
+    racer.start()
+    return sim, racer
+
+
+class TestRacing:
+    def test_quic_wins_with_zero_rtt(self):
+        sim, racer = make_race(emulated(10.0))
+        assert racer.winner == "quic"
+        assert sim.run_until(lambda: racer.done, timeout=30.0)
+        assert racer.result.protocol == "quic"
+
+    def test_quic_wins_without_zero_rtt(self):
+        """1-RTT REJ round still beats TCP's 3-RTT handshake."""
+        sim, racer = make_race(emulated(10.0), zero_rtt=False)
+        assert sim.run_until(lambda: racer.done, timeout=30.0)
+        assert racer.winner == "quic"
+
+    def test_falls_back_to_tcp_when_quic_blocked(self):
+        """ISP blocks UDP: Chrome falls back to TCP (paper footnote 2).
+
+        Without a cached config QUIC must wait for a REJ that never
+        arrives, so TCP's completed handshake wins the race.  (With 0-RTT
+        QUIC *believes* it is ready instantly; real Chrome detects the
+        silent failure with timeouts outside this model's scope.)"""
+        sim, racer = make_race(emulated(10.0), zero_rtt=False,
+                               blackhole_quic=True)
+        assert sim.run_until(lambda: racer.done, timeout=30.0)
+        assert racer.winner == "tcp"
+        assert racer.result.complete
+
+    def test_loser_connection_closed(self):
+        sim, racer = make_race(emulated(10.0))
+        sim.run_until(lambda: racer.done, timeout=30.0)
+        assert racer.tcp_connection.closed
+
+    def test_result_before_winner_raises(self):
+        sim = Simulator()
+        path = build_path(sim, emulated(10.0), seed=1)
+        web_page = page(1, 1024)
+        handler = page_request_handler(web_page)
+        quic_client, _ = open_quic_pair(
+            sim, path.client, path.server,
+            quic_config(34, zero_rtt=False), request_handler=handler,
+        )
+        tcp_client, _ = open_tcp_pair(
+            sim, path.client, path.server, tcp_config(),
+            request_handler=handler,
+        )
+        racer = RacingLoader(sim, quic_client, tcp_client, web_page)
+        with pytest.raises(RuntimeError):
+            _ = racer.result

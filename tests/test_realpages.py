@@ -1,0 +1,70 @@
+"""Tests for the synthetic real-page corpus (Das-style workload)."""
+
+import pytest
+
+from repro.http import corpus_statistics, synthetic_corpus, synthetic_page
+from repro.http.realpages import MAX_OBJECTS, MAX_OBJECT_BYTES
+
+
+class TestGenerator:
+    def test_deterministic_in_seed(self):
+        assert synthetic_page(7).objects == synthetic_page(7).objects
+        assert synthetic_page(7).objects != synthetic_page(8).objects
+
+    def test_bounds_respected(self):
+        for seed in range(50):
+            page = synthetic_page(seed)
+            assert 1 <= page.object_count <= MAX_OBJECTS
+            for obj in page.objects:
+                assert 200 <= obj.size_bytes <= MAX_OBJECT_BYTES
+
+    def test_main_document_present(self):
+        page = synthetic_page(3)
+        assert 20 * 1024 <= page.objects[0].size_bytes <= 100 * 1024
+
+    def test_heavy_tail_in_corpus(self):
+        corpus = synthetic_corpus(100, seed=1)
+        counts = [p.object_count for p in corpus]
+        sizes = [o.size_bytes for p in corpus for o in p.objects]
+        # Median modest, tail long — the HTTP-Archive shape.
+        assert sorted(counts)[50] < 60
+        assert max(counts) > 90
+        assert max(sizes) > 40 * sorted(sizes)[len(sizes) // 2]
+
+    def test_corpus_statistics(self):
+        stats = corpus_statistics(synthetic_corpus(40, seed=2))
+        assert stats["pages"] == 40
+        assert stats["median_objects"] >= 1
+        assert stats["max_total_kb"] >= stats["median_total_kb"]
+
+    def test_corpus_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_corpus(0)
+
+
+class TestConflationDemonstration:
+    def test_realistic_pages_conflate_size_and_count(self):
+        """The paper's Table 1 critique, shown directly: across a real-
+        page corpus, heavier pages also have more objects, so a corpus
+        comparison cannot attribute differences to either factor."""
+        corpus = synthetic_corpus(120, seed=3)
+        counts = [p.object_count for p in corpus]
+        totals = [p.total_bytes for p in corpus]
+        n = len(corpus)
+        mean_c = sum(counts) / n
+        mean_t = sum(totals) / n
+        cov = sum((c - mean_c) * (t - mean_t)
+                  for c, t in zip(counts, totals)) / n
+        var_c = sum((c - mean_c) ** 2 for c in counts) / n
+        var_t = sum((t - mean_t) ** 2 for t in totals) / n
+        correlation = cov / (var_c ** 0.5 * var_t ** 0.5)
+        assert correlation > 0.3  # strongly conflated
+
+    def test_corpus_loads_over_both_protocols(self):
+        from repro.core.runner import run_page_load
+        from repro.netem import emulated
+
+        page = synthetic_page(5)
+        for protocol in ("quic", "tcp"):
+            out = run_page_load(emulated(20.0), page, protocol, seed=1)
+            assert out.result.complete

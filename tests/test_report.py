@@ -1,0 +1,65 @@
+"""Tests for the Markdown reproduction-report builder."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import (
+    EXPERIMENT_INDEX,
+    build_report,
+    collect_sections,
+    extra_results,
+    missing_experiments,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig10_reordering.txt").write_text("QUIC nack=3 slow\n")
+    (tmp_path / "tab04_fairness.txt").write_text("QUIC 3.9 TCP 1.1\n")
+    (tmp_path / "ablation_fec.txt").write_text("fec slower\n")
+    return tmp_path
+
+
+class TestReport:
+    def test_sections_loaded(self, results_dir):
+        sections = collect_sections(results_dir)
+        assert {s.stem for s in sections} == {"fig10_reordering",
+                                              "tab04_fairness"}
+
+    def test_missing_listed(self, results_dir):
+        missing = missing_experiments(results_dir)
+        assert "fig06a_plt_sizes" in missing
+        assert "fig10_reordering" not in missing
+
+    def test_extras_listed(self, results_dir):
+        assert extra_results(results_dir) == ["ablation_fec"]
+
+    def test_markdown_structure(self, results_dir):
+        text = build_report(results_dir)
+        assert text.startswith("# Reproduction report")
+        assert "| Fig. 10 |" in text
+        assert "QUIC nack=3 slow" in text
+        assert "### ablation_fec" in text
+        assert "*not run*" in text
+
+    def test_empty_dir(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "no results yet" in text
+
+    def test_index_covers_all_paper_artifacts(self):
+        artifacts = {a for a, _ in EXPERIMENT_INDEX.values()}
+        for needed in ("Fig. 2", "Fig. 3a", "Table 4 / Fig. 4", "Fig. 5",
+                       "Fig. 6a", "Fig. 7", "Fig. 8a", "Fig. 9", "Fig. 10",
+                       "Fig. 11", "Fig. 12", "Fig. 13", "Fig. 14 / Table 5",
+                       "Fig. 15", "Table 6", "Fig. 17", "Fig. 18",
+                       "Sec. 5.4"):
+            assert needed in artifacts
+
+    def test_cli_report_command(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "REPORT.md"
+        assert main(["report", "--results", str(results_dir),
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()

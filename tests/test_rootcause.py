@@ -1,0 +1,104 @@
+"""Tests for root-cause analysis helpers (dwell, loss, slow-start reports)."""
+
+import pytest
+
+from repro.core.instrumentation import Trace
+from repro.core.rootcause import (
+    compare_dwell,
+    loss_report,
+    slow_start_report,
+)
+from repro.core.runner import run_page_load
+from repro.devices import MOTOG
+from repro.http import page, single_object_page
+from repro.netem import emulated
+
+
+def make_trace(*segments):
+    """segments: (state, duration) pairs."""
+    trace = Trace(enabled=True)
+    t = 0.0
+    for state, duration in segments:
+        trace.log_state(t, state)
+        t += duration
+    trace.close(t)
+    return trace
+
+
+class TestDwellComparison:
+    def test_fractions_and_delta(self):
+        a = make_trace(("CA", 9.0), ("AppLimited", 1.0))
+        b = make_trace(("CA", 4.0), ("AppLimited", 6.0))
+        cmp = compare_dwell(a, b, "desktop", "motog")
+        assert cmp.fractions_a["AppLimited"] == pytest.approx(0.1)
+        assert cmp.delta("AppLimited") == pytest.approx(0.5)
+
+    def test_dominant_shift(self):
+        a = make_trace(("CA", 9.0), ("AppLimited", 1.0))
+        b = make_trace(("CA", 4.0), ("AppLimited", 6.0))
+        state, delta = compare_dwell(a, b).dominant_shift()
+        assert state in ("AppLimited", "CA")
+        assert abs(delta) == pytest.approx(0.5)
+
+    def test_render_table(self):
+        a = make_trace(("CA", 1.0))
+        b = make_trace(("CA", 0.5), ("Recovery", 0.5))
+        text = compare_dwell(a, b, "A", "B").render()
+        assert "Recovery" in text and "delta" in text
+
+    def test_mobile_dwell_shift_detected_end_to_end(self):
+        """The Fig. 13 pipeline: desktop vs MotoG traces."""
+        scn = emulated(50.0)
+        desktop = run_page_load(scn, single_object_page(5_000_000), "quic",
+                                seed=1, trace=True)
+        motog = run_page_load(scn, single_object_page(5_000_000), "quic",
+                              seed=1, trace=True, device=MOTOG)
+        cmp = compare_dwell(desktop.server_trace, motog.server_trace)
+        assert cmp.delta("ApplicationLimited") > 0.2
+
+
+class TestLossReport:
+    def test_quic_report(self):
+        out = run_page_load(emulated(100.0, loss_pct=1.0),
+                            single_object_page(1_000_000), "quic", seed=1)
+        report = loss_report(out.server)
+        assert report.protocol == "quic"
+        assert report.losses_declared > 0
+        assert report.final_threshold == 3
+        assert "losses declared" in report.describe()
+
+    def test_tcp_report(self):
+        out = run_page_load(emulated(100.0, loss_pct=1.0),
+                            single_object_page(1_000_000), "tcp", seed=1)
+        report = loss_report(out.server)
+        assert report.protocol == "tcp"
+        assert report.final_threshold >= 3
+
+    def test_false_loss_rate(self):
+        out = run_page_load(emulated(100.0, jitter_ms=10.0),
+                            single_object_page(1_000_000), "quic", seed=1)
+        report = loss_report(out.server)
+        assert report.false_loss_rate > 0.5  # reordering: mostly spurious
+
+
+class TestSlowStartReport:
+    def test_no_early_exit_when_transfer_ends_before_queueing(self):
+        # 100 KB at 100 Mbps finishes before the bottleneck queue can
+        # inflate the RTT enough for a delay-based exit.
+        out = run_page_load(emulated(100.0), single_object_page(100_000),
+                            "quic", seed=1)
+        report = slow_start_report(out.server)
+        assert not report.exited_early
+
+    def test_deep_buffer_triggers_delay_exit(self):
+        # Slow start into a deep buffer at 10 Mbps: HyStart's purpose.
+        out = run_page_load(emulated(10.0).with_(queue_bytes=10_000_000),
+                            single_object_page(2_000_000), "quic", seed=1)
+        report = slow_start_report(out.server)
+        assert report.exited_early
+        assert report.exit_time is not None
+
+    def test_describe(self):
+        out = run_page_load(emulated(10.0), single_object_page(200_000),
+                            "quic", seed=1)
+        assert "slow start" in slow_start_report(out.server).describe().lower()

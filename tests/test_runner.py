@@ -1,0 +1,120 @@
+"""Tests for the high-level experiment drivers."""
+
+import pytest
+
+from repro.core.runner import (
+    compare_page_load,
+    compare_quic_variants,
+    build_plt_heatmap,
+    measure_plts,
+    run_bulk_transfer,
+    run_fairness,
+    run_page_load,
+)
+from repro.devices import MOTOG
+from repro.http import page, single_object_page
+from repro.netem import emulated, fairness_bottleneck
+from repro.quic import quic_config
+
+FAST = emulated(100.0)
+MEDIUM = emulated(10.0)
+
+
+class TestRunPageLoad:
+    def test_returns_complete_result(self):
+        out = run_page_load(MEDIUM, single_object_page(100_000), "quic", seed=1)
+        assert out.result.complete
+        assert out.plt > 0
+
+    def test_deterministic_for_same_seed(self):
+        a = run_page_load(MEDIUM, single_object_page(100_000), "quic", seed=7)
+        b = run_page_load(MEDIUM, single_object_page(100_000), "quic", seed=7)
+        assert a.plt == b.plt
+
+    def test_different_seeds_vary(self):
+        plts = {run_page_load(MEDIUM, single_object_page(100_000), "quic",
+                              seed=s).plt for s in range(5)}
+        assert len(plts) > 1  # server noise decorrelates rounds
+
+    def test_trace_collection(self):
+        out = run_page_load(MEDIUM, single_object_page(500_000), "quic",
+                            seed=1, trace=True)
+        assert len(out.server_trace.state_sequence()) >= 2
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            run_page_load(MEDIUM, single_object_page(1000), "sctp")
+
+    def test_device_parameter(self):
+        fast = run_page_load(emulated(50.0), single_object_page(5_000_000),
+                             "quic", seed=1).plt
+        slow = run_page_load(emulated(50.0), single_object_page(5_000_000),
+                             "quic", seed=1, device=MOTOG).plt
+        assert slow > fast
+
+
+class TestComparisons:
+    def test_measure_plts_counts_runs(self):
+        plts = measure_plts(MEDIUM, single_object_page(50_000), "quic", runs=4)
+        assert len(plts) == 4
+
+    def test_compare_page_load_produces_cell(self):
+        cell = compare_page_load(MEDIUM, single_object_page(100_000), runs=4)
+        assert len(cell.quic) == len(cell.tcp) == 4
+        assert cell.winner in ("quic", "tcp", "inconclusive")
+
+    def test_quic_variant_comparison(self):
+        cell = compare_quic_variants(
+            FAST, single_object_page(10_000),
+            treatment_cfg=quic_config(34, zero_rtt=True),
+            baseline_cfg=quic_config(34, zero_rtt=False),
+            runs=4,
+        )
+        assert cell.pct_diff > 0  # 0-RTT wins for small objects
+
+    def test_heatmap_builder(self):
+        hm = build_plt_heatmap(
+            "test grid",
+            scenarios=[MEDIUM],
+            pages=[single_object_page(20_000), single_object_page(200_000)],
+            runs=3,
+        )
+        assert len(hm.cells) == 2
+        assert hm.render()
+
+
+class TestFairness:
+    def test_quic_vs_tcp_unfair(self):
+        result = run_fairness(n_quic=1, n_tcp=1, duration=20.0, seed=1)
+        assert set(result.average_mbps) == {"quic", "tcp"}
+        assert result.quic_share() > 0.5  # the paper's headline unfairness
+        total = sum(result.average_mbps.values())
+        assert total <= 5.5  # can't exceed the bottleneck
+
+    def test_flow_series_recorded(self):
+        result = run_fairness(n_quic=1, n_tcp=1, duration=10.0, seed=2)
+        assert len(result.series["quic"]) > 10
+
+    def test_multiple_tcp_flows(self):
+        result = run_fairness(n_quic=1, n_tcp=2, duration=15.0, seed=1)
+        assert set(result.average_mbps) == {"quic", "tcp1", "tcp2"}
+
+
+class TestBulkTransfer:
+    def test_records_cwnd_series(self):
+        result = run_bulk_transfer(MEDIUM, 1_000_000, "quic", seed=1)
+        assert result.elapsed > 0
+        assert result.throughput_mbps > 5
+        assert len(result.cwnd_series) > 3
+
+    def test_tcp_variant(self):
+        result = run_bulk_transfer(MEDIUM, 1_000_000, "tcp", seed=1)
+        assert result.protocol == "tcp"
+        assert result.losses >= 0
+
+    def test_variable_bandwidth(self):
+        result = run_bulk_transfer(
+            FAST, 5_000_000, "quic", seed=1,
+            variable_bw=(50.0, 150.0, 1.0),
+        )
+        assert 20 < result.throughput_mbps < 160

@@ -1,0 +1,77 @@
+"""Tests for the 0-RTT session cache (cold vs warm clients)."""
+
+import pytest
+
+from repro.netem import Simulator, build_path, emulated
+from repro.quic import SessionCache, open_quic_pair, quic_config
+
+from .conftest import quic_download
+
+
+class TestSessionCache:
+    def test_miss_then_hit(self):
+        cache = SessionCache()
+        assert not cache.has_config("server")
+        cache.store("server", now=1.0)
+        assert cache.has_config("server", now=2.0)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_expiry(self):
+        cache = SessionCache(lifetime=10.0)
+        cache.store("server", now=0.0)
+        assert cache.has_config("server", now=5.0)
+        assert not cache.has_config("server", now=20.0)
+        assert "server" not in cache
+
+    def test_clear_and_prewarm(self):
+        cache = SessionCache().prewarmed("a", "b")
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+def connect_once(cache, seed=1):
+    """One full page-less connection; returns the handshake-ready time."""
+    sim = Simulator()
+    path = build_path(sim, emulated(100.0).with_(rtt_run_variation=0.0),
+                      seed=seed)
+    client, _server = open_quic_pair(
+        sim, path.client, path.server, quic_config(34),
+        request_handler=lambda m: m["size"], seed=seed,
+        session_cache=cache,
+    )
+    ready = {}
+    client.connect(lambda now: ready.update({"t": now}))
+    if client.handshake_ready_time is not None:
+        ready["t"] = client.handshake_ready_time
+    done = {}
+    client.request({"size": 5_000}, lambda s, m, t: done.update({1: t}))
+    assert sim.run_until(lambda: 1 in done, timeout=10.0)
+    return ready["t"], done[1]
+
+
+class TestColdVsWarmClient:
+    def test_first_contact_pays_rej_round(self):
+        cache = SessionCache()
+        ready_cold, done_cold = connect_once(cache)
+        # Cold: one RTT for inchoate CHLO -> REJ.
+        assert ready_cold == pytest.approx(0.036, rel=0.2)
+        # The REJ populated the cache for next time.
+        assert "server" in cache
+
+    def test_second_contact_is_zero_rtt(self):
+        cache = SessionCache()
+        _ready_cold, done_cold = connect_once(cache, seed=1)
+        ready_warm, done_warm = connect_once(cache, seed=1)
+        assert ready_warm == 0.0
+        assert done_warm < done_cold - 0.02  # a full RTT faster
+
+    def test_no_cache_uses_config_default(self):
+        # Without a cache the config's zero_rtt flag rules (paper mode).
+        sim = Simulator()
+        path = build_path(sim, emulated(100.0), seed=1)
+        client, _ = open_quic_pair(sim, path.client, path.server,
+                                   quic_config(34),
+                                   request_handler=lambda m: m["size"])
+        client.connect()
+        assert client.handshake_ready_time == 0.0

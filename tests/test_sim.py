@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.netem.sim import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(0.3, fired.append, "c")
+        sim.schedule(0.1, fired.append, "a")
+        sim.schedule(0.2, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self, sim):
+        fired = []
+        for tag in range(10):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(0.5, lambda: None)
+
+    def test_zero_delay_allowed(self, sim):
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+    def test_nested_scheduling(self, sim):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(0.1, fired.append, "inner")
+
+        sim.schedule(0.1, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == pytest.approx(0.2)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(0.1, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_twice_is_noop(self, sim):
+        event = sim.schedule(0.1, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancel_from_earlier_event(self, sim):
+        fired = []
+        later = sim.schedule(0.2, fired.append, "later")
+        sim.schedule(0.1, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self, sim):
+        event = sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None)
+        event.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRun:
+    def test_run_until_time_stops_and_advances_clock(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_predicate(self, sim):
+        counter = []
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), counter.append, i)
+        satisfied = sim.run_until(lambda: len(counter) >= 3, timeout=10.0)
+        assert satisfied
+        assert len(counter) == 3
+
+    def test_run_until_timeout_returns_false(self, sim):
+        satisfied = sim.run_until(lambda: False, timeout=1.0)
+        assert not satisfied
+        assert sim.now == 1.0
+
+    def test_run_until_predicate_already_true(self, sim):
+        assert sim.run_until(lambda: True, timeout=5.0)
+        assert sim.now == 0.0
+
+    def test_max_events_guard(self, sim):
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(0.1 * i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_not_reentrant(self, sim):
+        def recurse():
+            sim.run()
+
+        sim.schedule(0.1, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestEvent:
+    def test_event_ordering_dunder(self):
+        a = Event(1.0, 0, lambda: None, ())
+        b = Event(1.0, 1, lambda: None, ())
+        c = Event(0.5, 2, lambda: None, ())
+        assert c < a < b
+
+    def test_pending_property(self, sim):
+        event = sim.schedule(0.1, lambda: None)
+        assert event.pending
+        event.cancel()
+        assert not event.pending

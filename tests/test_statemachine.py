@@ -1,0 +1,124 @@
+"""Tests for Synoptic-lite state-machine inference (Secs. 4.2/5.1)."""
+
+import pytest
+
+from repro.core.instrumentation import Trace
+from repro.core.statemachine import (
+    Invariant,
+    StateMachineModel,
+    infer,
+    infer_from_sequences,
+)
+
+
+SEQS = [
+    ["Init", "SlowStart", "CongestionAvoidance", "Recovery", "CongestionAvoidance"],
+    ["Init", "SlowStart", "Recovery", "CongestionAvoidance"],
+    ["Init", "SlowStart", "CongestionAvoidance"],
+]
+
+
+class TestInference:
+    def test_states_collected(self):
+        model = infer_from_sequences(SEQS)
+        assert model.states == {
+            "Init", "SlowStart", "CongestionAvoidance", "Recovery"
+        }
+
+    def test_transition_counts(self):
+        model = infer_from_sequences(SEQS)
+        assert model.transition_counts[("Init", "SlowStart")] == 3
+        assert model.transition_counts[("SlowStart", "CongestionAvoidance")] == 2
+        assert model.transition_counts[("SlowStart", "Recovery")] == 1
+
+    def test_probabilities_normalised_per_source(self):
+        model = infer_from_sequences(SEQS)
+        probs = model.transition_probabilities()
+        out_of_ss = [p for (a, _b), p in probs.items() if a == "SlowStart"]
+        assert sum(out_of_ss) == pytest.approx(1.0)
+        assert probs[("SlowStart", "CongestionAvoidance")] == pytest.approx(2 / 3)
+
+    def test_initial_and_terminal(self):
+        model = infer_from_sequences(SEQS)
+        assert model.initial_counts["Init"] == 3
+        assert model.terminal_counts["CongestionAvoidance"] == 3
+
+    def test_has_transition_and_successors(self):
+        model = infer_from_sequences(SEQS)
+        assert model.has_transition("Init", "SlowStart")
+        assert not model.has_transition("Init", "Recovery")
+        assert model.successors("SlowStart") == ["CongestionAvoidance", "Recovery"]
+
+    def test_empty_sequences_ignored(self):
+        model = infer_from_sequences([[], ["A"]])
+        assert model.traces_used == 1
+
+    def test_infer_from_traces_includes_dwell(self):
+        t = Trace(enabled=True)
+        t.log_state(0.0, "A")
+        t.log_state(1.0, "B")
+        t.close(4.0)
+        model = infer([t])
+        fractions = model.dwell_fractions()
+        assert fractions["B"] == pytest.approx(0.75)
+
+
+class TestInvariants:
+    def test_always_followed_by(self):
+        seqs = [["login", "work", "logout"], ["login", "logout"]]
+        invs = StateMachineModel.mine_invariants(seqs)
+        assert Invariant("AFby", "login", "logout") in invs
+        assert Invariant("AFby", "logout", "login") not in invs
+
+    def test_never_followed_by(self):
+        seqs = [["a", "b"], ["a", "c", "b"]]
+        invs = StateMachineModel.mine_invariants(seqs)
+        assert Invariant("NFby", "b", "a") in invs
+        assert Invariant("NFby", "a", "b") not in invs
+
+    def test_always_precedes(self):
+        seqs = [["boot", "run"], ["boot", "idle", "run"]]
+        invs = StateMachineModel.mine_invariants(seqs)
+        assert Invariant("AP", "boot", "run") in invs
+        assert Invariant("AP", "run", "boot") not in invs
+
+    def test_counterexample_prunes(self):
+        seqs = [["x", "y"], ["y"]]  # y occurs without any preceding x
+        invs = StateMachineModel.mine_invariants(seqs)
+        assert Invariant("AP", "x", "y") not in invs
+
+    def test_empty_input(self):
+        assert StateMachineModel.mine_invariants([]) == []
+
+    def test_invariant_str(self):
+        assert str(Invariant("AFby", "a", "b")) == "a ->* b"
+
+
+class TestRendering:
+    def test_dot_output_contains_nodes_and_edges(self):
+        model = infer_from_sequences(SEQS)
+        dot = model.to_dot(title="QUIC CC")
+        assert "digraph" in dot
+        assert '"SlowStart"' in dot
+        assert '"Init" -> "SlowStart"' in dot
+        assert "QUIC CC" in dot
+
+    def test_dot_min_probability_filter(self):
+        model = infer_from_sequences(SEQS)
+        dot = model.to_dot(min_probability=0.9)
+        assert '"SlowStart" -> "Recovery"' not in dot
+        assert '"Init" -> "SlowStart"' in dot
+
+    def test_dot_includes_dwell_percentages(self):
+        t = Trace(enabled=True)
+        t.log_state(0.0, "A")
+        t.log_state(1.0, "B")
+        t.close(2.0)
+        model = infer([t])
+        assert "50.0%" in model.to_dot()
+
+    def test_summary_text(self):
+        model = infer_from_sequences(SEQS)
+        text = model.summary()
+        assert "states: 4" in text
+        assert "-> CongestionAvoidance" in text

@@ -1,0 +1,95 @@
+"""Edge cases for the Synoptic-lite inference and invariant miner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.statemachine import (
+    Invariant,
+    StateMachineModel,
+    infer_from_sequences,
+)
+
+states = st.sampled_from(["A", "B", "C", "D"])
+sequences = st.lists(st.lists(states, min_size=1, max_size=12),
+                     min_size=1, max_size=12)
+
+
+class TestModelEdges:
+    def test_single_state_sequence(self):
+        model = infer_from_sequences([["A"]])
+        assert model.states == {"A"}
+        assert model.edge_count() == 0
+        assert model.transition_probabilities() == {}
+
+    def test_self_loop_counted(self):
+        model = infer_from_sequences([["A", "A", "B"]])
+        assert model.transition_counts[("A", "A")] == 1
+        assert model.has_transition("A", "A")
+
+    def test_summary_on_empty_model(self):
+        model = StateMachineModel()
+        assert "states: 0" in model.summary()
+
+    def test_dot_without_dwell(self):
+        model = infer_from_sequences([["A", "B"]])
+        dot = model.to_dot()
+        assert '"A" [label="A"];' in dot
+
+
+@settings(max_examples=150, deadline=None)
+@given(sequences)
+def test_probabilities_are_distributions(seqs):
+    model = infer_from_sequences(seqs)
+    probs = model.transition_probabilities()
+    outgoing = {}
+    for (a, _b), p in probs.items():
+        assert 0.0 < p <= 1.0
+        outgoing[a] = outgoing.get(a, 0.0) + p
+    for total in outgoing.values():
+        assert total == pytest.approx(1.0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(sequences)
+def test_transition_counts_match_sequence_lengths(seqs):
+    model = infer_from_sequences(seqs)
+    total_transitions = sum(model.transition_counts.values())
+    expected = sum(len(s) - 1 for s in seqs)
+    assert total_transitions == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequences)
+def test_mined_invariants_actually_hold(seqs):
+    """Soundness of the miner: re-check every mined invariant directly."""
+    invariants = StateMachineModel.mine_invariants(seqs)
+    for inv in invariants:
+        for seq in seqs:
+            positions_x = [i for i, s in enumerate(seq) if s == inv.first]
+            positions_y = [i for i, s in enumerate(seq) if s == inv.second]
+            if inv.kind == "AFby":
+                for i in positions_x:
+                    assert any(j > i for j in positions_y), str(inv)
+            elif inv.kind == "NFby":
+                for i in positions_x:
+                    assert not any(j > i for j in positions_y), str(inv)
+            elif inv.kind == "AP":
+                if positions_y:
+                    assert positions_x and min(positions_x) < min(positions_y), \
+                        str(inv)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sequences)
+def test_afby_and_nfby_disjoint(seqs):
+    invariants = StateMachineModel.mine_invariants(seqs)
+    afby = {(i.first, i.second) for i in invariants if i.kind == "AFby"}
+    nfby = {(i.first, i.second) for i in invariants if i.kind == "NFby"}
+    # A pair can satisfy both only if `first` never occurs... in which
+    # case both vacuously hold; otherwise they contradict.
+    occurring = set()
+    for seq in seqs:
+        occurring.update(seq)
+    for pair in afby & nfby:
+        assert pair[0] not in occurring

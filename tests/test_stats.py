@@ -1,0 +1,138 @@
+"""Tests for the statistics module, cross-checked against scipy."""
+
+import math
+import random
+
+import pytest
+import scipy.stats
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    ALPHA,
+    mean,
+    percent_difference,
+    regularized_incomplete_beta,
+    sample_std,
+    sample_variance,
+    student_t_sf,
+    welch_t_test,
+)
+
+
+class TestSummaries:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_variance_known_value(self):
+        assert sample_variance([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == \
+            pytest.approx(32 / 7)
+
+    def test_variance_of_singleton_is_zero(self):
+        assert sample_variance([3.0]) == 0.0
+
+    def test_std_is_sqrt_of_variance(self):
+        data = [1.0, 2.0, 6.0]
+        assert sample_std(data) == pytest.approx(math.sqrt(sample_variance(data)))
+
+
+class TestSpecialFunctions:
+    @pytest.mark.parametrize("a,b,x", [
+        (0.5, 0.5, 0.3), (2.0, 3.0, 0.5), (10.0, 1.0, 0.9),
+        (5.0, 0.5, 0.01), (30.0, 0.5, 0.99),
+    ])
+    def test_incomplete_beta_matches_scipy(self, a, b, x):
+        ours = regularized_incomplete_beta(a, b, x)
+        theirs = scipy.stats.beta.cdf(x, a, b)
+        assert ours == pytest.approx(theirs, abs=1e-10)
+
+    def test_incomplete_beta_bounds(self):
+        assert regularized_incomplete_beta(2, 3, 0.0) == 0.0
+        assert regularized_incomplete_beta(2, 3, 1.0) == 1.0
+
+    @pytest.mark.parametrize("t,df", [
+        (0.0, 5), (1.0, 1), (2.5, 10), (-1.7, 7), (4.0, 30), (0.3, 2.5),
+    ])
+    def test_t_sf_matches_scipy(self, t, df):
+        assert student_t_sf(t, df) == pytest.approx(
+            scipy.stats.t.sf(t, df), abs=1e-10
+        )
+
+    def test_t_sf_invalid_df(self):
+        with pytest.raises(ValueError):
+            student_t_sf(1.0, 0)
+
+
+class TestWelch:
+    def test_matches_scipy_on_fixed_samples(self):
+        a = [0.52, 0.49, 0.55, 0.51, 0.50, 0.53]
+        b = [0.61, 0.58, 0.65, 0.60, 0.62, 0.59]
+        ours = welch_t_test(a, b)
+        theirs = scipy.stats.ttest_ind(a, b, equal_var=False)
+        assert ours.t_statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-7)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_scipy_on_random_samples(self, seed):
+        rng = random.Random(seed)
+        n1 = rng.randint(3, 30)
+        n2 = rng.randint(3, 30)
+        a = [rng.gauss(1.0, 0.3) for _ in range(n1)]
+        b = [rng.gauss(1.0 + rng.uniform(-0.5, 0.5), 0.4) for _ in range(n2)]
+        ours = welch_t_test(a, b)
+        theirs = scipy.stats.ttest_ind(a, b, equal_var=False)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-7)
+        assert ours.degrees_of_freedom > 0
+
+    def test_identical_samples_not_significant(self):
+        a = [1.0, 1.0, 1.0]
+        result = welch_t_test(a, list(a))
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_zero_variance_different_means_significant(self):
+        result = welch_t_test([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])
+        assert result.p_value == 0.0
+        assert result.significant()
+
+    def test_tiny_samples_inconclusive(self):
+        result = welch_t_test([1.0], [2.0, 3.0])
+        assert result.p_value == 1.0
+
+    def test_clearly_different_distributions_significant(self):
+        rng = random.Random(1)
+        a = [rng.gauss(1.0, 0.05) for _ in range(10)]
+        b = [rng.gauss(2.0, 0.05) for _ in range(10)]
+        assert welch_t_test(a, b).significant(ALPHA)
+
+    def test_noisy_identical_distributions_not_significant(self):
+        rng = random.Random(2)
+        a = [rng.gauss(1.0, 0.3) for _ in range(10)]
+        b = [rng.gauss(1.0, 0.3) for _ in range(10)]
+        assert not welch_t_test(a, b).significant(ALPHA)
+
+    def test_symmetry(self):
+        a = [1.0, 1.2, 0.9, 1.1]
+        b = [1.5, 1.4, 1.6, 1.7]
+        assert welch_t_test(a, b).p_value == pytest.approx(
+            welch_t_test(b, a).p_value
+        )
+
+
+class TestPercentDifference:
+    def test_positive_when_treatment_smaller(self):
+        # QUIC PLT 0.8 vs TCP 1.0 -> +20% (QUIC faster), paper convention.
+        assert percent_difference([1.0], [0.8]) == pytest.approx(20.0)
+
+    def test_negative_when_treatment_larger(self):
+        assert percent_difference([1.0], [1.3]) == pytest.approx(-30.0)
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            percent_difference([0.0], [1.0])

@@ -1,0 +1,137 @@
+"""White-box tests for TCP connection internals: rwnd advertising,
+segment packing, SACK scoreboard, and message framing."""
+
+import pytest
+
+from repro.netem import Simulator, emulated
+from repro.tcp import tcp_config
+from repro.tcp.segment import TcpSegment
+
+from .conftest import MEDIUM, make_tcp_pair, tcp_download
+
+
+class TestReceiveWindow:
+    def test_initial_rwnd_is_buffer(self, sim):
+        cfg = tcp_config(receive_buffer=500_000)
+        _, client, _ = make_tcp_pair(sim, MEDIUM, cfg=cfg)
+        assert client._advertise_rwnd() == 500_000
+
+    def test_rwnd_shrinks_with_unprocessed_backlog(self, sim):
+        cfg = tcp_config(receive_buffer=500_000)
+        _, client, _ = make_tcp_pair(sim, MEDIUM, cfg=cfg)
+        # Simulate stored-but-unprocessed bytes.
+        client._rcv_total = 120_000
+        client._app_processed = 20_000
+        assert client._advertise_rwnd() == 400_000
+
+    def test_rwnd_never_negative(self, sim):
+        cfg = tcp_config(receive_buffer=10_000)
+        _, client, _ = make_tcp_pair(sim, MEDIUM, cfg=cfg)
+        client._rcv_total = 50_000
+        assert client._advertise_rwnd() == 0
+
+    def test_sender_respects_peer_rwnd(self, sim):
+        cfg = tcp_config(receive_buffer=40_000)
+        _, client, server = make_tcp_pair(sim, emulated(100.0), cfg=cfg)
+        tcp_download(sim, client, 500_000)
+        # Outstanding unacked never exceeded the advertised window.
+        assert server._snd_nxt - server._snd_una <= 40_000 + 1350
+
+
+class TestSegmentPacking:
+    def test_multiple_messages_share_a_segment(self, sim):
+        _, client, server = make_tcp_pair(sim, MEDIUM)
+        server.send_message(400, ("resp", 1, None))
+        server.send_message(400, ("resp", 2, None))
+        record = server._segmentize(1350)
+        assert record is not None
+        assert len(record.pieces) == 2
+        assert record.length == 800
+
+    def test_segment_respects_mss(self, sim):
+        _, _client, server = make_tcp_pair(sim, MEDIUM)
+        server.send_message(10_000, ("resp", 1, None))
+        record = server._segmentize(1350)
+        assert record.length == 1350
+
+    def test_roundrobin_rotates_between_messages(self, sim):
+        cfg = tcp_config(scheduler="roundrobin")
+        _, _client, server = make_tcp_pair(sim, MEDIUM, cfg=cfg)
+        server.send_message(5_000, ("resp", 1, None))
+        server.send_message(5_000, ("resp", 2, None))
+        first = server._segmentize(1350)
+        second = server._segmentize(1350)
+        assert first.pieces[0].msg_id != second.pieces[0].msg_id
+
+    def test_fifo_finishes_first_message_first(self, sim):
+        cfg = tcp_config(scheduler="fifo")
+        _, _client, server = make_tcp_pair(sim, MEDIUM, cfg=cfg)
+        m1 = server.send_message(3_000, ("resp", 1, None))
+        server.send_message(3_000, ("resp", 2, None))
+        ids = []
+        for _ in range(4):
+            record = server._segmentize(1350)
+            ids.extend(p.msg_id for p in record.pieces)
+        assert ids[0] == m1 and ids[1] == m1 and ids[2] == m1
+
+    def test_fin_flag_on_last_piece(self, sim):
+        _, _client, server = make_tcp_pair(sim, MEDIUM)
+        server.send_message(2_000, ("resp", 1, None))
+        first = server._segmentize(1350)
+        second = server._segmentize(1350)
+        assert not first.pieces[-1].fin
+        assert second.pieces[-1].fin
+
+
+class TestSackScoreboard:
+    def test_apply_sack_frees_flight_once(self, sim):
+        _, _client, server = make_tcp_pair(sim, MEDIUM)
+        server._ready = True
+        server.send_message(5_000, ("resp", 1, None))
+        record = server._segmentize(1350)
+        server._transmit_record(record, retransmit=False)
+        flight = server.bytes_in_flight
+        assert server._apply_sack(record.seq, record.end) == record.length
+        assert server.bytes_in_flight == flight - record.length
+        # Applying the same SACK again frees nothing.
+        assert server._apply_sack(record.seq, record.end) == 0
+
+    def test_bytes_sacked_above(self, sim):
+        _, _client, server = make_tcp_pair(sim, MEDIUM)
+        server._sacked.add(5_000, 8_000)
+        server._sacked.add(10_000, 11_000)
+        assert server._bytes_sacked_above(0) == 4_000
+        assert server._bytes_sacked_above(6_000) == 3_000
+        assert server._bytes_sacked_above(9_000) == 1_000
+        assert server._bytes_sacked_above(20_000) == 0
+
+
+class TestMessageFraming:
+    def test_streaming_message_lifecycle(self, sim):
+        _, _client, server = make_tcp_pair(sim, MEDIUM)
+        mid = server.send_streaming_message(("resp", 1, None))
+        server.message_append(mid, 1_000)
+        record = server._segmentize(1350)
+        assert record.length == 1_000
+        assert not record.pieces[-1].fin
+        server.message_finish(mid)
+        fin_record = server._segmentize(1350)
+        assert fin_record.pieces[-1].fin
+
+    def test_append_after_finish_rejected(self, sim):
+        _, _client, server = make_tcp_pair(sim, MEDIUM)
+        mid = server.send_streaming_message(("resp", 1, None))
+        server.message_finish(mid)
+        with pytest.raises((RuntimeError, KeyError)):
+            server.message_append(mid, 100)
+
+    def test_finish_after_data_sent_adds_trailer(self, sim):
+        _, _client, server = make_tcp_pair(sim, MEDIUM)
+        mid = server.send_streaming_message(("resp", 1, None))
+        server.message_append(mid, 500)
+        server._segmentize(1350)  # drain the 500 bytes
+        server.message_finish(mid)
+        trailer = server._segmentize(1350)
+        assert trailer is not None
+        assert trailer.length == 1
+        assert trailer.pieces[-1].fin

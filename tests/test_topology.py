@@ -1,0 +1,196 @@
+"""Tests for nodes, routing, scenarios, and canned topologies."""
+
+import pytest
+
+from repro.netem import (
+    CELLULAR_PROFILES,
+    Network,
+    Packet,
+    Scenario,
+    Simulator,
+    build_bottleneck,
+    build_path,
+    build_proxy_path,
+    emulated,
+    fairness_bottleneck,
+    mbps,
+    reordering_scenario,
+)
+
+
+class TestNetworkRouting:
+    def make_line(self, sim):
+        net = Network(sim)
+        for name in ("a", "b", "c"):
+            net.add_node(name)
+        net.duplex_link("a", "b", rate_bps=None, delay=0.01)
+        net.duplex_link("b", "c", rate_bps=None, delay=0.02)
+        net.build_routes()
+        return net
+
+    def test_multi_hop_delivery(self):
+        sim = Simulator()
+        net = self.make_line(sim)
+        got = []
+        net.node("c").register_handler(lambda p: got.append(sim.now))
+        net.node("a").send(Packet("a", "c", 100))
+        sim.run()
+        assert got == [pytest.approx(0.03)]
+
+    def test_reverse_direction(self):
+        sim = Simulator()
+        net = self.make_line(sim)
+        got = []
+        net.node("a").register_handler(lambda p: got.append(sim.now))
+        net.node("c").send(Packet("c", "a", 100))
+        sim.run()
+        assert got == [pytest.approx(0.03)]
+
+    def test_local_delivery(self):
+        sim = Simulator()
+        net = self.make_line(sim)
+        got = []
+        net.node("a").register_handler(lambda p: got.append(p))
+        net.node("a").send(Packet("x", "a", 100))
+        assert len(got) == 1
+
+    def test_no_route_counted(self):
+        sim = Simulator()
+        net = self.make_line(sim)
+        net.node("a").send(Packet("a", "nowhere", 100))
+        assert net.node("a").no_route_drops == 1
+
+    def test_shortest_path_by_delay(self):
+        sim = Simulator()
+        net = Network(sim)
+        for name in ("a", "b", "c"):
+            net.add_node(name)
+        # Direct a-c is slower than a-b-c.
+        net.duplex_link("a", "c", rate_bps=None, delay=0.1)
+        net.duplex_link("a", "b", rate_bps=None, delay=0.01)
+        net.duplex_link("b", "c", rate_bps=None, delay=0.01)
+        net.build_routes()
+        got = []
+        net.node("c").register_handler(lambda p: got.append(sim.now))
+        net.node("a").send(Packet("a", "c", 100))
+        sim.run()
+        assert got == [pytest.approx(0.02)]
+
+    def test_duplicate_node_rejected(self):
+        net = Network(Simulator())
+        net.add_node("a")
+        with pytest.raises(ValueError):
+            net.add_node("a")
+
+    def test_link_before_nodes_rejected(self):
+        net = Network(Simulator())
+        net.add_node("a")
+        with pytest.raises(KeyError):
+            net.duplex_link("a", "ghost", rate_bps=None, delay=0.0)
+
+
+class TestScenario:
+    def test_emulated_units(self):
+        scn = emulated(10.0, extra_delay_ms=50, loss_pct=1.0, jitter_ms=10)
+        assert scn.rate_bps == mbps(10)
+        assert scn.extra_delay == pytest.approx(0.050)
+        assert scn.loss_rate == pytest.approx(0.01)
+        assert scn.jitter == pytest.approx(0.010)
+        assert scn.total_rtt == pytest.approx(0.036 + 0.050)
+
+    def test_queue_autosize_is_bdp_based(self):
+        scn = emulated(100.0)
+        bdp = 100e6 * 0.036 / 8
+        assert scn.effective_queue_bytes() == int(1.5 * bdp)
+
+    def test_queue_autosize_floor(self):
+        scn = emulated(1.0)
+        assert scn.effective_queue_bytes() == 32_000
+
+    def test_explicit_queue_respected(self):
+        scn = fairness_bottleneck()
+        assert scn.effective_queue_bytes() == 30_000
+        assert scn.rate_mbps == 5.0
+
+    def test_unlimited_rate(self):
+        scn = emulated(None)
+        assert scn.rate_bps is None
+        assert scn.effective_queue_bytes() is None
+
+    def test_with_copies(self):
+        scn = emulated(10.0)
+        scn2 = scn.with_(loss_rate=0.05)
+        assert scn2.loss_rate == 0.05
+        assert scn.loss_rate == 0.0
+
+    def test_describe_mentions_key_facts(self):
+        text = reordering_scenario().describe()
+        assert "112" in text and "jitter" in text
+
+    def test_cellular_profiles_match_table5(self):
+        v3g = CELLULAR_PROFILES["verizon-3g"]
+        assert v3g.throughput_mbps == 0.17
+        assert v3g.rtt_ms == 109.0
+        s_lte = CELLULAR_PROFILES["sprint-lte"]
+        assert s_lte.throughput_mbps == 2.4
+        assert s_lte.loss_pct == 0.02
+        scn = s_lte.scenario()
+        assert scn.rate_mbps == 2.4
+        assert scn.reorder_prob == pytest.approx(0.0013)
+
+
+class TestCannedTopologies:
+    def test_build_path_rtt(self):
+        sim = Simulator()
+        scn = emulated(None, extra_delay_ms=0).with_(rtt_run_variation=0.0)
+        path = build_path(sim, scn, seed=1)
+        got = []
+        path.server.register_handler(lambda p: got.append(sim.now))
+        path.client.send(Packet("client", "server", 100))
+        sim.run()
+        # One-way delay should be half the scenario RTT.
+        assert got[0] == pytest.approx(0.018, abs=1e-6)
+
+    def test_rtt_run_variation_differs_per_seed(self):
+        delays = set()
+        for seed in range(5):
+            sim = Simulator()
+            path = build_path(sim, emulated(None), seed=seed)
+            got = []
+            path.server.register_handler(lambda p: got.append(sim.now))
+            path.client.send(Packet("client", "server", 100))
+            sim.run()
+            delays.add(round(got[0], 9))
+        assert len(delays) == 5
+        for d in delays:
+            assert d == pytest.approx(0.018, rel=0.025)
+
+    def test_build_path_applies_rate_cap(self):
+        sim = Simulator()
+        path = build_path(sim, emulated(10.0), seed=1)
+        assert path.bottleneck_up.rate_bps == mbps(10)
+        assert path.bottleneck_down.rate_bps == mbps(10)
+
+    def test_proxy_path_structure(self):
+        sim = Simulator()
+        path = build_proxy_path(sim, emulated(10.0, extra_delay_ms=100), seed=1)
+        assert path.proxy is not None
+        got = []
+        path.server.register_handler(lambda p: got.append(sim.now))
+        path.client.send(Packet("client", "server", 100))
+        sim.run()
+        # End-to-end one-way delay is preserved (~ RTT/2).
+        assert got[0] == pytest.approx(0.136 / 2, rel=0.05)
+
+    def test_bottleneck_shares_one_link(self):
+        sim = Simulator()
+        net, clients, servers, down = build_bottleneck(
+            sim, fairness_bottleneck(), n_pairs=3, seed=1
+        )
+        assert len(clients) == len(servers) == 3
+        got = []
+        clients[2].register_handler(lambda p: got.append(p))
+        servers[2].send(Packet("server2", "client2", 500))
+        sim.run()
+        assert len(got) == 1
+        assert down.stats.delivered_packets == 1

@@ -1,0 +1,110 @@
+"""Tests for mahimahi-style trace-driven bandwidth."""
+
+import pytest
+
+from repro.netem import (
+    BandwidthTrace,
+    Simulator,
+    TraceDrivenLink,
+    build_path,
+    emulated,
+    lte_like_trace,
+    saw_tooth_trace,
+)
+from repro.netem.tracebw import MTU_BYTES
+
+from .conftest import make_quic_pair, quic_download
+
+
+class TestBandwidthTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(0.0, [1e6])
+        with pytest.raises(ValueError):
+            BandwidthTrace(0.1, [])
+        with pytest.raises(ValueError):
+            BandwidthTrace(0.1, [-1.0])
+
+    def test_rate_at_loops(self):
+        trace = BandwidthTrace(1.0, [1e6, 2e6])
+        assert trace.rate_at(0.5) == 1e6
+        assert trace.rate_at(1.5) == 2e6
+        assert trace.rate_at(2.5) == 1e6  # looped
+
+    def test_mean_and_duration(self):
+        trace = BandwidthTrace(0.5, [1e6, 3e6])
+        assert trace.duration == 1.0
+        assert trace.mean_rate_bps() == 2e6
+
+    def test_from_delivery_timestamps(self):
+        # 10 grants in the first 100 ms: 10 * 1500 B * 8 / 0.1 s.
+        stamps = list(range(0, 100, 10))
+        trace = BandwidthTrace.from_delivery_timestamps(stamps, interval=0.1)
+        assert trace.rates_bps[0] == pytest.approx(10 * MTU_BYTES * 8 / 0.1)
+
+    def test_timestamp_round_trip_preserves_mean(self):
+        trace = BandwidthTrace(0.1, [12e6] * 20)
+        stamps = trace.to_delivery_timestamps()
+        back = BandwidthTrace.from_delivery_timestamps(stamps, interval=0.1)
+        assert back.mean_rate_bps() == pytest.approx(trace.mean_rate_bps(),
+                                                     rel=0.05)
+
+    def test_empty_timestamps_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace.from_delivery_timestamps([])
+
+
+class TestGenerators:
+    def test_saw_tooth_bounds(self):
+        trace = saw_tooth_trace(2.0, 10.0, duration=10.0)
+        assert min(trace.rates_bps) >= 2e6 - 1
+        assert max(trace.rates_bps) <= 10e6 + 1
+
+    def test_saw_tooth_validation(self):
+        with pytest.raises(ValueError):
+            saw_tooth_trace(10.0, 2.0)
+
+    def test_lte_like_statistics(self):
+        trace = lte_like_trace(mean_mbps=8.0, duration=120.0, seed=1)
+        mean = trace.mean_rate_bps() / 1e6
+        assert 5.0 < mean < 12.0  # log-normal around the target
+        assert any(rate == 0.0 for rate in trace.rates_bps)  # outages
+
+    def test_lte_like_seeded(self):
+        a = lte_like_trace(seed=7)
+        b = lte_like_trace(seed=7)
+        assert a.rates_bps == b.rates_bps
+
+
+class TestTraceDrivenLink:
+    def test_rates_applied_each_interval(self):
+        sim = Simulator()
+        path = build_path(sim, emulated(100.0), seed=1)
+        trace = BandwidthTrace(0.5, [5e6, 20e6])
+        driver = TraceDrivenLink(sim, [path.bottleneck_down], trace)
+        driver.start()
+        sim.run(until=2.1)
+        driver.stop()
+        assert len(driver.applied) >= 4
+        assert path.bottleneck_down.rate_bps in (5e6, 20e6)
+
+    def test_zero_rate_becomes_epsilon_stall(self):
+        sim = Simulator()
+        path = build_path(sim, emulated(100.0), seed=1)
+        trace = BandwidthTrace(1.0, [0.0])
+        driver = TraceDrivenLink(sim, [path.bottleneck_down], trace)
+        driver.start()
+        sim.run(until=0.5)
+        assert path.bottleneck_down.rate_bps == TraceDrivenLink.EPSILON_BPS
+
+    def test_transfer_over_lte_trace_completes(self):
+        sim = Simulator()
+        path, client, _server = make_quic_pair(sim, emulated(100.0), seed=2)
+        trace = lte_like_trace(mean_mbps=8.0, duration=60.0, seed=2)
+        driver = TraceDrivenLink(
+            sim, [path.bottleneck_down, path.bottleneck_up], trace)
+        driver.start()
+        elapsed = quic_download(sim, client, 2_000_000, timeout=120.0)
+        driver.stop()
+        # ~8 Mbps mean: a 2 MB object needs at least ~2 s.
+        assert elapsed > 1.5
