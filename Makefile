@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-report bench bench-report bench-full examples clean results
+.PHONY: install test test-report bench bench-smoke bench-report bench-full examples clean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,10 @@ bench:
 
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Fast end-to-end check: a tiny spec grid on 2 workers.
+bench-smoke:
+	$(PYTHON) -m repro spec --file examples/specs/smoke.json --jobs 2
 
 # Paper-scale: >=10 rounds per cell and full workload grids.
 bench-full:

@@ -1,0 +1,100 @@
+"""Measure serial vs parallel wall clock for the experiment executor.
+
+Runs the same ExperimentSpec grid with ``jobs=1`` and ``jobs=N``,
+verifies the results are byte-identical, and records the wall-clock
+comparison in ``benchmarks/results/executor_scaling.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/executor_scaling.py [--jobs 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from pathlib import Path
+
+from repro.core.executor import resolve_jobs
+from repro.core.experiment import (
+    ExperimentSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_experiment,
+)
+
+RESULTS = Path(__file__).parent / "results" / "executor_scaling.txt"
+
+
+def scaling_spec() -> ExperimentSpec:
+    """A 2 scenarios x 2 workloads x 2 protocols x 2 runs = 16-cell grid."""
+    return ExperimentSpec(
+        "executor-scaling",
+        description="wall-clock scaling probe for the parallel executor",
+        scenarios=[ScenarioSpec(10.0), ScenarioSpec(50.0, loss_pct=1.0)],
+        workloads=[WorkloadSpec(1, 1000), WorkloadSpec(100, 10)],
+        runs=2,
+    )
+
+
+def timed(spec: ExperimentSpec, jobs: int):
+    start = time.perf_counter()
+    result = run_experiment(spec, jobs=jobs)
+    return time.perf_counter() - start, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count (default 4)")
+    args = parser.parse_args()
+    jobs = resolve_jobs(args.jobs)
+
+    spec = scaling_spec()
+    cells = (len(spec.scenarios) * len(spec.workloads)
+             * len(spec.protocols) * spec.runs)
+    print(f"spec {spec.name!r}: {cells} runs total")
+
+    serial_s, serial = timed(spec, 1)
+    print(f"serial (jobs=1):   {serial_s:7.2f} s")
+    parallel_s, parallel = timed(spec, jobs)
+    print(f"parallel (jobs={jobs}): {parallel_s:7.2f} s")
+
+    identical = serial.to_json() == parallel.to_json()
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(f"speedup: {speedup:.2f}x, results identical: {identical}")
+
+    lines = [
+        "Executor scaling: serial vs parallel wall clock",
+        "===============================================",
+        "",
+        f"spec: {spec.name} ({len(spec.scenarios)} scenarios x "
+        f"{len(spec.workloads)} workloads x {len(spec.protocols)} protocols "
+        f"x {spec.runs} runs = {cells} independent simulations)",
+        f"host CPU count: {os.cpu_count()}",
+        "",
+        f"  jobs=1 (serial)    {serial_s:8.2f} s",
+        f"  jobs={jobs:<2}            {parallel_s:8.2f} s",
+        "",
+        f"  speedup            {speedup:8.2f} x",
+        f"  results identical  {identical}",
+        "",
+        "Every run is a pure function of (configuration, seed), so the",
+        "parallel ExperimentResult.to_json() is byte-identical to serial.",
+    ]
+    if (os.cpu_count() or 1) < 2:
+        lines += [
+            "",
+            "note: this host exposes a single core, so worker processes",
+            "time-share it and no speedup is possible here; on an N-core",
+            "host the independent simulations scale to ~min(N, jobs)x.",
+        ]
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text("\n".join(lines) + "\n")
+    print(f"written to {RESULTS}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

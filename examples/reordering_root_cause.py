@@ -14,6 +14,7 @@ Walks through the paper's Fig. 10 analysis end to end:
 Run:  python examples/reordering_root_cause.py
 """
 
+from repro.core import ProtocolSpec
 from repro.core.rootcause import loss_report
 from repro.core.runner import run_bulk_transfer
 from repro.netem import reordering_scenario
@@ -65,8 +66,8 @@ def main() -> None:
     ):
         cfg = quic_config(34)
         mutate(cfg)
-        show(label, run_bulk_transfer(scenario, SIZE, "quic", seed=1,
-                                      quic_cfg=cfg))
+        show(label, run_bulk_transfer(scenario, SIZE,
+                                      ProtocolSpec("quic", cfg), seed=1))
 
     print("\nconclusion: with reordering-robust loss detection QUIC matches "
           "or beats TCP again.")

@@ -14,7 +14,7 @@ Run:  python examples/state_machine_inference.py
 
 from pathlib import Path
 
-from repro.core import infer
+from repro.core import ProtocolSpec, infer
 from repro.core.runner import run_page_load
 from repro.devices import MOTOG
 from repro.http import page, single_object_page
@@ -67,7 +67,7 @@ def main() -> None:
     bbr_traces = []
     for seed in range(3):
         out = run_page_load(emulated(20.0), single_object_page(5 * 1024 * 1024),
-                            "quic", seed=seed, trace=True, quic_cfg=cfg)
+                            ProtocolSpec("quic", cfg), seed=seed, trace=True)
         bbr_traces.append(out.server_trace)
     bbr_model = infer(bbr_traces)
     print(bbr_model.summary())

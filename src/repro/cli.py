@@ -4,6 +4,7 @@ Examples::
 
     python -m repro compare --rate 10 --size-kb 200 --runs 10
     python -m repro heatmap --rates 5,10,50 --sizes-kb 5,100,1000 --runs 5
+    python -m repro spec --file examples/specs/desktop_plt.json --jobs 4
     python -m repro fairness --tcp-flows 2 --duration 30
     python -m repro bulk --protocol quic --size-mb 10 --rate 100 --loss 1
     python -m repro video --quality hd2160 --runs 3
@@ -20,6 +21,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .core.executor import ProtocolSpec
 from .core.runner import (
     build_plt_heatmap,
     compare_page_load,
@@ -66,7 +68,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     workload = _workload(args)
     device = DEVICE_PROFILES[args.device]
     cell = compare_page_load(scenario, workload, runs=args.runs,
-                             device=device)
+                             device=device, jobs=args.jobs)
     print(cell.describe())
     return 0
 
@@ -78,7 +80,7 @@ def cmd_heatmap(args: argparse.Namespace) -> int:
     pages = [single_object_page(kb * 1024) for kb in _ints(args.sizes_kb)]
     heatmap = build_plt_heatmap(
         "QUIC vs TCP page load time", scenarios, pages, runs=args.runs,
-        device=DEVICE_PROFILES[args.device],
+        device=DEVICE_PROFILES[args.device], jobs=args.jobs,
     )
     print(heatmap.render())
     return 0
@@ -97,13 +99,14 @@ def cmd_fairness(args: argparse.Namespace) -> int:
 
 def cmd_bulk(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
-    cfg = None
+    protocol = ProtocolSpec.of(args.protocol)
     if args.protocol == "quic" and args.nack_threshold is not None:
         cfg = quic_config(34)
         cfg.nack_threshold = args.nack_threshold
+        protocol = ProtocolSpec("quic", cfg)
     result = run_bulk_transfer(
-        scenario, int(args.size_mb * 1024 * 1024), args.protocol,
-        seed=args.seed, quic_cfg=cfg,
+        scenario, int(args.size_mb * 1024 * 1024), protocol,
+        seed=args.seed,
     )
     print(f"{args.protocol}: {result.elapsed:.3f}s, "
           f"{result.throughput_mbps:.2f} Mbps, "
@@ -149,9 +152,10 @@ def cmd_spec(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         spec = ExperimentSpec.from_json(handle.read())
     print(f"running spec {spec.name!r}: {len(spec.scenarios)} scenarios x "
-          f"{len(spec.workloads)} workloads x {spec.runs} runs")
+          f"{len(spec.workloads)} workloads x {spec.runs} runs"
+          + (f" on {args.jobs or 'all'} workers" if args.jobs != 1 else ""))
     result = run_experiment(
-        spec, seed_base=args.seed,
+        spec, seed_base=args.seed, jobs=args.jobs,
         progress=lambda key, plts: print(f"  done {'/'.join(key)}"),
     )
     print()
@@ -201,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def jobs_arg(p):
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for independent runs "
+                            "(0 = all cores, default 1 = serial)")
+
     def common_network(p):
         p.add_argument("--rate", type=float, default=10.0,
                        help="bottleneck rate, Mbps (default 10)")
@@ -220,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=10)
     p.add_argument("--device", choices=sorted(DEVICE_PROFILES),
                    default="desktop")
+    jobs_arg(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("heatmap", help="a Fig. 6-style grid")
@@ -232,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--device", choices=sorted(DEVICE_PROFILES),
                    default="desktop")
+    jobs_arg(p)
     p.set_defaults(func=cmd_heatmap)
 
     p = sub.add_parser("fairness", help="Table 4: shared bottleneck")
@@ -265,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file", required=True, help="JSON ExperimentSpec")
     p.add_argument("--out", default=None, help="write result JSON here")
     p.add_argument("--seed", type=int, default=0)
+    jobs_arg(p)
     p.set_defaults(func=cmd_spec)
 
     p = sub.add_parser("report", help="collate benchmarks/results into Markdown")

@@ -15,11 +15,21 @@ from .calibration import (
 )
 from .comparison import Comparison
 from .diffing import ModelDiff, diff_models, version_stability_report
+from .executor import (
+    ProtocolSpec,
+    RunFailure,
+    RunRecord,
+    RunRequest,
+    execute_request,
+    run_requests,
+)
 from .experiment import (
+    SCHEMA_VERSION,
     ExperimentResult,
     ExperimentSpec,
     ScenarioSpec,
     WorkloadSpec,
+    experiment_requests,
     run_experiment,
 )
 from .heatmap import Heatmap
@@ -76,10 +86,18 @@ __all__ = [
     "ModelDiff",
     "diff_models",
     "version_stability_report",
+    "ProtocolSpec",
+    "RunFailure",
+    "RunRecord",
+    "RunRequest",
+    "execute_request",
+    "run_requests",
+    "SCHEMA_VERSION",
     "ExperimentResult",
     "ExperimentSpec",
     "ScenarioSpec",
     "WorkloadSpec",
+    "experiment_requests",
     "run_experiment",
     "Heatmap",
     "Trace",

@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..http.objects import single_object_page
 from ..netem.profiles import Scenario, emulated
 from ..quic.config import QuicConfig, quic_config
+from .executor import ProtocolSpec
 from .runner import run_page_load
 from .stats import mean, sample_std
 
@@ -105,8 +106,9 @@ def measure_server_configuration(
     for i in range(runs):
         frontend = GAEFrontend(None, seed=seed_base * 977 + i) if gae_like else None
         output = run_page_load(
-            scenario, single_object_page(size_bytes), "quic",
-            seed=seed_base + i, quic_cfg=quic_cfg,
+            scenario, single_object_page(size_bytes),
+            ProtocolSpec("quic", quic_cfg),
+            seed=seed_base + i,
         )
         plt = output.result.plt
         # First-byte wait: handshake + request RTT + server think time.
@@ -158,8 +160,8 @@ def calibrate_macw(
 
     def mean_plt(cfg: QuicConfig) -> float:
         return mean([
-            run_page_load(scenario, page, "quic", seed=seed_base + i,
-                          quic_cfg=cfg).plt
+            run_page_load(scenario, page, ProtocolSpec("quic", cfg),
+                          seed=seed_base + i).plt
             for i in range(runs)
         ])
 

@@ -28,6 +28,10 @@ class Comparison:
     quic: List[float]
     tcp: List[float]
     metric: str = "plt"
+    #: What the two sides are called; variant comparisons (e.g. 0-RTT
+    #: on/off) override these so reports name the actual treatments.
+    treatment_name: str = "QUIC"
+    baseline_name: str = "TCP"
 
     def __post_init__(self) -> None:
         if not self.quic or not self.tcp:
@@ -69,8 +73,9 @@ class Comparison:
     def describe(self) -> str:
         t = self.ttest
         return (
-            f"{self.label}: QUIC {self.quic_mean:.3f}s "
-            f"(sd {sample_std(self.quic):.3f}) vs TCP {self.tcp_mean:.3f}s "
+            f"{self.label}: {self.treatment_name} {self.quic_mean:.3f}s "
+            f"(sd {sample_std(self.quic):.3f}) vs {self.baseline_name} "
+            f"{self.tcp_mean:.3f}s "
             f"(sd {sample_std(self.tcp):.3f}) -> {self.pct_diff:+.1f}% "
             f"(p={t.p_value:.4f}, {self.winner})"
         )

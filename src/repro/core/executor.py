@@ -1,0 +1,451 @@
+"""Parallel experiment execution engine.
+
+The paper's methodology is a large matrix of *independent* seeded
+simulations — "at least 10" rounds per (scenario x workload x protocol)
+cell — and every run is a pure function of ``(configuration, seed)``.
+That makes the matrix embarrassingly parallel: this module fans the runs
+out across CPU cores.
+
+The unit of work is a :class:`RunRequest`: a frozen, picklable
+description of one run (scenario, page workload, :class:`ProtocolSpec`,
+device, seed, trace options).  Executing one yields a :class:`RunRecord`
+carrying the metrics, wall-clock timing and — instead of an exception
+that would poison a whole batch — a structured :class:`RunFailure`.
+
+:func:`run_requests` is the engine: a bounded process pool
+(``jobs`` workers, chunked dispatch) with per-run wall-clock timeout
+enforcement, bounded retry-on-failure, and a progress callback.  Results
+are always returned in *request order* regardless of completion order,
+and each run re-seeds from its request alone, so a parallel execution is
+bit-identical to a serial one.  ``jobs=1`` is a true in-process serial
+mode — the escape hatch for Windows, coverage tooling, and debugging —
+and the engine degrades to it automatically if the pool cannot be used.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..devices import DESKTOP, DeviceProfile
+from ..http.objects import WebPage
+from ..netem.profiles import Scenario
+from ..quic.config import QuicConfig, quic_config
+from ..tcp.config import TcpConfig, tcp_config
+
+#: Simulated-time cap per run (mirrors ``runner.DEFAULT_TIMEOUT``).
+DEFAULT_SIM_TIMEOUT = 900.0
+#: Environment knob forcing in-process serial execution everywhere.
+SERIAL_ENV_VAR = "REPRO_EXECUTOR_SERIAL"
+
+PROTOCOL_NAMES = ("quic", "tcp")
+
+
+# ----------------------------------------------------------------------
+# request / result types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A protocol plus its configuration, as one picklable value.
+
+    Replaces the stringly ``protocol="quic"`` + ``quic_cfg=``/``tcp_cfg=``
+    keyword sprawl: the name selects the stack, ``config`` carries its
+    tunables (``None`` means the paper's defaults, resolved lazily so the
+    pickle stays small).
+    """
+
+    name: str
+    config: Optional[Union[QuicConfig, TcpConfig]] = None
+
+    def __post_init__(self) -> None:
+        if self.name not in PROTOCOL_NAMES:
+            raise ValueError(
+                f"unknown protocol {self.name!r} (expected one of "
+                f"{', '.join(PROTOCOL_NAMES)})"
+            )
+        if self.config is not None:
+            expected = QuicConfig if self.name == "quic" else TcpConfig
+            if not isinstance(self.config, expected):
+                raise TypeError(
+                    f"{self.name} ProtocolSpec needs a {expected.__name__}, "
+                    f"got {type(self.config).__name__}"
+                )
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def quic(cls, config: Optional[QuicConfig] = None, *,
+             version: Optional[int] = None) -> "ProtocolSpec":
+        """A QUIC spec; ``version`` builds the version-keyed config."""
+        if version is not None:
+            if config is not None:
+                raise TypeError("pass either config or version, not both")
+            config = quic_config(version)
+        return cls("quic", config)
+
+    @classmethod
+    def tcp(cls, config: Optional[TcpConfig] = None) -> "ProtocolSpec":
+        return cls("tcp", config)
+
+    @classmethod
+    def of(cls, protocol: Union[str, "ProtocolSpec"],
+           config: Optional[Union[QuicConfig, TcpConfig]] = None
+           ) -> "ProtocolSpec":
+        """Coerce a protocol name or an existing spec into a spec."""
+        if isinstance(protocol, ProtocolSpec):
+            if config is not None:
+                raise TypeError(
+                    "pass the configuration inside the ProtocolSpec, not "
+                    "alongside it")
+            return protocol
+        return cls(protocol, config)
+
+    # -- accessors ---------------------------------------------------------
+    def resolved_config(self) -> Union[QuicConfig, TcpConfig]:
+        """The configuration, with the paper's defaults filled in."""
+        if self.config is not None:
+            return self.config
+        return quic_config(34) if self.name == "quic" else tcp_config()
+
+    @property
+    def label(self) -> str:
+        if self.config is None:
+            return self.name
+        if isinstance(self.config, QuicConfig):
+            return self.config.label()
+        return "tcp(custom)"
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One seeded run, serialisable to a worker process and back.
+
+    Everything needed to reconstruct the run lives here as plain frozen
+    data: the :class:`~repro.netem.profiles.Scenario` (itself a data-only
+    spec — see ``Scenario.to_spec``/``from_spec``), the page workload,
+    the :class:`ProtocolSpec`, the device model, the seed, and the trace
+    options.  ``timeout`` caps *simulated* time (the in-sim watchdog);
+    wall-clock budgets are enforced by the executor.
+    """
+
+    scenario: Scenario
+    page: WebPage
+    protocol: ProtocolSpec
+    seed: int = 0
+    device: DeviceProfile = DESKTOP
+    trace: bool = False
+    cwnd_interval: float = 0.0
+    proxied: bool = False
+    timeout: float = DEFAULT_SIM_TIMEOUT
+
+    @property
+    def label(self) -> str:
+        return (f"{self.protocol.name} {self.page.name} @ "
+                f"{self.scenario.name} seed={self.seed}")
+
+    def with_(self, **changes: Any) -> "RunRequest":
+        return replace(self, **changes)
+
+    def execute(self) -> "RunRecord":
+        """Run in-process (no pool) and return the record."""
+        return execute_request(self)
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Structured description of why a run produced no sample.
+
+    ``kind`` is one of ``"timeout"`` (wall-clock budget exceeded),
+    ``"incomplete"`` (the simulation hit its simulated-time cap), or
+    ``"error"`` (an exception — the only kind the executor retries).
+    """
+
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+@dataclass
+class RunRecord:
+    """What one executed :class:`RunRequest` produced."""
+
+    request: RunRequest
+    plt: Optional[float] = None
+    complete: bool = False
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds the (final) attempt took.
+    wall_time: float = 0.0
+    #: Total attempts made, including the successful one.
+    attempts: int = 1
+    failure: Optional[RunFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None and self.complete
+
+    def require(self) -> float:
+        """The PLT sample, or a RuntimeError mirroring the serial API."""
+        if self.ok and self.plt is not None:
+            return self.plt
+        reason = str(self.failure) if self.failure else "did not complete"
+        raise RuntimeError(
+            f"{self.request.protocol.name} load of {self.request.page.name} "
+            f"in {self.request.scenario.name} (seed {self.request.seed}) "
+            f"failed: {reason}"
+        )
+
+
+#: A run function: maps a request to a record (may raise).  Injectable so
+#: tests can exercise timeout/retry handling without real simulations.
+RunFn = Callable[[RunRequest], RunRecord]
+ProgressFn = Callable[[RunRecord], None]
+
+
+def execute_request(request: RunRequest) -> RunRecord:
+    """Execute one request with the real simulator (the default RunFn)."""
+    from .runner import run_page_load  # runner sits above this module
+
+    output = run_page_load(
+        request.scenario, request.page, request.protocol,
+        seed=request.seed, device=request.device, trace=request.trace,
+        cwnd_interval=request.cwnd_interval, proxied=request.proxied,
+        timeout=request.timeout,
+    )
+    result = output.result
+    metrics: Dict[str, float] = {
+        "bytes": float(request.page.total_bytes),
+        "objects": float(request.page.object_count),
+    }
+    if request.trace:
+        for state, fraction in output.server_trace.dwell_fractions().items():
+            metrics[f"dwell:{state}"] = fraction
+    if not result.complete:
+        return RunRecord(
+            request=request, plt=None, complete=False, metrics=metrics,
+            failure=RunFailure(
+                "incomplete",
+                f"page load still running after {request.timeout:g}s of "
+                f"simulated time"),
+        )
+    metrics["plt"] = result.plt
+    return RunRecord(request=request, plt=result.plt, complete=True,
+                     metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# wall-clock timeout enforcement
+# ----------------------------------------------------------------------
+class WallClockTimeout(Exception):
+    """Raised inside a run when its wall-clock budget expires."""
+
+
+@contextlib.contextmanager
+def _wall_clock_deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`WallClockTimeout` in the current frame after ``seconds``.
+
+    Uses ``SIGALRM``; on platforms without it (Windows) or off the main
+    thread the budget is simply not enforced — the simulated-time cap in
+    the request still bounds the run.
+    """
+    usable = (
+        seconds is not None and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise WallClockTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _guarded_run(run_fn: RunFn, request: RunRequest,
+                 wall_timeout: Optional[float]) -> RunRecord:
+    """One attempt: exceptions and timeouts become failure records."""
+    start = time.perf_counter()
+    try:
+        with _wall_clock_deadline(wall_timeout):
+            record = run_fn(request)
+        if not isinstance(record, RunRecord):
+            raise TypeError(
+                f"run function returned {type(record).__name__}, "
+                f"expected RunRecord")
+    except WallClockTimeout:
+        record = RunRecord(request=request, failure=RunFailure(
+            "timeout",
+            f"run exceeded its {wall_timeout:g}s wall-clock budget"))
+    except Exception as exc:  # noqa: BLE001 - converted to structured failure
+        record = RunRecord(request=request, failure=RunFailure(
+            "error", f"{type(exc).__name__}: {exc}"))
+    record.wall_time = time.perf_counter() - start
+    return record
+
+
+def _run_with_retries(run_fn: RunFn, request: RunRequest,
+                      wall_timeout: Optional[float], retries: int) -> RunRecord:
+    """Attempt a run up to ``1 + retries`` times.
+
+    Only ``"error"`` failures are retried: timeouts and simulated-time
+    exhaustion are deterministic in this simulator, so repeating them
+    would only burn the pool's time.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        record = _guarded_run(run_fn, request, wall_timeout)
+        record.attempts = attempt
+        if record.failure is None or record.failure.kind != "error":
+            return record
+        if attempt > retries:
+            return record
+
+
+def _run_chunk(run_fn: RunFn, chunk: Sequence[RunRequest],
+               wall_timeout: Optional[float], retries: int) -> List[RunRecord]:
+    """Worker-side entry point: execute one chunk of requests in order."""
+    return [_run_with_retries(run_fn, request, wall_timeout, retries)
+            for request in chunk]
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument: ``None``/``0`` mean "all cores"."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = all cores)")
+    return jobs
+
+
+def _force_serial() -> bool:
+    return sys.platform == "win32" or bool(os.environ.get(SERIAL_ENV_VAR))
+
+
+def _chunked(requests: Sequence[RunRequest], chunk_size: int
+             ) -> List[Tuple[int, List[RunRequest]]]:
+    return [(start, list(requests[start:start + chunk_size]))
+            for start in range(0, len(requests), chunk_size)]
+
+
+def run_requests(
+    requests: Sequence[RunRequest],
+    *,
+    jobs: Optional[int] = 1,
+    wall_timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[ProgressFn] = None,
+    chunk_size: Optional[int] = None,
+    run_fn: Optional[RunFn] = None,
+) -> List[RunRecord]:
+    """Execute ``requests`` and return records in *request order*.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` runs serially in-process, ``None``/``0``
+        uses every core.  Serial mode is also forced on Windows or when
+        ``REPRO_EXECUTOR_SERIAL`` is set (the coverage/debug escape
+        hatch).
+    wall_timeout:
+        Per-run wall-clock budget in seconds; an overrun yields a
+        ``"timeout"`` :class:`RunFailure` instead of hanging the pool.
+    retries:
+        How many times an ``"error"`` failure is retried (bounded;
+        deterministic timeout/incomplete failures are never retried).
+    progress:
+        Called with each :class:`RunRecord` as it completes (completion
+        order, which under parallelism differs from request order).
+    chunk_size:
+        Requests dispatched per pool task; defaults to an even split
+        that gives each worker ~4 chunks (amortises IPC without
+        serialising the tail).
+    run_fn:
+        The per-request run function (default: the real simulator).
+        Must be picklable (module-level) when ``jobs > 1``.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    requests = list(requests)
+    if not requests:
+        return []
+    run = run_fn if run_fn is not None else execute_request
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(requests) == 1 or _force_serial():
+        out = []
+        for request in requests:
+            record = _run_with_retries(run, request, wall_timeout, retries)
+            out.append(record)
+            if progress is not None:
+                progress(record)
+        return out
+
+    n_jobs = min(n_jobs, len(requests))
+    if chunk_size is None:
+        chunk_size = max(1, len(requests) // (n_jobs * 4))
+    elif chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunks = _chunked(requests, chunk_size)
+    results: List[Optional[RunRecord]] = [None] * len(requests)
+    try:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            future_to_start = {
+                pool.submit(_run_chunk, run, chunk, wall_timeout, retries): start
+                for start, chunk in chunks
+            }
+            pending = set(future_to_start)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    start = future_to_start[future]
+                    try:
+                        records = future.result()
+                    except Exception:  # noqa: BLE001 - broken pool/pickling
+                        continue  # slots stay None; serial fallback below
+                    for offset, record in enumerate(records):
+                        results[start + offset] = record
+                        if progress is not None:
+                            progress(record)
+    except Exception:  # pragma: no cover - pool setup failure
+        pass  # graceful fallback: finish everything serially below
+    for index, record in enumerate(results):
+        if record is None:
+            record = _run_with_retries(run, requests[index], wall_timeout,
+                                       retries)
+            results[index] = record
+            if progress is not None:
+                progress(record)
+    return results  # type: ignore[return-value]  # all slots filled above
+
+
+def failed_records(records: Sequence[RunRecord]) -> List[RunRecord]:
+    """The subset of ``records`` that produced no sample."""
+    return [record for record in records if not record.ok]

@@ -29,17 +29,37 @@ Example spec (JSON)::
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..devices import DEVICE_PROFILES
 from ..http.objects import WebPage, page
 from ..netem.profiles import Scenario, emulated
 from ..quic.config import quic_config
 from .comparison import Comparison
+from .executor import ProtocolSpec, RunRequest, run_requests
 from .heatmap import Heatmap
-from .runner import measure_plts
 from .stats import mean, sample_std
+
+#: Version of the JSON spec schema this build reads and writes.
+SCHEMA_VERSION = 1
+
+
+def _reject_unknown_keys(kind: str, raw: Mapping[str, Any],
+                         allowed: set) -> None:
+    unknown = sorted(set(raw) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown {kind} key(s): {', '.join(map(repr, unknown))} "
+            f"(known keys: {', '.join(sorted(allowed))})"
+        )
+
+
+def _parse_entry(cls: type, raw: Mapping[str, Any], kind: str):
+    if not isinstance(raw, Mapping):
+        raise ValueError(f"each {kind} must be a JSON object, got {raw!r}")
+    _reject_unknown_keys(kind, raw, {f.name for f in fields(cls)})
+    return cls(**raw)
 
 
 @dataclass(frozen=True)
@@ -88,6 +108,7 @@ class ExperimentSpec:
     device: str = "desktop"
     quic_version: int = 34
     description: str = ""
+    schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
         if not self.scenarios or not self.workloads:
@@ -99,6 +120,15 @@ class ExperimentSpec:
         for protocol in self.protocols:
             if protocol not in ("quic", "tcp"):
                 raise ValueError(f"unknown protocol {protocol!r}")
+        if not isinstance(self.schema_version, int) or self.schema_version < 1:
+            raise ValueError(
+                f"schema_version must be a positive integer, "
+                f"got {self.schema_version!r}")
+        if self.schema_version > SCHEMA_VERSION:
+            raise ValueError(
+                f"spec schema_version {self.schema_version} is newer than "
+                f"this build supports (<= {SCHEMA_VERSION}); upgrade repro "
+                f"or re-export the spec")
 
     # -- serialisation -----------------------------------------------------
     def to_json(self) -> str:
@@ -109,15 +139,25 @@ class ExperimentSpec:
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
         raw = json.loads(text)
+        if not isinstance(raw, dict):
+            raise ValueError("an experiment spec must be a JSON object")
+        _reject_unknown_keys("experiment spec", raw,
+                             {f.name for f in fields(cls)})
+        for required in ("name", "scenarios", "workloads"):
+            if required not in raw:
+                raise ValueError(f"experiment spec is missing {required!r}")
         return cls(
             name=raw["name"],
-            scenarios=[ScenarioSpec(**s) for s in raw["scenarios"]],
-            workloads=[WorkloadSpec(**w) for w in raw["workloads"]],
+            scenarios=[_parse_entry(ScenarioSpec, s, "scenario")
+                       for s in raw["scenarios"]],
+            workloads=[_parse_entry(WorkloadSpec, w, "workload")
+                       for w in raw["workloads"]],
             protocols=tuple(raw.get("protocols", ("quic", "tcp"))),
             runs=raw.get("runs", 10),
             device=raw.get("device", "desktop"),
             quic_version=raw.get("quic_version", 34),
             description=raw.get("description", ""),
+            schema_version=raw.get("schema_version", SCHEMA_VERSION),
         )
 
 
@@ -177,24 +217,51 @@ class ExperimentResult:
         return cls(spec=spec, samples=samples)
 
 
-def run_experiment(spec: ExperimentSpec, *, seed_base: int = 0,
-                   progress: Optional[Any] = None) -> ExperimentResult:
-    """Execute a spec: every (scenario x workload x protocol) cell."""
-    result = ExperimentResult(spec=spec)
+def experiment_requests(spec: ExperimentSpec, *, seed_base: int = 0
+                        ) -> List[Tuple[Tuple[str, str, str],
+                                        List[RunRequest]]]:
+    """Expand a spec into its (cell key, seeded RunRequests) pairs."""
     device = DEVICE_PROFILES[spec.device]
-    quic_cfg = quic_config(spec.quic_version)
+    quic_spec = ProtocolSpec("quic", quic_config(spec.quic_version))
+    tcp_spec = ProtocolSpec("tcp")
+    cells: List[Tuple[Tuple[str, str, str], List[RunRequest]]] = []
     for scenario_spec in spec.scenarios:
         scenario = scenario_spec.build()
         for workload_spec in spec.workloads:
             workload = workload_spec.build()
             for protocol in spec.protocols:
-                plts = measure_plts(
-                    scenario, workload, protocol, runs=spec.runs,
-                    seed_base=seed_base, device=device,
-                    quic_cfg=quic_cfg if protocol == "quic" else None,
-                )
+                proto = quic_spec if protocol == "quic" else tcp_spec
                 key = (scenario_spec.label, workload_spec.label, protocol)
-                result.samples[key] = plts
-                if progress is not None:
-                    progress(key, plts)
+                cells.append((key, [
+                    RunRequest(scenario=scenario, page=workload,
+                               protocol=proto, seed=seed_base + i,
+                               device=device)
+                    for i in range(spec.runs)
+                ]))
+    return cells
+
+
+def run_experiment(spec: ExperimentSpec, *, seed_base: int = 0,
+                   progress: Optional[Any] = None,
+                   jobs: Optional[int] = 1) -> ExperimentResult:
+    """Execute a spec: every (scenario x workload x protocol) cell.
+
+    ``jobs`` fans every seeded run of the whole grid out over the
+    process-pool executor; because each run is a pure function of its
+    request, the result (including ``to_json()``) is byte-identical for
+    any worker count.  ``progress(key, plts)`` fires once per completed
+    cell.
+    """
+    result = ExperimentResult(spec=spec)
+    cells = experiment_requests(spec, seed_base=seed_base)
+    flat = [request for _, requests in cells for request in requests]
+    records = run_requests(flat, jobs=jobs)
+    offset = 0
+    for key, requests in cells:
+        cell_records = records[offset:offset + len(requests)]
+        offset += len(requests)
+        plts = [record.require() for record in cell_records]
+        result.samples[key] = plts
+        if progress is not None:
+            progress(key, plts)
     return result

@@ -5,13 +5,23 @@ builds a fresh simulated testbed (Fig. 1 / Fig. 4 / Fig. 16 topology),
 runs one or many page loads / transfers, and returns metrics plus the
 instrumented traces needed for root-cause analysis.  The benchmark
 harness and the examples are thin layers over this module.
+
+Batch drivers (``measure_plts``, ``compare_page_load``,
+``compare_quic_variants``, ``build_plt_heatmap``) accept ``jobs=`` and
+fan their independent seeded rounds out over
+:mod:`repro.core.executor`; seeded results are bit-identical to serial
+execution.  A protocol is named by a
+:class:`~repro.core.executor.ProtocolSpec`; the old ``protocol="quic"``
+string plus ``quic_cfg=``/``tcp_cfg=`` keyword form still works but
+raises :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..devices import DESKTOP, DeviceProfile
 from ..http.client import PageLoader, PageLoadResult
@@ -26,6 +36,7 @@ from ..quic.connection import open_quic_pair
 from ..tcp.config import TcpConfig, tcp_config
 from ..tcp.connection import open_tcp_pair
 from .comparison import Comparison
+from .executor import ProtocolSpec, RunRecord, RunRequest, run_requests
 from .heatmap import Heatmap
 from .instrumentation import Trace
 from .monitors import FlowThroughputMonitor
@@ -33,6 +44,67 @@ from .monitors import FlowThroughputMonitor
 #: Default number of measurement rounds (the paper: "at least 10").
 DEFAULT_RUNS = 10
 DEFAULT_TIMEOUT = 900.0
+
+#: What a protocol argument may look like across the public drivers.
+ProtocolLike = Union[str, ProtocolSpec]
+
+
+def _coerce_protocol(caller: str, protocol: ProtocolLike,
+                     quic_cfg: Optional[QuicConfig] = None,
+                     tcp_cfg: Optional[TcpConfig] = None) -> ProtocolSpec:
+    """Accept a ProtocolSpec or the deprecated string + cfg-kwarg form."""
+    if quic_cfg is not None or tcp_cfg is not None:
+        if isinstance(protocol, ProtocolSpec):
+            raise TypeError(
+                f"{caller}: pass the configuration inside the ProtocolSpec, "
+                f"not via quic_cfg=/tcp_cfg=")
+        warnings.warn(
+            f"{caller}(..., quic_cfg=/tcp_cfg=) is deprecated; pass "
+            f"protocol=ProtocolSpec(name, config) instead",
+            DeprecationWarning, stacklevel=3)
+    if isinstance(protocol, ProtocolSpec):
+        return protocol
+    if protocol == "quic":
+        return ProtocolSpec("quic", quic_cfg)
+    if protocol == "tcp":
+        return ProtocolSpec("tcp", tcp_cfg)
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+#: RunRequest fields settable through the batch drivers' ``**kwargs``.
+_REQUEST_FIELDS = ("device", "trace", "cwnd_interval", "proxied", "timeout")
+
+
+def _request_fields(caller: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    unknown = sorted(set(kwargs) - set(_REQUEST_FIELDS))
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword argument(s) "
+            f"{', '.join(map(repr, unknown))}; RunRequest accepts "
+            f"{', '.join(_REQUEST_FIELDS)}")
+    return kwargs
+
+
+def _side_spec(name: str, value: Optional[Union[QuicConfig, TcpConfig,
+                                                ProtocolSpec]]) -> ProtocolSpec:
+    """Coerce one comparison side (a config, a spec, or None) to a spec."""
+    if isinstance(value, ProtocolSpec):
+        if value.name != name:
+            raise ValueError(
+                f"the {name} side of a comparison got a {value.name} "
+                f"ProtocolSpec")
+        return value
+    return ProtocolSpec(name, value)
+
+
+def _seeded_requests(scenario: Scenario, page: WebPage, spec: ProtocolSpec,
+                     runs: int, seed_base: int,
+                     fields: Dict[str, Any]) -> List[RunRequest]:
+    return [
+        RunRequest(scenario=scenario, page=page, protocol=spec,
+                   seed=seed_base + round_idx, **fields)
+        for round_idx in range(runs)
+    ]
 
 
 @dataclass
@@ -77,7 +149,7 @@ def _make_connections(sim: Simulator, path: Path, protocol: str,
 def run_page_load(
     scenario: Scenario,
     page: WebPage,
-    protocol: str,
+    protocol: ProtocolLike,
     *,
     seed: int = 0,
     quic_cfg: Optional[QuicConfig] = None,
@@ -90,11 +162,20 @@ def run_page_load(
 ) -> RunOutput:
     """Load ``page`` once over ``protocol`` in ``scenario``; return metrics.
 
-    With ``proxied`` a split-connection proxy sits midway (Fig. 16); the
-    proxy terminates the same protocol on both legs.
+    ``protocol`` is a :class:`ProtocolSpec` (or a bare ``"quic"``/
+    ``"tcp"`` for the defaults; the ``quic_cfg=``/``tcp_cfg=`` keyword
+    form is deprecated).  With ``proxied`` a split-connection proxy sits
+    midway (Fig. 16); the proxy terminates the same protocol on both
+    legs.
     """
-    quic_cfg = quic_cfg if quic_cfg is not None else quic_config(34)
-    tcp_cfg = tcp_cfg if tcp_cfg is not None else tcp_config()
+    spec = _coerce_protocol("run_page_load", protocol, quic_cfg, tcp_cfg)
+    protocol = spec.name
+    if spec.name == "quic":
+        quic_cfg = spec.resolved_config()
+        tcp_cfg = tcp_cfg if tcp_cfg is not None else tcp_config()
+    else:
+        tcp_cfg = spec.resolved_config()
+        quic_cfg = quic_cfg if quic_cfg is not None else quic_config(34)
     sim = Simulator()
     server_trace = Trace(label=f"{protocol}-server", enabled=trace,
                          cwnd_min_interval=cwnd_interval)
@@ -132,25 +213,24 @@ def run_page_load(
 def measure_plts(
     scenario: Scenario,
     page: WebPage,
-    protocol: str,
+    protocol: ProtocolLike,
     runs: int = DEFAULT_RUNS,
     *,
     seed_base: int = 0,
+    jobs: Optional[int] = 1,
+    quic_cfg: Optional[QuicConfig] = None,
+    tcp_cfg: Optional[TcpConfig] = None,
     **kwargs: Any,
 ) -> List[float]:
-    """PLT samples over ``runs`` seeded rounds (paper: >= 10 per scenario)."""
-    plts = []
-    for round_idx in range(runs):
-        output = run_page_load(
-            scenario, page, protocol, seed=seed_base + round_idx, **kwargs
-        )
-        if not output.result.complete:
-            raise RuntimeError(
-                f"{protocol} load of {page.name} in {scenario.name} "
-                f"(seed {seed_base + round_idx}) did not complete"
-            )
-        plts.append(output.result.plt)
-    return plts
+    """PLT samples over ``runs`` seeded rounds (paper: >= 10 per scenario).
+
+    ``jobs`` fans the independent rounds out across worker processes;
+    seeded samples are identical to serial execution.
+    """
+    spec = _coerce_protocol("measure_plts", protocol, quic_cfg, tcp_cfg)
+    fields = _request_fields("measure_plts", kwargs)
+    requests = _seeded_requests(scenario, page, spec, runs, seed_base, fields)
+    return [record.require() for record in run_requests(requests, jobs=jobs)]
 
 
 def compare_page_load(
@@ -160,23 +240,49 @@ def compare_page_load(
     *,
     label: Optional[str] = None,
     seed_base: int = 0,
+    jobs: Optional[int] = 1,
+    quic: Optional[Union[QuicConfig, ProtocolSpec]] = None,
+    tcp: Optional[Union[TcpConfig, ProtocolSpec]] = None,
     quic_kwargs: Optional[Dict[str, Any]] = None,
     tcp_kwargs: Optional[Dict[str, Any]] = None,
     **common: Any,
 ) -> Comparison:
-    """The paper's core unit: back-to-back QUIC and TCP rounds, compared."""
-    quic_kwargs = dict(common, **(quic_kwargs or {}))
-    tcp_kwargs = dict(common, **(tcp_kwargs or {}))
-    quic_plts: List[float] = []
-    tcp_plts: List[float] = []
-    for round_idx in range(runs):
-        seed = seed_base + round_idx
-        quic_plts.append(
-            run_page_load(scenario, page, "quic", seed=seed, **quic_kwargs).plt
+    """The paper's core unit: back-to-back QUIC and TCP rounds, compared.
+
+    ``quic``/``tcp`` override either side's configuration (a config or a
+    full :class:`ProtocolSpec`).  The per-side ``quic_kwargs``/
+    ``tcp_kwargs`` dicts are deprecated and force the serial path.
+    """
+    if quic_kwargs is not None or tcp_kwargs is not None:
+        warnings.warn(
+            "compare_page_load(..., quic_kwargs=/tcp_kwargs=) is deprecated; "
+            "pass quic=/tcp= ProtocolSpecs (plus shared RunRequest fields)",
+            DeprecationWarning, stacklevel=2)
+        quic_kw = dict(common, **(quic_kwargs or {}))
+        tcp_kw = dict(common, **(tcp_kwargs or {}))
+        quic_plts = [
+            run_page_load(scenario, page, "quic", seed=seed_base + i,
+                          **quic_kw).plt
+            for i in range(runs)
+        ]
+        tcp_plts = [
+            run_page_load(scenario, page, "tcp", seed=seed_base + i,
+                          **tcp_kw).plt
+            for i in range(runs)
+        ]
+        return Comparison(
+            label or f"{scenario.name} / {page.name}", quic_plts, tcp_plts
         )
-        tcp_plts.append(
-            run_page_load(scenario, page, "tcp", seed=seed, **tcp_kwargs).plt
-        )
+    quic_spec = _side_spec("quic", quic)
+    tcp_spec = _side_spec("tcp", tcp)
+    fields = _request_fields("compare_page_load", common)
+    requests = (
+        _seeded_requests(scenario, page, quic_spec, runs, seed_base, fields)
+        + _seeded_requests(scenario, page, tcp_spec, runs, seed_base, fields)
+    )
+    records = run_requests(requests, jobs=jobs)
+    quic_plts = [record.require() for record in records[:runs]]
+    tcp_plts = [record.require() for record in records[runs:]]
     return Comparison(
         label or f"{scenario.name} / {page.name}", quic_plts, tcp_plts
     )
@@ -193,21 +299,24 @@ def compare_quic_variants(
     treatment_name: str = "treatment",
     baseline_name: str = "baseline",
     seed_base: int = 0,
+    jobs: Optional[int] = 1,
     **common: Any,
 ) -> Comparison:
     """Compare two QUIC configurations (e.g. 0-RTT on/off for Fig. 7)."""
-    treat: List[float] = []
-    base: List[float] = []
-    for round_idx in range(runs):
-        seed = seed_base + round_idx
-        treat.append(run_page_load(scenario, page, "quic", seed=seed,
-                                   quic_cfg=treatment_cfg, **common).plt)
-        base.append(run_page_load(scenario, page, "quic", seed=seed,
-                                  quic_cfg=baseline_cfg, **common).plt)
-    comparison = Comparison(
-        label or f"{scenario.name} / {page.name}", treat, base
+    fields = _request_fields("compare_quic_variants", common)
+    treatment = ProtocolSpec("quic", treatment_cfg)
+    baseline = ProtocolSpec("quic", baseline_cfg)
+    requests = (
+        _seeded_requests(scenario, page, treatment, runs, seed_base, fields)
+        + _seeded_requests(scenario, page, baseline, runs, seed_base, fields)
     )
-    return comparison
+    records = run_requests(requests, jobs=jobs)
+    treat = [record.require() for record in records[:runs]]
+    base = [record.require() for record in records[runs:]]
+    return Comparison(
+        label or f"{scenario.name} / {page.name}", treat, base,
+        treatment_name=treatment_name, baseline_name=baseline_name,
+    )
 
 
 def build_plt_heatmap(
@@ -217,21 +326,50 @@ def build_plt_heatmap(
     runs: int = DEFAULT_RUNS,
     *,
     compare: Optional[Callable[[Scenario, WebPage], Comparison]] = None,
+    jobs: Optional[int] = 1,
+    seed_base: int = 0,
+    quic: Optional[Union[QuicConfig, ProtocolSpec]] = None,
+    tcp: Optional[Union[TcpConfig, ProtocolSpec]] = None,
     **kwargs: Any,
 ) -> Heatmap:
-    """Build a Fig. 6/8-style heatmap: scenarios as rows, pages as columns."""
+    """Build a Fig. 6/8-style heatmap: scenarios as rows, pages as columns.
+
+    Without a custom ``compare`` callback the whole grid — every
+    (scenario x page x protocol x round) — is fanned out over the
+    executor in one batch, so ``jobs`` parallelises across cells, not
+    just within them.
+    """
     heatmap = Heatmap(
         title,
         row_labels=[s.name for s in scenarios],
         col_labels=[p.name for p in pages],
     )
-    for scenario in scenarios:
-        for page in pages:
-            if compare is not None:
-                cell = compare(scenario, page)
-            else:
-                cell = compare_page_load(scenario, page, runs=runs, **kwargs)
-            heatmap.put(scenario.name, page.name, cell)
+    if compare is not None:
+        for scenario in scenarios:
+            for page in pages:
+                heatmap.put(scenario.name, page.name, compare(scenario, page))
+        return heatmap
+    quic_spec = _side_spec("quic", quic)
+    tcp_spec = _side_spec("tcp", tcp)
+    fields = _request_fields("build_plt_heatmap", kwargs)
+    cells: List[Tuple[Scenario, WebPage]] = [
+        (scenario, page) for scenario in scenarios for page in pages
+    ]
+    requests: List[RunRequest] = []
+    for scenario, page in cells:
+        requests.extend(
+            _seeded_requests(scenario, page, quic_spec, runs, seed_base,
+                             fields))
+        requests.extend(
+            _seeded_requests(scenario, page, tcp_spec, runs, seed_base,
+                             fields))
+    records = run_requests(requests, jobs=jobs)
+    for index, (scenario, page) in enumerate(cells):
+        start = index * 2 * runs
+        quic_plts = [r.require() for r in records[start:start + runs]]
+        tcp_plts = [r.require() for r in records[start + runs:start + 2 * runs]]
+        heatmap.put(scenario.name, page.name, Comparison(
+            f"{scenario.name} / {page.name}", quic_plts, tcp_plts))
     return heatmap
 
 
@@ -339,7 +477,7 @@ class TransferResult:
 def run_bulk_transfer(
     scenario: Scenario,
     size_bytes: int,
-    protocol: str,
+    protocol: ProtocolLike,
     *,
     seed: int = 0,
     quic_cfg: Optional[QuicConfig] = None,
@@ -353,8 +491,14 @@ def run_bulk_transfer(
     ``variable_bw=(low_mbps, high_mbps, period)`` re-draws the bottleneck
     rate during the transfer (Fig. 11).
     """
-    quic_cfg = quic_cfg if quic_cfg is not None else quic_config(34)
-    tcp_cfg = tcp_cfg if tcp_cfg is not None else tcp_config()
+    spec = _coerce_protocol("run_bulk_transfer", protocol, quic_cfg, tcp_cfg)
+    protocol = spec.name
+    if spec.name == "quic":
+        quic_cfg = spec.resolved_config()
+        tcp_cfg = tcp_cfg if tcp_cfg is not None else tcp_config()
+    else:
+        tcp_cfg = spec.resolved_config()
+        quic_cfg = quic_cfg if quic_cfg is not None else quic_config(34)
     sim = Simulator()
     path = build_path(sim, scenario, seed=seed)
     if variable_bw is not None:

@@ -9,6 +9,7 @@ paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from dataclasses import fields as dataclass_fields
 from typing import Dict, List, Optional, Tuple
 
 from .link import mbps
@@ -97,6 +98,31 @@ class Scenario:
     def with_(self, **changes) -> "Scenario":
         """Return a modified copy (thin wrapper over dataclasses.replace)."""
         return replace(self, **changes)
+
+    # -- spec round-trip ---------------------------------------------------
+    # A Scenario is pure data, so it can travel to executor workers (or
+    # across machines) as a plain dict and be rebuilt bit-identically.
+    def to_spec(self) -> Dict[str, object]:
+        """This scenario as a plain JSON-able dict of its fields."""
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_spec` output.
+
+        Unknown keys are rejected with the list of known fields, so a
+        typo'd or newer-schema spec fails loudly instead of half-applying.
+        """
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s): {', '.join(map(repr, unknown))} "
+                f"(known fields: {', '.join(sorted(known))})"
+            )
+        if "name" not in spec:
+            raise ValueError("a scenario spec needs at least a 'name'")
+        return cls(**spec)
 
     def describe(self) -> str:
         parts = [self.name]

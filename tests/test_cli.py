@@ -19,6 +19,14 @@ class TestParser:
         assert args.rate == 10.0
         assert args.runs == 10
         assert args.device == "desktop"
+        assert args.jobs == 1
+
+    def test_jobs_flag_on_parallel_commands(self):
+        parser = build_parser()
+        assert parser.parse_args(["compare", "--jobs", "4"]).jobs == 4
+        assert parser.parse_args(["heatmap", "--jobs", "0"]).jobs == 0
+        assert parser.parse_args(
+            ["spec", "--file", "x.json", "--jobs", "2"]).jobs == 2
 
 
 class TestCommands:
@@ -44,6 +52,13 @@ class TestCommands:
                      "--runs", "2"]) == 0
         out = capsys.readouterr().out
         assert "1x10KB" in out and "1x100KB" in out
+
+    def test_compare_parallel_matches_serial(self, capsys):
+        argv = ["compare", "--rate", "10", "--size-kb", "50", "--runs", "4"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
 
     def test_fairness(self, capsys):
         assert main(["fairness", "--duration", "10"]) == 0

@@ -1,0 +1,270 @@
+"""Tests for the parallel experiment executor (repro.core.executor)."""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.core.executor import (
+    ProtocolSpec,
+    RunFailure,
+    RunRecord,
+    RunRequest,
+    execute_request,
+    resolve_jobs,
+    run_requests,
+)
+from repro.core.experiment import (
+    ExperimentSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_experiment,
+)
+from repro.core.runner import measure_plts
+from repro.http import single_object_page
+from repro.netem import emulated
+from repro.netem.profiles import CELLULAR_PROFILES, Scenario
+from repro.quic import quic_config
+from repro.tcp import tcp_config
+
+SCN = emulated(10.0)
+PAGE = single_object_page(20_000)
+
+
+def req(seed=0, **overrides):
+    kwargs = dict(scenario=SCN, page=PAGE, protocol=ProtocolSpec.quic(),
+                  seed=seed)
+    kwargs.update(overrides)
+    return RunRequest(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# injectable run functions (module-level: must be picklable for jobs > 1)
+# ----------------------------------------------------------------------
+def _instant_run(request):
+    return RunRecord(request=request, plt=float(request.seed), complete=True)
+
+
+def _sleepy_run(request):
+    time.sleep(10.0)
+    return RunRecord(request=request, plt=1.0, complete=True)
+
+
+def _flaky_marker_run(request):
+    marker = os.environ["REPRO_TEST_FLAKY_MARKER"]
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("transient failure")
+    return RunRecord(request=request, plt=3.0, complete=True)
+
+
+class TestProtocolSpec:
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec("sctp")
+
+    def test_rejects_mismatched_config(self):
+        with pytest.raises(TypeError):
+            ProtocolSpec("quic", tcp_config())
+        with pytest.raises(TypeError):
+            ProtocolSpec("tcp", quic_config(34))
+
+    def test_constructors(self):
+        assert ProtocolSpec.quic(version=37).config.version == 37
+        assert ProtocolSpec.tcp().resolved_config() == tcp_config()
+        assert ProtocolSpec.of("quic").name == "quic"
+        spec = ProtocolSpec.quic()
+        assert ProtocolSpec.of(spec) is spec
+
+    def test_default_config_resolved_lazily(self):
+        spec = ProtocolSpec.quic()
+        assert spec.config is None
+        assert spec.resolved_config().version == 34
+
+
+class TestRunRequest:
+    def test_pickles_round_trip(self):
+        request = req(seed=3, protocol=ProtocolSpec.quic(version=36),
+                      trace=True)
+        assert pickle.loads(pickle.dumps(request)) == request
+
+    def test_execute_in_process(self):
+        record = req(seed=1).execute()
+        assert record.ok
+        assert record.plt > 0
+        assert record.metrics["bytes"] == PAGE.total_bytes
+
+    def test_trace_metrics_included(self):
+        record = req(seed=1, trace=True).execute()
+        assert any(key.startswith("dwell:") for key in record.metrics)
+
+    def test_incomplete_run_is_structured_failure(self):
+        # A timeout in *simulated* time must surface as a failure record,
+        # not an exception.
+        record = execute_request(req(seed=1, timeout=0.001))
+        assert not record.ok
+        assert record.failure.kind == "incomplete"
+        with pytest.raises(RuntimeError):
+            record.require()
+
+
+class TestScenarioSpecRoundTrip:
+    def test_to_spec_from_spec_identity(self):
+        for scenario in [SCN, CELLULAR_PROFILES["verizon-3g"].scenario()]:
+            rebuilt = Scenario.from_spec(scenario.to_spec())
+            assert rebuilt == scenario
+
+    def test_from_spec_rejects_unknown_fields(self):
+        spec = SCN.to_spec()
+        spec["bandwdith"] = 10.0  # typo'd field
+        with pytest.raises(ValueError, match="bandwdith"):
+            Scenario.from_spec(spec)
+
+
+class TestSerialParallelParity:
+    def test_run_requests_parallel_matches_serial(self):
+        requests = [req(seed=s) for s in range(4)]
+        serial = run_requests(requests, jobs=1)
+        parallel = run_requests(requests, jobs=2)
+        assert [r.plt for r in serial] == [r.plt for r in parallel]
+        assert all(r.ok for r in parallel)
+
+    def test_order_is_request_order_not_completion_order(self):
+        requests = [req(seed=s) for s in range(8)]
+        records = run_requests(requests, jobs=4, chunk_size=1,
+                               run_fn=_instant_run)
+        assert [r.request.seed for r in records] == list(range(8))
+
+    def test_measure_plts_parallel_matches_serial(self):
+        serial = measure_plts(SCN, PAGE, ProtocolSpec.quic(), runs=4, jobs=1)
+        parallel = measure_plts(SCN, PAGE, ProtocolSpec.quic(), runs=4, jobs=4)
+        assert serial == parallel
+
+    def test_run_experiment_json_identical_across_worker_counts(self):
+        spec = ExperimentSpec(
+            "parity",
+            scenarios=[ScenarioSpec(10.0), ScenarioSpec(50.0)],
+            workloads=[WorkloadSpec(1, 20)],
+            runs=2,
+        )
+        assert (run_experiment(spec, jobs=1).to_json()
+                == run_experiment(spec, jobs=4).to_json())
+
+
+class TestTimeout:
+    def test_parallel_timeout_yields_failure_not_hang(self):
+        start = time.perf_counter()
+        records = run_requests([req()], jobs=2, wall_timeout=0.3,
+                               run_fn=_sleepy_run, retries=0)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 8.0  # nowhere near the 10 s sleep
+        assert records[0].failure is not None
+        assert records[0].failure.kind == "timeout"
+
+    def test_serial_timeout_yields_failure(self):
+        records = run_requests([req()], jobs=1, wall_timeout=0.2,
+                               run_fn=_sleepy_run, retries=0)
+        assert records[0].failure.kind == "timeout"
+
+    def test_timeouts_are_not_retried(self):
+        records = run_requests([req()], jobs=1, wall_timeout=0.2,
+                               run_fn=_sleepy_run, retries=3)
+        assert records[0].attempts == 1
+
+
+class TestRetry:
+    def test_retry_recovers_transient_failure_serial(self):
+        calls = {"n": 0}
+
+        def flaky(request):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return RunRecord(request=request, plt=2.0, complete=True)
+
+        record = run_requests([req()], jobs=1, retries=1, run_fn=flaky)[0]
+        assert record.ok
+        assert record.attempts == 2
+
+    def test_retry_recovers_transient_failure_parallel(self, tmp_path):
+        marker = tmp_path / "flaky-marker"
+        os.environ["REPRO_TEST_FLAKY_MARKER"] = str(marker)
+        try:
+            record = run_requests([req()], jobs=2, retries=1,
+                                  run_fn=_flaky_marker_run)[0]
+        finally:
+            del os.environ["REPRO_TEST_FLAKY_MARKER"]
+        assert record.ok
+        assert record.attempts == 2
+
+    def test_bounded_retries_exhaust_into_error_record(self):
+        def always_broken(request):
+            raise RuntimeError("permanent")
+
+        record = run_requests([req()], jobs=1, retries=2,
+                              run_fn=always_broken)[0]
+        assert record.failure.kind == "error"
+        assert "permanent" in record.failure.message
+        assert record.attempts == 3  # initial + 2 retries
+
+    def test_one_bad_run_does_not_poison_the_batch(self):
+        def broken_seed_one(request):
+            if request.seed == 1:
+                raise RuntimeError("boom")
+            return RunRecord(request=request, plt=1.0, complete=True)
+
+        records = run_requests([req(seed=s) for s in range(3)], jobs=1,
+                               retries=0, run_fn=broken_seed_one)
+        assert [r.ok for r in records] == [True, False, True]
+
+
+class TestKnobs:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_serial_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR_SERIAL", "1")
+        # Closures are unpicklable, so this only works if the env var
+        # really forces the in-process path despite jobs=4.
+        seen = []
+
+        def local_fn(request):
+            seen.append(request.seed)
+            return RunRecord(request=request, plt=1.0, complete=True)
+
+        records = run_requests([req(seed=s) for s in range(3)], jobs=4,
+                               run_fn=local_fn)
+        assert seen == [0, 1, 2]
+        assert all(r.ok for r in records)
+
+    def test_progress_callback_sees_every_record(self):
+        seen = []
+        run_requests([req(seed=s) for s in range(5)], jobs=2, chunk_size=2,
+                     run_fn=_instant_run, progress=seen.append)
+        assert sorted(r.request.seed for r in seen) == list(range(5))
+
+    def test_empty_request_list(self):
+        assert run_requests([], jobs=4) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            run_requests([req(), req(seed=1)], jobs=2, chunk_size=0)
+
+
+class TestDeprecationShims:
+    def test_quic_cfg_kwarg_warns_but_works(self):
+        with pytest.warns(DeprecationWarning):
+            plts = measure_plts(SCN, PAGE, "quic", runs=1,
+                                quic_cfg=quic_config(34))
+        assert len(plts) == 1
+
+    def test_protocolspec_plus_cfg_kwarg_is_an_error(self):
+        with pytest.raises(TypeError):
+            measure_plts(SCN, PAGE, ProtocolSpec.quic(), runs=1,
+                         quic_cfg=quic_config(34))

@@ -72,6 +72,54 @@ class TestSerialisation:
         assert "5Mbps" in ScenarioSpec(5.0).label
 
 
+class TestSchemaVersion:
+    def test_default_schema_version_round_trips(self):
+        spec = tiny_spec()
+        assert spec.schema_version == 1
+        assert ExperimentSpec.from_json(spec.to_json()).schema_version == 1
+
+    def test_rejects_newer_schema_version(self):
+        raw = json.loads(tiny_spec().to_json())
+        raw["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            ExperimentSpec.from_json(json.dumps(raw))
+
+    def test_rejects_invalid_schema_version(self):
+        with pytest.raises(ValueError):
+            tiny_spec(schema_version=0)
+        with pytest.raises(ValueError):
+            tiny_spec(schema_version="1")
+
+    def test_rejects_unknown_top_level_key(self):
+        raw = json.loads(tiny_spec().to_json())
+        raw["worklods"] = raw["workloads"]  # typo'd key
+        with pytest.raises(ValueError) as excinfo:
+            ExperimentSpec.from_json(json.dumps(raw))
+        # The error should both name the bad key and list valid ones.
+        assert "worklods" in str(excinfo.value)
+        assert "workloads" in str(excinfo.value)
+
+    def test_rejects_unknown_scenario_key(self):
+        raw = json.loads(tiny_spec().to_json())
+        raw["scenarios"][0]["rate"] = 10.0
+        with pytest.raises(ValueError, match="rate"):
+            ExperimentSpec.from_json(json.dumps(raw))
+
+    def test_rejects_unknown_workload_key(self):
+        raw = json.loads(tiny_spec().to_json())
+        raw["workloads"][0]["size"] = 50
+        with pytest.raises(ValueError, match="size"):
+            ExperimentSpec.from_json(json.dumps(raw))
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_json("[1, 2, 3]")
+
+    def test_missing_required_keys_named(self):
+        with pytest.raises(ValueError, match="scenarios"):
+            ExperimentSpec.from_json(json.dumps({"name": "x"}))
+
+
 class TestExecution:
     def test_run_fills_every_cell(self):
         spec = tiny_spec(
