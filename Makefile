@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-report bench bench-smoke bench-report bench-full examples clean results
+.PHONY: install test test-report bench bench-smoke bench-report bench-full examples check clean distclean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,21 @@ examples:
 results:
 	@ls -1 benchmarks/results/
 
+# What CI runs: the tier-1 suite plus the store round-trip smoke (runs a
+# tiny spec grid twice and asserts the second pass is 100% cache hits
+# with byte-identical metrics; exits non-zero otherwise).
+check:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) benchmarks/store_hit_rate.py --runs 1
+
+# clean removes caches and scratch output only; benchmarks/results/ is
+# git-tracked (committed benchmark summaries) and must survive a clean.
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results test_output.txt bench_output.txt
+	rm -rf .pytest_cache .hypothesis test_output.txt bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +
+
+# distclean additionally drops regenerable local state: the committed-
+# results directory (restorable with git checkout), local result stores
+# and the machine-readable benchmark outputs.
+distclean: clean
+	rm -rf benchmarks/results .repro-store.sqlite BENCH_executor.json BENCH_store.json

@@ -2,7 +2,9 @@
 
 Runs the same ExperimentSpec grid with ``jobs=1`` and ``jobs=N``,
 verifies the results are byte-identical, and records the wall-clock
-comparison in ``benchmarks/results/executor_scaling.txt``.
+comparison in ``benchmarks/results/executor_scaling.txt`` plus a
+machine-readable ``BENCH_executor.json`` at the repo root (so the perf
+trajectory is trackable across PRs).
 
 Usage::
 
@@ -12,6 +14,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import time
 from pathlib import Path
@@ -25,6 +28,7 @@ from repro.core.experiment import (
 )
 
 RESULTS = Path(__file__).parent / "results" / "executor_scaling.txt"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_executor.json"
 
 
 def scaling_spec() -> ExperimentSpec:
@@ -93,6 +97,17 @@ def main() -> int:
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
     RESULTS.write_text("\n".join(lines) + "\n")
     print(f"written to {RESULTS}")
+    BENCH_JSON.write_text(json.dumps({
+        "benchmark": "executor_scaling",
+        "runs_total": cells,
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(speedup, 4),
+        "results_identical": identical,
+    }, indent=2) + "\n")
+    print(f"written to {BENCH_JSON}")
     return 0 if identical else 1
 
 

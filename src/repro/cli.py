@@ -5,6 +5,8 @@ Examples::
     python -m repro compare --rate 10 --size-kb 200 --runs 10
     python -m repro heatmap --rates 5,10,50 --sizes-kb 5,100,1000 --runs 5
     python -m repro spec --file examples/specs/desktop_plt.json --jobs 4
+    python -m repro spec --file examples/specs/desktop_plt.json --cache
+    python -m repro store stats
     python -m repro fairness --tcp-flows 2 --duration 30
     python -m repro bulk --protocol quic --size-mb 10 --rate 100 --loss 1
     python -m repro video --quality hd2160 --runs 3
@@ -60,6 +62,15 @@ def _workload(args: argparse.Namespace):
     return single_object_page(args.size_kb * 1024)
 
 
+def _cache(args: argparse.Namespace):
+    """Build the RunCache behind ``--cache [PATH]``, or None."""
+    if getattr(args, "cache", None) is None:
+        return None
+    from .store import RunCache
+
+    return RunCache(args.cache or None)  # "" means the default path
+
+
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
@@ -67,9 +78,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     workload = _workload(args)
     device = DEVICE_PROFILES[args.device]
+    cache = _cache(args)
     cell = compare_page_load(scenario, workload, runs=args.runs,
-                             device=device, jobs=args.jobs)
+                             device=device, jobs=args.jobs, store=cache)
     print(cell.describe())
+    if cache is not None:
+        print(cache.describe_session())
     return 0
 
 
@@ -78,11 +92,14 @@ def cmd_heatmap(args: argparse.Namespace) -> int:
                           extra_delay_ms=args.delay_ms)
                  for rate in _floats(args.rates)]
     pages = [single_object_page(kb * 1024) for kb in _ints(args.sizes_kb)]
+    cache = _cache(args)
     heatmap = build_plt_heatmap(
         "QUIC vs TCP page load time", scenarios, pages, runs=args.runs,
-        device=DEVICE_PROFILES[args.device], jobs=args.jobs,
+        device=DEVICE_PROFILES[args.device], jobs=args.jobs, store=cache,
     )
     print(heatmap.render())
+    if cache is not None:
+        print(cache.describe_session())
     return 0
 
 
@@ -154,12 +171,15 @@ def cmd_spec(args: argparse.Namespace) -> int:
     print(f"running spec {spec.name!r}: {len(spec.scenarios)} scenarios x "
           f"{len(spec.workloads)} workloads x {spec.runs} runs"
           + (f" on {args.jobs or 'all'} workers" if args.jobs != 1 else ""))
+    cache = _cache(args)
     result = run_experiment(
-        spec, seed_base=args.seed, jobs=args.jobs,
+        spec, seed_base=args.seed, jobs=args.jobs, store=cache,
         progress=lambda key, plts: print(f"  done {'/'.join(key)}"),
     )
     print()
     print(result.heatmap().render())
+    if cache is not None:
+        print(cache.describe_session())
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(result.to_json())
@@ -188,6 +208,70 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_key(store, prefix: str) -> str:
+    """Expand a (possibly abbreviated) run key to the full stored key."""
+    matches = [key for key in store.keys() if key.startswith(prefix)]
+    if not matches:
+        raise SystemExit(f"no stored run matches key {prefix!r}")
+    if len(matches) > 1:
+        raise SystemExit(
+            f"key {prefix!r} is ambiguous ({len(matches)} matches); "
+            f"give more digits")
+    return matches[0]
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from .store import ResultStore, code_fingerprint, record_to_dict
+
+    with ResultStore.open(args.store or None) as store:
+        if args.store_command == "ls":
+            for key, created, fingerprint, label in store.rows():
+                stamp = _time.strftime("%Y-%m-%d %H:%M:%S",
+                                       _time.localtime(created))
+                print(f"{key[:16]}  {stamp}  {label}")
+            print(f"{len(store)} stored run(s) in {store.path}")
+        elif args.store_command == "show":
+            key = _resolve_key(store, args.key)
+            record = store.get(key)
+            print(_json.dumps({"key": key, **record_to_dict(record)},
+                              indent=2, sort_keys=True))
+        elif args.store_command == "export":
+            count = store.export_jsonl(args.file)
+            print(f"exported {count} run(s) to {args.file}")
+        elif args.store_command == "import":
+            count = store.import_jsonl(args.file)
+            print(f"imported {count} run(s) into {store.path}")
+        elif args.store_command == "gc":
+            dropped = store.gc(args.older_than * 86400.0)
+            print(f"dropped {dropped} run(s) older than "
+                  f"{args.older_than:g} day(s); {len(store)} remain")
+        elif args.store_command == "stats":
+            counters = store.counters()
+            current = code_fingerprint()
+            by_fingerprint = store.fingerprints()
+            fresh = by_fingerprint.get(current, 0)
+            print(f"store:   {store.path}")
+            print(f"runs:    {len(store)} stored "
+                  f"({fresh} for the current code fingerprint "
+                  f"{current[:12]})")
+            hits = counters.get("hits", 0)
+            misses = counters.get("misses", 0)
+            total = hits + misses
+            rate = (100.0 * hits / total) if total else 0.0
+            print(f"lookups: {hits} hits / {misses} misses "
+                  f"({rate:.0f}% lifetime hit rate)")
+            print(f"writes:  {counters.get('writes', 0)}")
+            stale = {f: n for f, n in by_fingerprint.items() if f != current}
+            if stale:
+                print(f"stale:   {sum(stale.values())} run(s) from "
+                      f"{len(stale)} older code fingerprint(s) "
+                      f"(reclaim with 'repro store gc')")
+    return 0
+
+
 def cmd_versions(args: argparse.Namespace) -> int:
     print("QUIC versions released during the study window:")
     for version in KNOWN_VERSIONS:
@@ -210,6 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for independent runs "
                             "(0 = all cores, default 1 = serial)")
 
+    def cache_arg(p):
+        p.add_argument("--cache", nargs="?", const="", default=None,
+                       metavar="PATH",
+                       help="serve already-computed runs from a results "
+                            "store and persist new ones; PATH defaults to "
+                            "$REPRO_STORE or .repro-store.sqlite")
+
     def common_network(p):
         p.add_argument("--rate", type=float, default=10.0,
                        help="bottleneck rate, Mbps (default 10)")
@@ -230,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", choices=sorted(DEVICE_PROFILES),
                    default="desktop")
     jobs_arg(p)
+    cache_arg(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("heatmap", help="a Fig. 6-style grid")
@@ -243,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", choices=sorted(DEVICE_PROFILES),
                    default="desktop")
     jobs_arg(p)
+    cache_arg(p)
     p.set_defaults(func=cmd_heatmap)
 
     p = sub.add_parser("fairness", help="Table 4: shared bottleneck")
@@ -277,12 +370,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="write result JSON here")
     p.add_argument("--seed", type=int, default=0)
     jobs_arg(p)
+    cache_arg(p)
     p.set_defaults(func=cmd_spec)
 
     p = sub.add_parser("report", help="collate benchmarks/results into Markdown")
     p.add_argument("--results", default="benchmarks/results")
     p.add_argument("--out", default=None)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("store", help="inspect and maintain the results store")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="store location (default: $REPRO_STORE or "
+                        ".repro-store.sqlite)")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    store_sub.add_parser("ls", help="list stored runs")
+    sp = store_sub.add_parser("show", help="dump one stored run as JSON")
+    sp.add_argument("key", help="run key (an unambiguous prefix suffices)")
+    sp = store_sub.add_parser("export", help="write the store as JSONL")
+    sp.add_argument("file")
+    sp = store_sub.add_parser("import", help="merge a JSONL export")
+    sp.add_argument("file")
+    sp = store_sub.add_parser("gc", help="drop old rows")
+    sp.add_argument("--older-than", type=float, required=True, metavar="DAYS",
+                    help="drop runs recorded more than DAYS days ago")
+    store_sub.add_parser("stats", help="row counts and hit/miss counters")
+    p.set_defaults(func=cmd_store)
 
     p = sub.add_parser("versions", help="Sec. 5.4: version configurations")
     p.set_defaults(func=cmd_versions)

@@ -196,6 +196,9 @@ class RunRecord:
     #: Total attempts made, including the successful one.
     attempts: int = 1
     failure: Optional[RunFailure] = None
+    #: True when this record was served from a results store rather than
+    #: executed (see :mod:`repro.store`); never persisted.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -365,6 +368,7 @@ def run_requests(
     progress: Optional[ProgressFn] = None,
     chunk_size: Optional[int] = None,
     run_fn: Optional[RunFn] = None,
+    store: Optional[Any] = None,
 ) -> List[RunRecord]:
     """Execute ``requests`` and return records in *request order*.
 
@@ -391,12 +395,65 @@ def run_requests(
     run_fn:
         The per-request run function (default: the real simulator).
         Must be picklable (module-level) when ``jobs > 1``.
+    store:
+        A results store — a :class:`repro.store.RunCache`,
+        :class:`repro.store.ResultStore`, or a path to one.  Requests
+        whose content address is already stored are served as hits
+        (``record.cached`` set, no execution); misses execute normally
+        and are written back *as they complete*, so an interrupted batch
+        is resumable — the rerun only executes the missing requests.
+        The address covers configuration, seed and a source-tree
+        fingerprint, so stale hits are impossible.  Only meaningful with
+        the real simulator (a custom ``run_fn`` is not part of the key).
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
     requests = list(requests)
     if not requests:
         return []
+    if store is not None:
+        from ..store.cache import RunCache  # lazy: store imports this module
+
+        cache = RunCache.of(store)
+        results: List[Optional[RunRecord]] = []
+        miss_indices: List[int] = []
+        for index, request in enumerate(requests):
+            hit = cache.lookup(request)
+            results.append(hit)
+            if hit is None:
+                miss_indices.append(index)
+            elif progress is not None:
+                progress(hit)
+        if miss_indices:
+
+            def _write_back(record: RunRecord) -> None:
+                cache.offer(record)
+                if progress is not None:
+                    progress(record)
+
+            miss_records = _execute_requests(
+                [requests[i] for i in miss_indices], jobs=jobs,
+                wall_timeout=wall_timeout, retries=retries,
+                progress=_write_back, chunk_size=chunk_size, run_fn=run_fn)
+            for index, record in zip(miss_indices, miss_records):
+                results[index] = record
+        return results  # type: ignore[return-value]  # misses filled above
+    return _execute_requests(requests, jobs=jobs, wall_timeout=wall_timeout,
+                             retries=retries, progress=progress,
+                             chunk_size=chunk_size, run_fn=run_fn)
+
+
+def _execute_requests(
+    requests: List[RunRequest],
+    *,
+    jobs: Optional[int],
+    wall_timeout: Optional[float],
+    retries: int,
+    progress: Optional[ProgressFn],
+    chunk_size: Optional[int],
+    run_fn: Optional[RunFn],
+) -> List[RunRecord]:
+    """The store-blind execution engine behind :func:`run_requests`."""
     run = run_fn if run_fn is not None else execute_request
     n_jobs = resolve_jobs(jobs)
     if n_jobs <= 1 or len(requests) == 1 or _force_serial():

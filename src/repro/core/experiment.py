@@ -243,7 +243,8 @@ def experiment_requests(spec: ExperimentSpec, *, seed_base: int = 0
 
 def run_experiment(spec: ExperimentSpec, *, seed_base: int = 0,
                    progress: Optional[Any] = None,
-                   jobs: Optional[int] = 1) -> ExperimentResult:
+                   jobs: Optional[int] = 1,
+                   store: Optional[Any] = None) -> ExperimentResult:
     """Execute a spec: every (scenario x workload x protocol) cell.
 
     ``jobs`` fans every seeded run of the whole grid out over the
@@ -251,11 +252,16 @@ def run_experiment(spec: ExperimentSpec, *, seed_base: int = 0,
     request, the result (including ``to_json()``) is byte-identical for
     any worker count.  ``progress(key, plts)`` fires once per completed
     cell.
+
+    ``store`` (a :mod:`repro.store` store, cache, or path) makes the
+    sweep cached *and resumable*: completed runs are persisted as they
+    finish, so re-running a killed sweep executes only the missing
+    cells, and re-running a finished one executes nothing at all.
     """
     result = ExperimentResult(spec=spec)
     cells = experiment_requests(spec, seed_base=seed_base)
     flat = [request for _, requests in cells for request in requests]
-    records = run_requests(flat, jobs=jobs)
+    records = run_requests(flat, jobs=jobs, store=store)
     offset = 0
     for key, requests in cells:
         cell_records = records[offset:offset + len(requests)]

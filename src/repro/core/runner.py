@@ -10,7 +10,9 @@ Batch drivers (``measure_plts``, ``compare_page_load``,
 ``compare_quic_variants``, ``build_plt_heatmap``) accept ``jobs=`` and
 fan their independent seeded rounds out over
 :mod:`repro.core.executor`; seeded results are bit-identical to serial
-execution.  A protocol is named by a
+execution.  They also accept ``store=`` — a :mod:`repro.store` results
+store (or a path to one) that serves previously computed runs as cache
+hits and persists new ones as they complete.  A protocol is named by a
 :class:`~repro.core.executor.ProtocolSpec`; the old ``protocol="quic"``
 string plus ``quic_cfg=``/``tcp_cfg=`` keyword form still works but
 raises :class:`DeprecationWarning`.
@@ -218,6 +220,7 @@ def measure_plts(
     *,
     seed_base: int = 0,
     jobs: Optional[int] = 1,
+    store: Optional[Any] = None,
     quic_cfg: Optional[QuicConfig] = None,
     tcp_cfg: Optional[TcpConfig] = None,
     **kwargs: Any,
@@ -225,12 +228,15 @@ def measure_plts(
     """PLT samples over ``runs`` seeded rounds (paper: >= 10 per scenario).
 
     ``jobs`` fans the independent rounds out across worker processes;
-    seeded samples are identical to serial execution.
+    seeded samples are identical to serial execution.  ``store`` serves
+    already-computed rounds from a results store and persists new ones
+    (see :mod:`repro.store`).
     """
     spec = _coerce_protocol("measure_plts", protocol, quic_cfg, tcp_cfg)
     fields = _request_fields("measure_plts", kwargs)
     requests = _seeded_requests(scenario, page, spec, runs, seed_base, fields)
-    return [record.require() for record in run_requests(requests, jobs=jobs)]
+    return [record.require()
+            for record in run_requests(requests, jobs=jobs, store=store)]
 
 
 def compare_page_load(
@@ -241,6 +247,7 @@ def compare_page_load(
     label: Optional[str] = None,
     seed_base: int = 0,
     jobs: Optional[int] = 1,
+    store: Optional[Any] = None,
     quic: Optional[Union[QuicConfig, ProtocolSpec]] = None,
     tcp: Optional[Union[TcpConfig, ProtocolSpec]] = None,
     quic_kwargs: Optional[Dict[str, Any]] = None,
@@ -280,7 +287,7 @@ def compare_page_load(
         _seeded_requests(scenario, page, quic_spec, runs, seed_base, fields)
         + _seeded_requests(scenario, page, tcp_spec, runs, seed_base, fields)
     )
-    records = run_requests(requests, jobs=jobs)
+    records = run_requests(requests, jobs=jobs, store=store)
     quic_plts = [record.require() for record in records[:runs]]
     tcp_plts = [record.require() for record in records[runs:]]
     return Comparison(
@@ -300,6 +307,7 @@ def compare_quic_variants(
     baseline_name: str = "baseline",
     seed_base: int = 0,
     jobs: Optional[int] = 1,
+    store: Optional[Any] = None,
     **common: Any,
 ) -> Comparison:
     """Compare two QUIC configurations (e.g. 0-RTT on/off for Fig. 7)."""
@@ -310,7 +318,7 @@ def compare_quic_variants(
         _seeded_requests(scenario, page, treatment, runs, seed_base, fields)
         + _seeded_requests(scenario, page, baseline, runs, seed_base, fields)
     )
-    records = run_requests(requests, jobs=jobs)
+    records = run_requests(requests, jobs=jobs, store=store)
     treat = [record.require() for record in records[:runs]]
     base = [record.require() for record in records[runs:]]
     return Comparison(
@@ -327,6 +335,7 @@ def build_plt_heatmap(
     *,
     compare: Optional[Callable[[Scenario, WebPage], Comparison]] = None,
     jobs: Optional[int] = 1,
+    store: Optional[Any] = None,
     seed_base: int = 0,
     quic: Optional[Union[QuicConfig, ProtocolSpec]] = None,
     tcp: Optional[Union[TcpConfig, ProtocolSpec]] = None,
@@ -363,7 +372,7 @@ def build_plt_heatmap(
         requests.extend(
             _seeded_requests(scenario, page, tcp_spec, runs, seed_base,
                              fields))
-    records = run_requests(requests, jobs=jobs)
+    records = run_requests(requests, jobs=jobs, store=store)
     for index, (scenario, page) in enumerate(cells):
         start = index * 2 * runs
         quic_plts = [r.require() for r in records[start:start + runs]]

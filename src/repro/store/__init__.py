@@ -1,0 +1,64 @@
+"""Content-addressed results store and run cache.
+
+Every run in this framework is a pure function of its
+:class:`~repro.core.executor.RunRequest` plus the simulator's source
+code, so results are perfectly cacheable.  This package provides the
+three layers:
+
+* :mod:`repro.store.keys` — canonical serialisation, the source-tree
+  fingerprint, and the :func:`run_key` content address;
+* :mod:`repro.store.backend` — the sqlite-backed :class:`ResultStore`
+  with JSONL export/import and garbage collection;
+* :mod:`repro.store.cache` — the :class:`RunCache` policy layer the
+  executor talks to (what is reusable, what is written back, hit/miss
+  accounting).
+
+Typical use::
+
+    from repro.store import ResultStore
+    from repro.core import run_experiment
+
+    store = ResultStore("results.sqlite")
+    run_experiment(spec, jobs=8, store=store)   # cold: executes, fills
+    run_experiment(spec, jobs=8, store=store)   # warm: 100% cache hits
+
+Because completed runs are written back *as they finish*, a killed
+sweep resumes for free: the rerun only executes the missing cells.
+"""
+
+from .backend import (
+    DEFAULT_STORE_PATH,
+    STORE_ENV_VAR,
+    ResultStore,
+    default_store_path,
+)
+from .cache import RunCache, StoreLike
+from .keys import (
+    KEY_SCHEMA_VERSION,
+    canonical,
+    canonical_json,
+    code_fingerprint,
+    record_from_dict,
+    record_to_dict,
+    request_from_dict,
+    request_to_dict,
+    run_key,
+)
+
+__all__ = [
+    "DEFAULT_STORE_PATH",
+    "STORE_ENV_VAR",
+    "ResultStore",
+    "default_store_path",
+    "RunCache",
+    "StoreLike",
+    "KEY_SCHEMA_VERSION",
+    "canonical",
+    "canonical_json",
+    "code_fingerprint",
+    "record_from_dict",
+    "record_to_dict",
+    "request_from_dict",
+    "request_to_dict",
+    "run_key",
+]

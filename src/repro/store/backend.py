@@ -1,0 +1,180 @@
+"""The persistent results store: sqlite rows keyed by content address.
+
+A :class:`ResultStore` maps :func:`~repro.store.keys.run_key` content
+addresses to completed :class:`~repro.core.executor.RunRecord` rows.
+sqlite gives atomic writes from a single process (the executor only
+touches the store from the coordinating process, never from pool
+workers) and cheap point lookups; a JSONL export/import pair makes a
+store portable across machines and sqlite versions.
+
+The store is deliberately dumb: it never computes keys, never decides
+what is cacheable, and never invalidates.  Key semantics live in
+:mod:`repro.store.keys`; the caching *policy* lives in
+:mod:`repro.store.cache`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..core.executor import RunRecord
+from .keys import record_from_dict, record_to_dict
+
+#: Environment variable naming the default store location.
+STORE_ENV_VAR = "REPRO_STORE"
+#: Default on-disk location when none is given (repo/cwd-local).
+DEFAULT_STORE_PATH = ".repro-store.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    key         TEXT PRIMARY KEY,
+    created     REAL NOT NULL,
+    fingerprint TEXT NOT NULL,
+    label       TEXT NOT NULL,
+    record      TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS meta (
+    name  TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def default_store_path() -> str:
+    """Where ``--cache`` puts the store unless told otherwise."""
+    return os.environ.get(STORE_ENV_VAR) or DEFAULT_STORE_PATH
+
+
+class ResultStore:
+    """A content-addressed map of run keys to run records."""
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            parent = Path(self.path).resolve().parent
+            parent.mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(self.path)
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+
+    @classmethod
+    def open(cls, store: Union["ResultStore", str, Path, None]
+             ) -> "ResultStore":
+        """Coerce a store argument: an instance, a path, or None (default)."""
+        if isinstance(store, ResultStore):
+            return store
+        return cls(default_store_path() if store is None else store)
+
+    # -- core map operations ----------------------------------------------
+    def get(self, key: str) -> Optional[RunRecord]:
+        row = self._db.execute(
+            "SELECT record FROM runs WHERE key = ?", (key,)).fetchone()
+        if row is None:
+            return None
+        return record_from_dict(json.loads(row[0]))
+
+    def put(self, key: str, record: RunRecord, *, fingerprint: str = "",
+            created: Optional[float] = None) -> None:
+        self._db.execute(
+            "INSERT OR REPLACE INTO runs (key, created, fingerprint, label, "
+            "record) VALUES (?, ?, ?, ?, ?)",
+            (key, time.time() if created is None else created, fingerprint,
+             record.request.label, json.dumps(record_to_dict(record))),
+        )
+        self._db.commit()
+
+    def __contains__(self, key: str) -> bool:
+        row = self._db.execute(
+            "SELECT 1 FROM runs WHERE key = ?", (key,)).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return self._db.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def keys(self) -> List[str]:
+        return [row[0] for row in self._db.execute(
+            "SELECT key FROM runs ORDER BY created, key")]
+
+    def rows(self) -> Iterator[Tuple[str, float, str, str]]:
+        """(key, created, fingerprint, label) for every row, oldest first."""
+        yield from self._db.execute(
+            "SELECT key, created, fingerprint, label FROM runs "
+            "ORDER BY created, key")
+
+    def delete(self, key: str) -> bool:
+        cursor = self._db.execute("DELETE FROM runs WHERE key = ?", (key,))
+        self._db.commit()
+        return cursor.rowcount > 0
+
+    # -- maintenance -------------------------------------------------------
+    def gc(self, older_than_seconds: float,
+           now: Optional[float] = None) -> int:
+        """Drop rows older than the horizon; returns how many went."""
+        horizon = (time.time() if now is None else now) - older_than_seconds
+        cursor = self._db.execute(
+            "DELETE FROM runs WHERE created < ?", (horizon,))
+        self._db.commit()
+        return cursor.rowcount
+
+    def fingerprints(self) -> Dict[str, int]:
+        """Row count per code fingerprint (stale generations show up here)."""
+        return dict(self._db.execute(
+            "SELECT fingerprint, COUNT(*) FROM runs GROUP BY fingerprint"))
+
+    # -- persistent counters ----------------------------------------------
+    def bump_counter(self, name: str, delta: int = 1) -> None:
+        self._db.execute(
+            "INSERT INTO meta (name, value) VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = CAST(value AS INTEGER) + ?",
+            (name, str(delta), delta))
+        self._db.commit()
+
+    def counters(self) -> Dict[str, int]:
+        return {name: int(value) for name, value in self._db.execute(
+            "SELECT name, value FROM meta")}
+
+    # -- portability -------------------------------------------------------
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """Write every row as one JSON line; returns the row count."""
+        count = 0
+        with open(path, "w") as handle:
+            for key, created, fingerprint, _label in list(self.rows()):
+                record = self._db.execute(
+                    "SELECT record FROM runs WHERE key = ?", (key,)
+                ).fetchone()[0]
+                handle.write(json.dumps({
+                    "key": key, "created": created,
+                    "fingerprint": fingerprint,
+                    "record": json.loads(record),
+                }, sort_keys=True) + "\n")
+                count += 1
+        return count
+
+    def import_jsonl(self, path: Union[str, Path]) -> int:
+        """Merge a JSONL export into this store; returns rows imported."""
+        count = 0
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                raw = json.loads(line)
+                self.put(raw["key"], record_from_dict(raw["record"]),
+                         fingerprint=raw.get("fingerprint", ""),
+                         created=raw.get("created"))
+                count += 1
+        return count
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,97 @@
+"""The caching policy: which records are reusable, and the hit/miss ledger.
+
+:class:`RunCache` sits between the executor and a
+:class:`~repro.store.backend.ResultStore`.  It decides what may be
+served from the store (anything whose key matches — the key already
+encodes configuration, seed *and* code fingerprint, so a hit is
+definitionally fresh) and what may be written back:
+
+* successful records — always;
+* ``"incomplete"`` failures — the simulated-time cap is deterministic,
+  so re-running an incomplete cell reproduces the same failure; caching
+  it makes resumed sweeps skip known-hopeless cells too;
+* ``"timeout"`` / ``"error"`` failures — never.  Wall-clock budgets and
+  transient exceptions depend on the host, not the request, so a rerun
+  may well succeed.
+
+Cache hits are returned with ``record.cached = True`` and counted in
+:attr:`RunCache.hits`; both the per-session counters and the store's
+persistent lifetime counters feed ``repro store stats``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..core.executor import RunRecord, RunRequest
+from .backend import ResultStore
+from .keys import code_fingerprint, run_key
+
+#: What ``run_requests(store=...)`` accepts.
+StoreLike = Union["RunCache", ResultStore, str, Path]
+
+
+class RunCache:
+    """A cache-policy wrapper around one :class:`ResultStore`."""
+
+    def __init__(self, store: Union[ResultStore, str, Path, None] = None,
+                 *, fingerprint: Optional[str] = None) -> None:
+        self.store = ResultStore.open(store)
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else code_fingerprint())
+        #: Session counters (this process, this cache instance).
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @classmethod
+    def of(cls, store: Optional[StoreLike]) -> Optional["RunCache"]:
+        """Coerce the executor's ``store=`` argument; None stays None."""
+        if store is None or isinstance(store, RunCache):
+            return store
+        return cls(store)
+
+    # ------------------------------------------------------------------
+    def key_for(self, request: RunRequest) -> str:
+        return run_key(request, fingerprint=self.fingerprint)
+
+    def lookup(self, request: RunRequest) -> Optional[RunRecord]:
+        """A fresh hit for ``request``, or None (counted either way)."""
+        record = self.store.get(self.key_for(request))
+        if record is None:
+            self.misses += 1
+            self.store.bump_counter("misses")
+            return None
+        self.hits += 1
+        self.store.bump_counter("hits")
+        record.cached = True
+        return record
+
+    @staticmethod
+    def cacheable(record: RunRecord) -> bool:
+        if record.cached:
+            return False  # already in the store; don't churn timestamps
+        return record.failure is None or record.failure.kind == "incomplete"
+
+    def offer(self, record: RunRecord) -> bool:
+        """Write a freshly computed record back, if the policy allows."""
+        if not self.cacheable(record):
+            return False
+        self.store.put(self.key_for(record.request), record,
+                       fingerprint=self.fingerprint)
+        self.writes += 1
+        self.store.bump_counter("writes")
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def session_stats(self) -> Tuple[int, int, int]:
+        """(hits, misses, writes) for this cache instance."""
+        return self.hits, self.misses, self.writes
+
+    def describe_session(self) -> str:
+        total = self.hits + self.misses
+        rate = (100.0 * self.hits / total) if total else 0.0
+        return (f"cache: {self.hits}/{total} hits ({rate:.0f}%), "
+                f"{self.writes} new results stored in {self.store.path}")

@@ -1,0 +1,225 @@
+"""Canonical run keys: a stable content address for every RunRequest.
+
+The executor made every run a pure function of ``(configuration,
+seed)``; this module turns that configuration into a *content address*.
+A :class:`~repro.core.executor.RunRequest` is reduced to a canonical,
+type-tagged, JSON-serialisable form (:func:`canonical`), combined with a
+fingerprint of the ``repro`` source tree (:func:`code_fingerprint`), and
+hashed into a :func:`run_key`.  Two guarantees follow:
+
+* the *same logical request* — however it was constructed, in whatever
+  process — always maps to the same key;
+* *any* change to the request (a config field, the scenario, the seed,
+  the device) or to the simulator's code produces a different key, so a
+  store lookup can never return a stale result.
+
+The module also provides the JSON codec used by the sqlite backend to
+persist :class:`~repro.core.executor.RunRecord` rows
+(:func:`request_to_dict` / :func:`request_from_dict`,
+:func:`record_to_dict` / :func:`record_from_dict`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from ..devices import DEVICE_PROFILES, DeviceProfile
+from ..http.objects import WebObject, WebPage
+from ..netem.profiles import Scenario
+from ..quic.config import QuicConfig
+from ..tcp.config import TcpConfig
+from ..transport.cc.cubic import CubicConfig
+from ..core.executor import ProtocolSpec, RunFailure, RunRecord, RunRequest
+
+#: Bump when the canonical form itself changes shape, so stores written
+#: by older code are invalidated wholesale instead of mis-read.
+KEY_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# canonicalisation
+# ----------------------------------------------------------------------
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-serialisable structure.
+
+    Dataclasses become type-tagged dicts of their fields (so a
+    ``QuicConfig`` and a ``TcpConfig`` that happened to share field
+    values could never collide); tuples become lists; dict keys are
+    emitted sorted by :func:`canonical_json` at dump time.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() is the shortest round-trip form — stable across
+        # platforms and processes for CPython floats.
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        payload["__type__"] = type(obj).__name__
+        return payload
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, Mapping):
+        return {str(key): canonical(value) for key, value in obj.items()}
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r}; run keys only cover "
+        f"plain data (dataclasses, numbers, strings, sequences, mappings)")
+
+
+def canonical_json(obj: Any) -> str:
+    """The one true serialisation: sorted keys, no whitespace."""
+    return json.dumps(canonical(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# code fingerprint
+# ----------------------------------------------------------------------
+_FINGERPRINT_CACHE: Dict[str, str] = {}
+
+
+def code_fingerprint(package_dir: Optional[Path] = None) -> str:
+    """A sha256 over every ``.py`` file of the ``repro`` package.
+
+    Any source change — a congestion-control tweak, a new default — maps
+    every request to a fresh key, so cached results can never silently
+    survive a code change.  The walk is deterministic (sorted relative
+    paths) and cached per process.
+    """
+    if package_dir is None:
+        package_dir = Path(__file__).resolve().parent.parent
+    cache_key = str(package_dir)
+    cached = _FINGERPRINT_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(path.relative_to(package_dir).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    fingerprint = digest.hexdigest()
+    _FINGERPRINT_CACHE[cache_key] = fingerprint
+    return fingerprint
+
+
+def run_key(request: RunRequest, *, fingerprint: Optional[str] = None) -> str:
+    """The content address of one run: sha256 of request + code.
+
+    ``fingerprint`` defaults to :func:`code_fingerprint`; tests (and
+    cross-machine stores that pin a release) may pass their own.
+    """
+    payload = canonical_json({
+        "schema": KEY_SCHEMA_VERSION,
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        "request": canonical(request),
+    })
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# request / record JSON codec (persistence, not hashing)
+# ----------------------------------------------------------------------
+def _config_to_dict(config: Any) -> Optional[Dict[str, Any]]:
+    if config is None:
+        return None
+    out = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        out[f.name] = _config_to_dict(value) if dataclasses.is_dataclass(
+            value) else value
+    return out
+
+
+def _config_from_dict(cls: type, raw: Optional[Mapping[str, Any]]) -> Any:
+    if raw is None:
+        return None
+    known = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = sorted(set(raw) - set(known))
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s): {', '.join(map(repr, unknown))}")
+    kwargs = {}
+    for name, value in raw.items():
+        if name == "cc":
+            value = _config_from_dict(CubicConfig, value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+def request_to_dict(request: RunRequest) -> Dict[str, Any]:
+    """A plain-JSON description of a request, rebuildable bit-identically."""
+    return {
+        "scenario": request.scenario.to_spec(),
+        "page": {
+            "name": request.page.name,
+            "objects": [[o.obj_id, o.size_bytes] for o in request.page.objects],
+        },
+        "protocol": {
+            "name": request.protocol.name,
+            "config": _config_to_dict(request.protocol.config),
+        },
+        "device": _config_to_dict(request.device),
+        "seed": request.seed,
+        "trace": request.trace,
+        "cwnd_interval": request.cwnd_interval,
+        "proxied": request.proxied,
+        "timeout": request.timeout,
+    }
+
+
+def request_from_dict(raw: Mapping[str, Any]) -> RunRequest:
+    scenario = Scenario.from_spec(dict(raw["scenario"]))
+    page = WebPage(
+        raw["page"]["name"],
+        tuple(WebObject(obj_id, size)
+              for obj_id, size in raw["page"]["objects"]),
+    )
+    proto_raw = raw["protocol"]
+    config_cls = QuicConfig if proto_raw["name"] == "quic" else TcpConfig
+    protocol = ProtocolSpec(
+        proto_raw["name"], _config_from_dict(config_cls, proto_raw["config"]))
+    device_raw = dict(raw["device"])
+    device = DEVICE_PROFILES.get(device_raw.get("name", ""))
+    if device is None or _config_to_dict(device) != device_raw:
+        device = DeviceProfile(**device_raw)
+    return RunRequest(
+        scenario=scenario, page=page, protocol=protocol,
+        seed=raw["seed"], device=device, trace=raw["trace"],
+        cwnd_interval=raw["cwnd_interval"], proxied=raw["proxied"],
+        timeout=raw["timeout"],
+    )
+
+
+def record_to_dict(record: RunRecord) -> Dict[str, Any]:
+    return {
+        "request": request_to_dict(record.request),
+        "plt": record.plt,
+        "complete": record.complete,
+        "metrics": dict(record.metrics),
+        "wall_time": record.wall_time,
+        "attempts": record.attempts,
+        "failure": (None if record.failure is None else
+                    {"kind": record.failure.kind,
+                     "message": record.failure.message}),
+    }
+
+
+def record_from_dict(raw: Mapping[str, Any]) -> RunRecord:
+    failure = raw.get("failure")
+    return RunRecord(
+        request=request_from_dict(raw["request"]),
+        plt=raw["plt"],
+        complete=raw["complete"],
+        metrics=dict(raw["metrics"]),
+        wall_time=raw["wall_time"],
+        attempts=raw["attempts"],
+        failure=None if failure is None else RunFailure(**failure),
+    )

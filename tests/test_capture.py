@@ -122,3 +122,53 @@ class TestScenarioCharacterisation:
         lte = characterize_scenario(
             CELLULAR_PROFILES["sprint-lte"].scenario(), duration=40.0, seed=4)
         assert g3.reordering_pct > lte.reordering_pct
+
+
+class TestCharacterizeEdgeCases:
+    """Degenerate captures must yield well-defined characteristics —
+    zeros, not ZeroDivisionError — so measurement tooling can run
+    unconditionally (e.g. on a link a flow never used)."""
+
+    def test_empty_capture(self):
+        sim = Simulator()
+        path = build_path(sim, emulated(10.0), seed=1)
+        capture = PacketCapture(path.bottleneck_up)
+        sim.run(until=1.0)  # no traffic at all
+        chars = capture.characterize()
+        assert chars.delivered_packets == 0
+        assert chars.delivered_bytes == 0
+        assert chars.duration == 0.0
+        assert chars.throughput_mbps == 0.0
+        assert chars.loss_pct == 0.0
+        assert chars.reordering_pct == 0.0
+        assert chars.mean_reorder_depth == 0.0
+        assert chars.describe()  # renders without dividing by zero
+
+    def test_single_packet_flow(self):
+        sim = Simulator()
+        path = build_path(sim, emulated(10.0), seed=1)
+        capture = PacketCapture(path.bottleneck_up)
+        flood(sim, path, n=1)
+        chars = capture.characterize()
+        assert chars.delivered_packets == 1
+        # One delivery means zero observation window: throughput must
+        # degrade to 0, not to a division by zero.
+        assert chars.duration == 0.0
+        assert chars.throughput_mbps == 0.0
+        assert chars.loss_pct == 0.0
+        assert chars.reordering_pct == 0.0
+        assert chars.mean_reorder_depth == 0.0
+
+    def test_all_dropped_flow(self):
+        sim = Simulator()
+        path = build_path(sim, emulated(10.0), seed=1)
+        capture = PacketCapture(path.bottleneck_up)
+        path.bottleneck_up.drop_next(50)  # deterministic total loss
+        flood(sim, path, n=50)
+        chars = capture.characterize()
+        assert chars.delivered_packets == 0
+        assert chars.lost_packets == 50
+        assert chars.loss_pct == 100.0
+        assert chars.throughput_mbps == 0.0
+        assert chars.reordering_pct == 0.0
+        assert chars.describe()

@@ -1,0 +1,374 @@
+"""Tests for the content-addressed results store (repro.store).
+
+The correctness contract: the same logical request always maps to the
+same key (across object identities and across processes), while *any*
+change to the configuration, seed, or code fingerprint maps to a
+different key — a cache hit can therefore never be stale.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.executor import (
+    ProtocolSpec,
+    RunFailure,
+    RunRecord,
+    RunRequest,
+    run_requests,
+)
+from repro.core.experiment import (
+    ExperimentSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_experiment,
+)
+from repro.devices import NEXUS6, DeviceProfile
+from repro.http import page, single_object_page
+from repro.netem import emulated
+from repro.netem.profiles import CELLULAR_PROFILES
+from repro.quic import quic_config
+from repro.store import (
+    ResultStore,
+    RunCache,
+    code_fingerprint,
+    record_from_dict,
+    record_to_dict,
+    request_from_dict,
+    request_to_dict,
+    run_key,
+)
+from repro.tcp import tcp_config
+
+SCN = emulated(10.0)
+PAGE = single_object_page(20_000)
+
+
+def req(seed=0, **overrides):
+    kwargs = dict(scenario=SCN, page=PAGE, protocol=ProtocolSpec.quic(),
+                  seed=seed)
+    kwargs.update(overrides)
+    return RunRequest(**kwargs)
+
+
+def fresh_req(seed=0):
+    """The same logical request as ``req(seed)``, all-new objects."""
+    return RunRequest(scenario=emulated(10.0),
+                      page=single_object_page(20_000),
+                      protocol=ProtocolSpec.quic(), seed=seed)
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+class TestRunKey:
+    def test_key_shape(self):
+        key = run_key(req())
+        assert len(key) == 64
+        int(key, 16)  # hex
+
+    def test_same_logical_request_same_key(self):
+        assert run_key(req(seed=5)) == run_key(fresh_req(seed=5))
+
+    def test_key_is_stable_across_processes(self):
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        code = (
+            "from repro.core.executor import ProtocolSpec, RunRequest\n"
+            "from repro.http import single_object_page\n"
+            "from repro.netem import emulated\n"
+            "from repro.store import run_key\n"
+            "r = RunRequest(scenario=emulated(10.0),\n"
+            "               page=single_object_page(20_000),\n"
+            "               protocol=ProtocolSpec.quic(), seed=3)\n"
+            "print(run_key(r))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get("PYTHONPATH",
+                                                                "")
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == run_key(req(seed=3))
+
+    @pytest.mark.parametrize("variant", [
+        lambda: req(seed=1),
+        lambda: req(scenario=emulated(10.0, loss_pct=1.0)),
+        lambda: req(scenario=emulated(50.0)),
+        lambda: req(page=single_object_page(20_001)),
+        lambda: req(page=page(2, 10_000)),
+        lambda: req(protocol=ProtocolSpec.tcp()),
+        lambda: req(protocol=ProtocolSpec.quic(version=36)),
+        lambda: req(protocol=ProtocolSpec(
+            "quic", quic_config(34).with_(nack_threshold=50))),
+        lambda: req(protocol=ProtocolSpec(
+            "tcp", tcp_config(dupthresh=10))),
+        lambda: req(device=NEXUS6),
+        lambda: req(trace=True),
+        lambda: req(proxied=True),
+        lambda: req(timeout=123.0),
+    ])
+    def test_any_field_change_changes_key(self, variant):
+        assert run_key(variant()) != run_key(req())
+
+    def test_default_and_explicit_default_config_differ(self):
+        # ProtocolSpec(None) defers to the *current* defaults, so it is
+        # deliberately a different address than a pinned explicit config.
+        assert (run_key(req(protocol=ProtocolSpec.quic()))
+                != run_key(req(protocol=ProtocolSpec.quic(quic_config(34)))))
+
+    def test_code_fingerprint_changes_key(self):
+        base = run_key(req(), fingerprint="aaaa")
+        assert run_key(req(), fingerprint="bbbb") != base
+        assert run_key(req(), fingerprint="aaaa") == base
+
+    def test_fingerprint_tracks_source(self, tmp_path):
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        first = code_fingerprint(tree)
+        assert first == code_fingerprint(tmp_path / "pkg")  # cached, stable
+        tree2 = tmp_path / "pkg2"
+        tree2.mkdir()
+        (tree2 / "a.py").write_text("x = 2\n")
+        assert code_fingerprint(tree2) != first
+
+
+# ----------------------------------------------------------------------
+# the JSON codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    @pytest.mark.parametrize("request_", [
+        req(seed=7),
+        req(protocol=ProtocolSpec("quic",
+                                  quic_config(36).with_(zero_rtt=False))),
+        req(protocol=ProtocolSpec("tcp", tcp_config(tls_rtts=1))),
+        req(scenario=CELLULAR_PROFILES["verizon-3g"].scenario(),
+            device=NEXUS6, trace=True, cwnd_interval=0.5, proxied=True),
+        req(device=DeviceProfile("weird", 1e-6, 2e-6, 3e-6, 0.1, noise=0.0)),
+    ])
+    def test_request_round_trip(self, request_):
+        rebuilt = request_from_dict(request_to_dict(request_))
+        assert rebuilt == request_
+        assert run_key(rebuilt) == run_key(request_)
+
+    def test_request_dict_is_json_safe(self):
+        json.dumps(request_to_dict(req()))
+
+    def test_record_round_trip(self):
+        record = RunRecord(request=req(), plt=1.25, complete=True,
+                           metrics={"plt": 1.25, "bytes": 20480.0},
+                           wall_time=0.5, attempts=2)
+        rebuilt = record_from_dict(record_to_dict(record))
+        assert rebuilt.plt == record.plt
+        assert rebuilt.metrics == record.metrics
+        assert rebuilt.request == record.request
+        assert rebuilt.failure is None
+
+    def test_failure_round_trip(self):
+        record = RunRecord(request=req(), failure=RunFailure(
+            "incomplete", "ran out of simulated time"))
+        rebuilt = record_from_dict(record_to_dict(record))
+        assert rebuilt.failure == record.failure
+        assert not rebuilt.ok
+
+
+# ----------------------------------------------------------------------
+# the sqlite backend
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def record(self, seed=0, plt=1.0):
+        return RunRecord(request=req(seed=seed), plt=plt, complete=True,
+                         metrics={"plt": plt})
+
+    def test_put_get_contains_len_delete(self):
+        store = ResultStore(":memory:")
+        assert len(store) == 0
+        store.put("k1", self.record())
+        assert "k1" in store
+        assert "k2" not in store
+        assert store.get("k1").plt == 1.0
+        assert store.get("k2") is None
+        assert len(store) == 1
+        assert store.delete("k1")
+        assert not store.delete("k1")
+        assert len(store) == 0
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "sub" / "store.sqlite"  # parent auto-created
+        with ResultStore(path) as store:
+            store.put("k1", self.record(plt=2.5), fingerprint="f1")
+        with ResultStore(path) as store:
+            assert store.get("k1").plt == 2.5
+            assert store.fingerprints() == {"f1": 1}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        store = ResultStore(":memory:")
+        for i in range(3):
+            store.put(f"k{i}", self.record(seed=i, plt=float(i)),
+                      fingerprint="f")
+        out = tmp_path / "dump.jsonl"
+        assert store.export_jsonl(out) == 3
+        other = ResultStore(":memory:")
+        assert other.import_jsonl(out) == 3
+        assert other.keys() == store.keys()
+        for key in store.keys():
+            assert other.get(key).plt == store.get(key).plt
+
+    def test_gc_drops_only_old_rows(self):
+        store = ResultStore(":memory:")
+        store.put("old", self.record(), created=1_000.0)
+        store.put("new", self.record(seed=1), created=2_000.0)
+        dropped = store.gc(500.0, now=2_100.0)  # horizon: 1600
+        assert dropped == 1
+        assert "old" not in store and "new" in store
+
+    def test_counters(self):
+        store = ResultStore(":memory:")
+        assert store.counters() == {}
+        store.bump_counter("hits")
+        store.bump_counter("hits", 2)
+        assert store.counters() == {"hits": 3}
+
+
+# ----------------------------------------------------------------------
+# cache-aware execution
+# ----------------------------------------------------------------------
+class TestCacheAwareExecution:
+    def test_second_run_is_all_hits_and_bit_identical(self):
+        cache = RunCache(ResultStore(":memory:"))
+        requests = [req(seed=s) for s in range(3)]
+        cold = run_requests(requests, store=cache)
+        assert cache.session_stats == (0, 3, 3)
+        assert all(r.ok and not r.cached for r in cold)
+
+        executed = []
+
+        def must_not_run(request):
+            executed.append(request)
+            raise AssertionError("cache hit should not execute")
+
+        warm = run_requests([fresh_req(seed=s) for s in range(3)],
+                            store=cache, run_fn=must_not_run)
+        assert executed == []
+        assert all(r.cached for r in warm)
+        assert [r.plt for r in warm] == [r.plt for r in cold]
+        assert [r.metrics for r in warm] == [r.metrics for r in cold]
+        assert cache.session_stats == (3, 3, 3)
+
+    def test_interrupted_sweep_resumes_missing_cells_only(self):
+        cache = RunCache(ResultStore(":memory:"))
+        # The "interrupted" first attempt completed seeds 0 and 2 only.
+        run_requests([req(seed=0), req(seed=2)], store=cache)
+
+        executed = []
+
+        def spy(request):
+            executed.append(request.seed)
+            return RunRecord(request=request, plt=float(request.seed),
+                             complete=True, metrics={"plt": float(request.seed)})
+
+        records = run_requests([req(seed=s) for s in range(4)],
+                               store=cache, run_fn=spy)
+        assert executed == [1, 3]  # only the missing cells ran
+        assert [r.cached for r in records] == [True, False, True, False]
+        assert all(r.ok for r in records)
+
+    def test_results_are_written_back_as_they_complete(self):
+        # Resumability hinges on incremental write-back: if run 2 of 3
+        # dies, runs 0..1 must already be in the store.
+        cache = RunCache(ResultStore(":memory:"))
+
+        def dies_at_seed_two(request):
+            if request.seed == 2:
+                raise KeyboardInterrupt()
+            return RunRecord(request=request, plt=1.0, complete=True)
+
+        with pytest.raises(KeyboardInterrupt):
+            run_requests([req(seed=s) for s in range(3)], store=cache,
+                         run_fn=dies_at_seed_two)
+        assert len(cache.store) == 2
+
+    def test_error_failures_are_not_cached(self):
+        cache = RunCache(ResultStore(":memory:"))
+
+        def broken(request):
+            raise RuntimeError("boom")
+
+        records = run_requests([req()], store=cache, retries=0, run_fn=broken)
+        assert records[0].failure.kind == "error"
+        assert len(cache.store) == 0
+
+    def test_incomplete_runs_are_cached(self):
+        cache = RunCache(ResultStore(":memory:"))
+        cold = run_requests([req(timeout=0.001)], store=cache)
+        assert cold[0].failure.kind == "incomplete"
+        assert len(cache.store) == 1
+        warm = run_requests([req(timeout=0.001)], store=cache)
+        assert warm[0].cached
+        assert warm[0].failure == cold[0].failure
+
+    def test_progress_fires_for_hits_and_misses(self):
+        cache = RunCache(ResultStore(":memory:"))
+        run_requests([req(seed=0)], store=cache)
+        seen = []
+        run_requests([req(seed=s) for s in range(2)], store=cache,
+                     progress=seen.append)
+        assert sorted(r.request.seed for r in seen) == [0, 1]
+        assert {r.request.seed: r.cached for r in seen} == {0: True, 1: False}
+
+    def test_store_accepts_a_bare_path(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        run_requests([req()], store=path)
+        reopened = ResultStore(path)
+        assert len(reopened) == 1
+
+    def test_code_change_invalidates_hits(self):
+        store = ResultStore(":memory:")
+        old_code = RunCache(store, fingerprint="old-code")
+        run_requests([req()], store=old_code)
+        new_code = RunCache(store, fingerprint="new-code")
+        executed = []
+
+        def spy(request):
+            executed.append(request.seed)
+            return RunRecord(request=request, plt=1.0, complete=True)
+
+        run_requests([req()], store=new_code, run_fn=spy)
+        assert executed == [0]  # old result was not served
+        assert new_code.session_stats == (0, 1, 1)
+
+
+# ----------------------------------------------------------------------
+# experiment-level caching (the resumable-sweep contract)
+# ----------------------------------------------------------------------
+class TestExperimentCaching:
+    def spec(self, **overrides):
+        kwargs = dict(
+            name="store-smoke",
+            scenarios=[ScenarioSpec(10.0), ScenarioSpec(50.0)],
+            workloads=[WorkloadSpec(1, 20)],
+            runs=2,
+        )
+        kwargs.update(overrides)
+        return ExperimentSpec(**kwargs)
+
+    def test_rerun_is_all_hits_with_identical_json(self):
+        cache = RunCache(ResultStore(":memory:"))
+        first = run_experiment(self.spec(), store=cache)
+        runs_total = cache.misses
+        assert cache.hits == 0 and runs_total > 0
+        second = run_experiment(self.spec(), store=cache)
+        assert cache.hits == runs_total  # 100% hit rate on the rerun
+        assert cache.misses == runs_total  # no new misses
+        assert second.to_json() == first.to_json()
+
+    def test_config_change_misses(self):
+        cache = RunCache(ResultStore(":memory:"))
+        run_experiment(self.spec(), store=cache)
+        cache.hits = cache.misses = 0
+        run_experiment(self.spec(quic_version=30), store=cache)
+        # QUIC cells miss (different config); TCP cells still hit.
+        assert cache.misses > 0 and cache.hits > 0
