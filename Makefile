@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-report bench bench-smoke bench-report bench-full examples check clean distclean results
+.PHONY: install test test-report bench bench-smoke bench-report bench-full perf-gate examples check clean distclean results
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,16 @@ bench-report:
 # Fast end-to-end check: a tiny spec grid on 2 workers.
 bench-smoke:
 	$(PYTHON) -m repro spec --file examples/specs/smoke.json --jobs 2
+
+# Perf-regression gate: re-measure the hot-path benchmarks at full size
+# (small --quick sizes are biased low and would trip the gate) and
+# compare host-normalised rates against the committed BENCH_sim.json;
+# exits non-zero on a >25% regression in events/sec or packets/sec, or
+# on any change in the fixed-seed simulated outcomes.
+perf-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/sim_hotpath.py --repeat 3 \
+		--out /tmp/BENCH_sim.candidate.json
+	$(PYTHON) scripts/bench_diff.py BENCH_sim.json /tmp/BENCH_sim.candidate.json
 
 # Paper-scale: >=10 rounds per cell and full workload grids.
 bench-full:

@@ -19,7 +19,7 @@ import os
 import time
 from pathlib import Path
 
-from repro.core.executor import resolve_jobs
+from repro.core.executor import resolve_jobs, usable_cpu_count
 from repro.core.experiment import (
     ExperimentSpec,
     ScenarioSpec,
@@ -76,7 +76,7 @@ def main() -> int:
         f"spec: {spec.name} ({len(spec.scenarios)} scenarios x "
         f"{len(spec.workloads)} workloads x {len(spec.protocols)} protocols "
         f"x {spec.runs} runs = {cells} independent simulations)",
-        f"host CPU count: {os.cpu_count()}",
+        f"host CPU count: {os.cpu_count()} (usable: {usable_cpu_count()})",
         "",
         f"  jobs=1 (serial)    {serial_s:8.2f} s",
         f"  jobs={jobs:<2}            {parallel_s:8.2f} s",
@@ -87,12 +87,14 @@ def main() -> int:
         "Every run is a pure function of (configuration, seed), so the",
         "parallel ExperimentResult.to_json() is byte-identical to serial.",
     ]
-    if (os.cpu_count() or 1) < 2:
+    if usable_cpu_count() < 2:
         lines += [
             "",
-            "note: this host exposes a single core, so worker processes",
-            "time-share it and no speedup is possible here; on an N-core",
-            "host the independent simulations scale to ~min(N, jobs)x.",
+            "note: this host exposes a single usable core; the executor's",
+            "auto-serial fallback therefore runs the jobs=N request",
+            "in-process instead of forking a pool that could only lose,",
+            "so the expected speedup here is ~1.0x.  On an N-core host",
+            "the independent simulations scale to ~min(N, jobs)x.",
         ]
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
     RESULTS.write_text("\n".join(lines) + "\n")
@@ -101,6 +103,7 @@ def main() -> int:
         "benchmark": "executor_scaling",
         "runs_total": cells,
         "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpu_count(),
         "jobs": jobs,
         "serial_seconds": round(serial_s, 4),
         "parallel_seconds": round(parallel_s, 4),

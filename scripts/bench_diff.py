@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare two BENCH_sim.json payloads.
+
+Usage::
+
+    python scripts/bench_diff.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.25]
+
+Compares the ``current`` section of each payload and exits non-zero if
+the candidate regresses ``events_per_sec`` or ``packets_per_sec`` by
+more than ``--threshold`` (default 25 %).  ``plt_wall_seconds`` is
+reported but informational only: the canonical PLT pair is a short run,
+so its wall clock is the noisiest of the three numbers.
+
+When both payloads carry ``calibration_ops_per_sec`` (a pure-Python
+spin-loop rate measured on the same host as the benchmarks), the gated
+rates are normalised by it first.  That makes the comparison meaningful
+across hosts: a laptop and a CI runner disagree wildly on absolute
+events/sec, but far less on events-per-calibration-op.
+
+The simulated outcomes embedded in the payloads (``plt_quic``,
+``plt_tcp``, ``events_quic``, ``events_tcp``, ``packets_delivered``)
+are fixed-seed and must be *identical* when the workloads match; a
+mismatch is reported as a behaviour change and also fails the gate,
+because it means the "optimisation" changed what the simulator computes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+GATED_RATES = ("events_per_sec", "packets_per_sec")
+BEHAVIOUR_KEYS = ("plt_quic", "plt_tcp", "events_quic", "events_tcp",
+                  "packets_delivered")
+
+
+def load_current(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    return payload.get("current", payload), payload
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_sim.json")
+    parser.add_argument("candidate", help="freshly measured BENCH_sim.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional slowdown in the "
+                             "gated rates (default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    base, base_payload = load_current(args.baseline)
+    cand, cand_payload = load_current(args.candidate)
+
+    base_cal = base_payload.get("calibration_ops_per_sec")
+    cand_cal = cand_payload.get("calibration_ops_per_sec")
+    normalised = bool(base_cal and cand_cal)
+    if normalised:
+        print(f"host calibration: baseline {base_cal:,.0f} ops/s, "
+              f"candidate {cand_cal:,.0f} ops/s (rates normalised)")
+    else:
+        print("host calibration missing from one payload; "
+              "comparing raw rates")
+
+    failures: List[str] = []
+    for metric in GATED_RATES:
+        b, c = base.get(metric), cand.get(metric)
+        if not b or not c:
+            print(f"{metric}: missing from a payload, skipped")
+            continue
+        if normalised:
+            b, c = b / base_cal, c / cand_cal
+        ratio = c / b
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{metric} regressed {100 * (1 - ratio):.1f}% "
+                f"(limit {100 * args.threshold:.0f}%)")
+        print(f"{metric}: {ratio:.3f}x of baseline [{status}]")
+
+    b, c = base.get("plt_wall_seconds"), cand.get("plt_wall_seconds")
+    if b and c:
+        print(f"plt_wall_seconds: {b / c:.3f}x of baseline "
+              "[informational]")
+
+    if _same_workload(base_payload, cand_payload):
+        for key in BEHAVIOUR_KEYS:
+            if key in base and key in cand and base[key] != cand[key]:
+                failures.append(
+                    f"behaviour change: {key} {base[key]!r} -> {cand[key]!r}")
+                print(f"{key}: {base[key]!r} -> {cand[key]!r} "
+                      "[BEHAVIOUR CHANGE]")
+
+    if failures:
+        print("\nFAIL:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("\nOK: no regression beyond "
+          f"{100 * args.threshold:.0f}% in {', '.join(GATED_RATES)}")
+    return 0
+
+
+def _same_workload(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """Fixed-seed outcomes are only comparable on identical workloads."""
+    wa, wb = a.get("workload"), b.get("workload")
+    if not wa or not wb:
+        return False
+    # events/packets sizes change the microbenchmarks but not the PLT
+    # pair; the PLT scenario/page strings are what must match.
+    return (wa.get("plt_scenario") == wb.get("plt_scenario")
+            and wa.get("plt_page") == wb.get("plt_page"))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

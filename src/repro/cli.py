@@ -11,6 +11,7 @@ Examples::
     python -m repro bulk --protocol quic --size-mb 10 --rate 100 --loss 1
     python -m repro video --quality hd2160 --runs 3
     python -m repro statemachine --out fsm.dot
+    python -m repro bench --quick
     python -m repro versions
 
 Every command builds the same simulated testbed the benchmarks use, so
@@ -20,6 +21,7 @@ CLI results match ``pytest benchmarks/`` cell for cell.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -272,6 +274,38 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .core.bench import profile_plt, run_benchmarks, write_payload
+
+    if args.profile is not None:
+        profile_plt(top=args.profile)
+        return 0
+
+    if args.quick:
+        args.events = min(args.events, 50_000)
+        args.packets = min(args.packets, 8_000)
+        args.repeat = 1
+
+    baseline = None
+    if args.baseline is not None:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+
+    payload = run_benchmarks(events=args.events, packets=args.packets,
+                             repeat=args.repeat, baseline=baseline)
+    current = payload["current"]
+    print(f"events/sec:      {current['events_per_sec']:>12,.0f}")
+    print(f"packets/sec:     {current['packets_per_sec']:>12,.0f}")
+    print(f"PLT pair wall:   {current['plt_wall_seconds']:>12.4f} s "
+          f"(quic={current['plt_quic']:.4f}s tcp={current['plt_tcp']:.4f}s)")
+    for metric, factor in payload.get("speedup", {}).items():
+        print(f"speedup {metric}: {factor:.2f}x")
+    if args.out:
+        write_payload(payload, args.out)
+        print(f"written to {args.out}")
+    return 0
+
+
 def cmd_versions(args: argparse.Namespace) -> int:
     print("QUIC versions released during the study window:")
     for version in KNOWN_VERSIONS:
@@ -395,6 +429,25 @@ def build_parser() -> argparse.ArgumentParser:
                     help="drop runs recorded more than DAYS days ago")
     store_sub.add_parser("stats", help="row counts and hit/miss counters")
     p.set_defaults(func=cmd_store)
+
+    p = sub.add_parser("bench", help="hot-path microbenchmarks / profiler")
+    p.add_argument("--events", type=int, default=200_000,
+                   help="events for the event-loop microbenchmark")
+    p.add_argument("--packets", type=int, default=30_000,
+                   help="packets for the link microbenchmark")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="samples per benchmark (best is kept)")
+    p.add_argument("--quick", action="store_true",
+                   help="small sizes, one sample — fast but too noisy "
+                        "to gate on; for local iteration only")
+    p.add_argument("--baseline", default=None, metavar="JSON",
+                   help="previous BENCH_sim.json to compute speedups against")
+    p.add_argument("--out", default=None, metavar="JSON",
+                   help="write the payload here (default: print only)")
+    p.add_argument("--profile", type=int, default=None, metavar="N",
+                   help="cProfile the canonical PLT pair instead and print "
+                        "the top N cumulative rows")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("versions", help="Sec. 5.4: version configurations")
     p.set_defaults(func=cmd_versions)

@@ -54,6 +54,9 @@ from ..tcp.config import TcpConfig, tcp_config
 DEFAULT_SIM_TIMEOUT = 900.0
 #: Environment knob forcing in-process serial execution everywhere.
 SERIAL_ENV_VAR = "REPRO_EXECUTOR_SERIAL"
+#: Below this many requests the pool's fork/IPC overhead exceeds any
+#: speedup, so the engine runs them in-process instead.
+MIN_PARALLEL = 4
 
 PROTOCOL_NAMES = ("quic", "tcp")
 
@@ -340,10 +343,28 @@ def _run_chunk(run_fn: RunFn, chunk: Sequence[RunRequest],
 # ----------------------------------------------------------------------
 # the pool
 # ----------------------------------------------------------------------
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; containers and ``taskset``
+    often allow far fewer.  Scheduling more workers than usable CPUs
+    just adds context-switch overhead (a 1-CPU box shows a *slowdown*),
+    so the executor clamps to the affinity mask where the platform
+    exposes one.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalise a ``jobs`` argument: ``None``/``0`` mean "all cores"."""
+    """Normalise a ``jobs`` argument: ``None``/``0`` mean "all usable cores"."""
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
+        return usable_cpu_count()
     if jobs < 0:
         raise ValueError("jobs must be >= 0 (0 = all cores)")
     return jobs
@@ -376,7 +397,10 @@ def run_requests(
     ----------
     jobs:
         Worker processes; ``1`` runs serially in-process, ``None``/``0``
-        uses every core.  Serial mode is also forced on Windows or when
+        uses every usable core.  The count is clamped to the CPUs the
+        process may run on (affinity mask), and batches smaller than
+        ``MIN_PARALLEL`` run in-process — a pool that cannot win is
+        never started.  Serial mode is also forced on Windows or when
         ``REPRO_EXECUTOR_SERIAL`` is set (the coverage/debug escape
         hatch).
     wall_timeout:
@@ -425,6 +449,15 @@ def run_requests(
             elif progress is not None:
                 progress(hit)
         if miss_indices:
+            # Cache-aware scheduling: execute the heaviest misses first
+            # (object count, then bytes, as the expected-cost proxy) so a
+            # long run never lands last on an otherwise-drained pool.
+            # The sort is stable and results are slotted back by index,
+            # so the returned order is untouched.
+            miss_indices.sort(
+                key=lambda i: (requests[i].page.object_count,
+                               requests[i].page.total_bytes),
+                reverse=True)
 
             def _write_back(record: RunRecord) -> None:
                 cache.offer(record)
@@ -455,8 +488,15 @@ def _execute_requests(
 ) -> List[RunRecord]:
     """The store-blind execution engine behind :func:`run_requests`."""
     run = run_fn if run_fn is not None else execute_request
-    n_jobs = resolve_jobs(jobs)
-    if n_jobs <= 1 or len(requests) == 1 or _force_serial():
+    # Validate knobs before any serial-fallback decision: a bad argument
+    # is a bug regardless of which execution path would be taken.
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    # Auto-serial fallback: never more workers than usable CPUs (extra
+    # workers only context-switch), and never a pool for a request list
+    # too small to amortise worker start-up.
+    n_jobs = min(resolve_jobs(jobs), usable_cpu_count())
+    if (n_jobs <= 1 or len(requests) < MIN_PARALLEL or _force_serial()):
         out = []
         for request in requests:
             record = _run_with_retries(run, request, wall_timeout, retries)
@@ -468,8 +508,6 @@ def _execute_requests(
     n_jobs = min(n_jobs, len(requests))
     if chunk_size is None:
         chunk_size = max(1, len(requests) // (n_jobs * 4))
-    elif chunk_size < 1:
-        raise ValueError("chunk_size must be >= 1")
     chunks = _chunked(requests, chunk_size)
     results: List[Optional[RunRecord]] = [None] * len(requests)
     try:

@@ -148,7 +148,7 @@ class PacketProcessor:
         cost = self.cost
         if self.cost_jitter > 0:
             cost *= 1.0 + self.rng.uniform(-self.cost_jitter, self.cost_jitter)
-        self.sim.schedule(cost, self._finish, item)
+        self.sim.post(cost, self._finish, item)
 
     def _finish(self, item: Any) -> None:
         self.processed += 1

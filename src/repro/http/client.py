@@ -78,6 +78,9 @@ class PageLoader:
             for o in page.objects
         }
         self._outstanding = len(page.objects)
+        #: Plain attribute, not a property: the run loop polls this after
+        #: every event via ``run_until``'s predicate.
+        self.done = False
         self.result = PageLoadResult(
             page=page, protocol=protocol, started_at=sim.now,
             finished_at=None, timings=list(self._timings.values()),
@@ -114,10 +117,7 @@ class PageLoader:
         self._outstanding -= 1
         if self._outstanding == 0:
             self.result.finished_at = now
-
-    @property
-    def done(self) -> bool:
-        return self.result.finished_at is not None
+            self.done = True
 
 
 def load_page(sim: Simulator, connection: Any, page: WebPage, protocol: str,

@@ -87,11 +87,21 @@ class PacketCapture:
     Reordering is measured exactly as network measurement tools do: a
     packet is reordered if one with a later link-entry order was
     delivered before it; depth is how many such packets overtook it.
+
+    The capture attaches through the link's official ``on_send`` /
+    ``on_deliver`` taps (no method monkeypatching), so an uncaptured link
+    pays nothing beyond two ``is not None`` checks.  Per-packet
+    record-keeping (the tcpdump-style log behind :attr:`records` and
+    :meth:`to_csv`) is opt-out via ``record=False`` or ``max_records=0``
+    for measurement-only captures: :meth:`characterize` needs only the
+    running counters, not the log.
     """
 
-    def __init__(self, link: Link, max_records: Optional[int] = None) -> None:
+    def __init__(self, link: Link, max_records: Optional[int] = None,
+                 *, record: bool = True) -> None:
         self.link = link
         self.max_records = max_records
+        self._record = record and max_records != 0
         self.records: List[CaptureRecord] = []
         self._entry_order: Dict[int, int] = {}
         self._next_entry = 0
@@ -100,16 +110,17 @@ class PacketCapture:
         self._depth_total = 0
         self._first_time: Optional[float] = None
         self._last_time: Optional[float] = None
-        self._previous_send = link.send
+        self._previous_send_tap = link.on_send
         self._previous_tap = link.on_deliver
-        link.send = self._tap_send  # type: ignore[method-assign]
+        link.on_send = self._tap_send
         link.on_deliver = self._tap_deliver
 
     # ------------------------------------------------------------------
     def _tap_send(self, packet: Packet) -> None:
+        if self._previous_send_tap is not None:
+            self._previous_send_tap(packet)
         self._entry_order[packet.packet_id] = self._next_entry
         self._next_entry += 1
-        self._previous_send(packet)
 
     def _tap_deliver(self, now: float, packet: Packet) -> None:
         if self._previous_tap is not None:
@@ -125,7 +136,8 @@ class PacketCapture:
         self._delivered_entries.append(entry)
         if len(self._delivered_entries) > 256:
             self._delivered_entries.pop(0)
-        if self.max_records is None or len(self.records) < self.max_records:
+        if self._record and (self.max_records is None
+                             or len(self.records) < self.max_records):
             self.records.append(CaptureRecord(
                 now, packet.src, packet.dst, packet.size_bytes,
                 packet.flow_id, packet.packet_id,
@@ -163,8 +175,8 @@ class PacketCapture:
         return buffer.getvalue()
 
     def detach(self) -> None:
-        """Stop capturing and restore the link's original hooks."""
-        self.link.send = self._previous_send  # type: ignore[method-assign]
+        """Stop capturing and restore the link's original taps."""
+        self.link.on_send = self._previous_send_tap
         self.link.on_deliver = self._previous_tap
 
 
@@ -182,7 +194,7 @@ def characterize_scenario(scenario: Scenario, *, duration: float = 20.0,
 
     sim = Simulator()
     path = build_path(sim, scenario, seed=seed)
-    capture = PacketCapture(path.bottleneck_up, max_records=0)
+    capture = PacketCapture(path.bottleneck_up, record=False)
     rate = probe_rate_mbps
     if rate is None:
         rate = (scenario.rate_mbps or 10.0) * 1.2

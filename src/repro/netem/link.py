@@ -36,6 +36,12 @@ from .sim import Simulator
 
 Receiver = Callable[[Packet], None]
 
+#: How many uniform draws a link pre-draws from its RNG at a time.  The
+#: draws are consumed strictly in order, so the stream of values any
+#: packet sees is bit-identical to calling ``rng.random()`` per draw —
+#: batching only amortises the attribute lookups and method-call setup.
+RAND_BATCH = 256
+
 
 def mbps(value: float) -> float:
     """Convert megabits/second to bits/second (readability helper)."""
@@ -103,6 +109,14 @@ class Link:
         For debugging and monitor output.
     """
 
+    __slots__ = (
+        "sim", "rate_bps", "delay", "jitter", "loss_rate", "queue_bytes",
+        "reorder_prob", "reorder_extra", "name", "stats", "_receiver",
+        "_queue", "_busy", "_force_drops", "_enqueue_seq",
+        "_last_delivered_seq", "on_deliver", "on_send",
+        "_rng", "_rand_batch", "_rand_idx",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -152,9 +166,39 @@ class Link:
         #: Monotone counter of enqueue order, used to detect reordering.
         self._enqueue_seq = 0
         self._last_delivered_seq = 0
-        self._seq_of: dict = {}
         #: Optional tap invoked on every delivery: f(time, packet).
         self.on_deliver: Optional[Callable[[float, Packet], None]] = None
+        #: Optional tap invoked on every offered packet: f(packet).  Used
+        #: by :class:`~repro.netem.capture.PacketCapture`; the official
+        #: hook replaces the old pattern of monkeypatching ``link.send``.
+        self.on_send: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------------
+    # randomness (batched draws, bit-identical to per-call rng.random())
+    # ------------------------------------------------------------------
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @rng.setter
+    def rng(self, value: random.Random) -> None:
+        # Topology builders assign link.rng after construction; any
+        # pre-drawn batch belongs to the old stream and must be discarded.
+        self._rng = value
+        self._rand_batch: list = []
+        self._rand_idx = 0
+
+    def _draw(self) -> float:
+        """Next uniform [0,1) value from the link's private stream."""
+        idx = self._rand_idx
+        batch = self._rand_batch
+        if idx >= len(batch):
+            rand = self._rng.random
+            batch = [rand() for _ in range(RAND_BATCH)]
+            self._rand_batch = batch
+            idx = 0
+        self._rand_idx = idx + 1
+        return batch[idx]
 
     # ------------------------------------------------------------------
     # wiring
@@ -170,17 +214,21 @@ class Link:
         """Offer a packet to the link (called by the upstream node)."""
         if self._receiver is None:
             raise RuntimeError(f"{self.name}: no receiver attached")
-        packet.enqueued_at = self.sim.now
+        if self.on_send is not None:
+            self.on_send(packet)
+        now = self.sim._now
+        packet.enqueued_at = now
+        stats = self.stats
         if self.rate_bps is None:
             # Infinite-rate link: skip the queue entirely.
-            self.stats.enqueued_packets += 1
-            self.stats.enqueued_bytes += packet.size_bytes
+            stats.enqueued_packets += 1
+            stats.enqueued_bytes += packet.size_bytes
             self._launch(packet)
             return
-        if not self._queue.enqueue(self.sim.now, packet):
+        if not self._queue.enqueue(now, packet):
             return
-        self.stats.enqueued_packets += 1
-        self.stats.enqueued_bytes += packet.size_bytes
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += packet.size_bytes
         if not self._busy:
             self._transmit_next()
 
@@ -189,13 +237,13 @@ class Link:
         self.stats.dropped_bytes += packet.size_bytes
 
     def _transmit_next(self) -> None:
-        packet = self._queue.dequeue(self.sim.now)
+        packet = self._queue.dequeue(self.sim._now)
         if packet is None:
             self._busy = False
             return
         self._busy = True
         tx_time = packet.size_bytes * 8.0 / self.rate_bps
-        self.sim.schedule(tx_time, self._transmission_done, packet)
+        self.sim.post(tx_time, self._transmission_done, packet)
 
     def _transmission_done(self, packet: Packet) -> None:
         self._launch(packet)
@@ -213,30 +261,35 @@ class Link:
             self._force_drops -= 1
             self.stats.lost_packets += 1
             return
-        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+        if self.loss_rate > 0.0 and self._draw() < self.loss_rate:
             self.stats.lost_packets += 1
             return
         latency = self.delay
-        if self.jitter > 0.0:
-            latency += self.rng.uniform(-self.jitter, self.jitter)
+        jitter = self.jitter
+        if jitter > 0.0:
+            # Exactly random.Random.uniform(-jitter, jitter), fed from
+            # the batched stream: a + (b - a) * random().
+            latency += -jitter + (jitter - -jitter) * self._draw()
             if latency < 0.0:
                 latency = 0.0
-        if self.reorder_prob > 0.0 and self.rng.random() < self.reorder_prob:
+        if self.reorder_prob > 0.0 and self._draw() < self.reorder_prob:
             latency += self.reorder_extra
-        self._enqueue_seq += 1
-        self._seq_of[packet.packet_id] = self._enqueue_seq
-        self.sim.schedule(latency, self._deliver, packet)
+        seq = self._enqueue_seq + 1
+        self._enqueue_seq = seq
+        packet.link_seq = seq
+        self.sim.post(latency, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
-        self.stats.delivered_packets += 1
-        self.stats.delivered_bytes += packet.size_bytes
-        seq = self._seq_of.pop(packet.packet_id, 0)
+        stats = self.stats
+        stats.delivered_packets += 1
+        stats.delivered_bytes += packet.size_bytes
+        seq = packet.link_seq
         if seq < self._last_delivered_seq:
-            self.stats.reordered_packets += 1
+            stats.reordered_packets += 1
         else:
             self._last_delivered_seq = seq
         if self.on_deliver is not None:
-            self.on_deliver(self.sim.now, packet)
+            self.on_deliver(self.sim._now, packet)
         self._receiver(packet)
 
     # ------------------------------------------------------------------

@@ -63,7 +63,12 @@ class Node:
     def _receive_from_wire(self, packet: Packet) -> None:
         """Entry point for packets arriving over an attached link."""
         if packet.dst == self.name:
-            self.deliver(packet)
+            # Inlined deliver(): this runs once per delivered packet.
+            handler = self._local_handler
+            if handler is None:
+                self.no_route_drops += 1
+                return
+            handler(packet)
         else:
             self.send(packet)
 

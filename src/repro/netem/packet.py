@@ -10,7 +10,6 @@ datagrams and TCP's segments without understanding either).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Transport payload bytes per packet.  We use one MTU-ish payload size for
@@ -26,9 +25,13 @@ HEADER_BYTES = 40
 _packet_ids = itertools.count(1)
 
 
-@dataclass
 class Packet:
     """One network-layer packet.
+
+    A hand-rolled ``__slots__`` class rather than a dataclass: packets are
+    the most-allocated object in any run, and the dataclass machinery
+    (``__init__`` indirection, per-instance ``__dict__``, default-factory
+    calls) is measurable at that volume.
 
     Attributes
     ----------
@@ -44,19 +47,27 @@ class Packet:
         experiments (Table 4 / Fig. 4).
     """
 
-    src: str
-    dst: str
-    size_bytes: int
-    payload: Any = None
-    flow_id: Optional[str] = None
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    #: Stamped by the first link the packet enters; used for one-way-delay
-    #: accounting and debugging.
-    enqueued_at: Optional[float] = None
+    __slots__ = ("src", "dst", "size_bytes", "payload", "flow_id",
+                 "packet_id", "enqueued_at", "link_seq")
 
-    def __post_init__(self) -> None:
-        if self.size_bytes <= 0:
-            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+    def __init__(self, src: str, dst: str, size_bytes: int,
+                 payload: Any = None, flow_id: Optional[str] = None,
+                 packet_id: Optional[int] = None,
+                 enqueued_at: Optional[float] = None) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.payload = payload
+        self.flow_id = flow_id
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        #: Stamped by the first link the packet enters; used for
+        #: one-way-delay accounting and debugging.
+        self.enqueued_at = enqueued_at
+        #: Per-link enqueue-order stamp (see Link._launch); replaces the
+        #: per-packet dict the link used to keep for reorder detection.
+        self.link_seq = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,6 +33,8 @@ DropHook = Callable[[Packet], None]
 class QueueDiscipline:
     """Interface; subclasses manage their own backlog accounting."""
 
+    __slots__ = ("on_drop",)
+
     def __init__(self) -> None:
         self.on_drop: Optional[DropHook] = None
 
@@ -53,6 +55,8 @@ class QueueDiscipline:
 
 class DropTail(QueueDiscipline):
     """The classic FIFO: accept until the byte limit, then tail-drop."""
+
+    __slots__ = ("limit_bytes", "_queue", "_bytes")
 
     def __init__(self, limit_bytes: Optional[int]) -> None:
         super().__init__()
@@ -83,6 +87,10 @@ class DropTail(QueueDiscipline):
 
 class RED(QueueDiscipline):
     """Random Early Detection (byte mode, EWMA average occupancy)."""
+
+    __slots__ = ("limit_bytes", "min_threshold", "max_threshold",
+                 "max_probability", "weight", "rng", "_queue", "_bytes",
+                 "_avg", "early_drops")
 
     def __init__(self, limit_bytes: int, *, min_threshold: Optional[int] = None,
                  max_threshold: Optional[int] = None, max_probability: float = 0.1,
@@ -145,6 +153,10 @@ class CoDel(QueueDiscipline):
     are dropped with the 1/sqrt(count) spacing schedule until sojourn
     falls back under target.
     """
+
+    __slots__ = ("target", "interval", "limit_bytes", "_queue", "_bytes",
+                 "_first_above", "_dropping", "_drop_next", "_drop_count",
+                 "codel_drops")
 
     def __init__(self, target: float = 0.005, interval: float = 0.100,
                  limit_bytes: Optional[int] = 10_000_000) -> None:

@@ -13,14 +13,31 @@ Design notes
 * Events scheduled for the same instant fire in FIFO order (a
   monotonically increasing sequence number breaks ties), which keeps runs
   fully deterministic for a given seed.
-* Events are cancellable.  Transport retransmission timers rely on this.
+* Two scheduling flavours share one heap and one sequence space:
+
+  - :meth:`Simulator.post` / :meth:`Simulator.post_at` push a bare
+    ``(time, seq, callback, args)`` tuple — no allocation beyond the
+    tuple, and heap ordering compares the first two floats/ints directly
+    in C instead of dispatching into a Python ``__lt__``.  This is the
+    fast path for the non-cancellable majority of events (packet
+    transmissions, deliveries, sender wakeups, device-CPU completions).
+  - :meth:`Simulator.schedule` / :meth:`Simulator.at` wrap the callback
+    in a cancellable :class:`Event` and push ``(time, seq, None, event)``
+    — the ``None`` in the callback slot marks the entry as cancellable.
+    Transport retransmission timers rely on this.
+
+  Both flavours draw from the same sequence counter, so FIFO ordering at
+  equal times holds across flavours and a call-site can be switched
+  between them without perturbing the event order (only the per-event
+  cost changes).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Any, Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -28,7 +45,7 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
     Instances are returned by :meth:`Simulator.schedule` and
     :meth:`Simulator.at`.  Holding on to the event allows cancelling or
@@ -36,18 +53,29 @@ class Event:
     reference until the event fires.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim",
+                 "_fired")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any],
+                 args: tuple, sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
+        self._fired = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling twice is a no-op."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # Keep the owning simulator's live-event counter exact: a
+            # cancelled-but-still-queued event will never fire.  A cancel
+            # arriving after the event already fired must not decrement.
+            sim = self._sim
+            if sim is not None and not self._fired:
+                sim._pending -= 1
 
     @property
     def pending(self) -> bool:
@@ -63,13 +91,18 @@ class Event:
         return f"<Event t={self.time:.6f} {name} {state}>"
 
 
+#: One heap entry: ``(time, seq, callback_or_None, args_or_Event)``.
+Entry = Tuple[float, int, Optional[Callable[..., Any]], Any]
+
+
 class Simulator:
     """A deterministic discrete-event scheduler.
 
     Typical usage::
 
         sim = Simulator()
-        sim.schedule(0.010, handler, arg1, arg2)   # 10 ms from now
+        sim.schedule(0.010, handler, arg1, arg2)   # 10 ms, cancellable
+        sim.post(0.010, handler, arg1, arg2)       # 10 ms, fire-and-forget
         sim.run()                                   # until queue drains
 
     The simulator is intentionally minimal: no processes, no channels.
@@ -78,11 +111,13 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._queue: List[Entry] = []
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._event_count = 0
+        #: Queued events that will actually fire (cancelled ones excluded).
+        self._pending = 0
 
     # ------------------------------------------------------------------
     # time
@@ -116,9 +151,38 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={when} before now={self._now}"
             )
-        event = Event(when, next(self._seq), callback, args)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, callback, args, self)
+        self._pending += 1
+        heappush(self._queue, (when, seq, None, event))
         return event
+
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fast path: schedule a *non-cancellable* callback ``delay`` from now.
+
+        Identical semantics to :meth:`schedule` except nothing is
+        returned, so the callback cannot be cancelled.  Use it for the
+        fire-and-forget majority: the heap entry is a plain tuple and no
+        :class:`Event` is allocated.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        self._pending += 1
+        heappush(self._queue, (self._now + delay, seq, callback, args))
+
+    def post_at(self, when: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fast path: non-cancellable callback at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} before now={self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._pending += 1
+        heappush(self._queue, (when, seq, callback, args))
 
     # ------------------------------------------------------------------
     # execution
@@ -138,24 +202,40 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        queue = self._queue
+        pop = heappop
+        until_t = _INF if until is None else until
+        limit = _INF if max_events is None else max_events
         fired = 0
+        # The loop below maintains ``_event_count`` in the local ``fired``
+        # and flushes it on exit — nothing observes the counter mid-run.
         try:
-            while self._queue:
-                event = self._queue[0]
-                if until is not None and event.time > until:
+            while queue:
+                entry = queue[0]
+                when = entry[0]
+                if when > until_t:
                     break
-                heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                self._event_count += 1
+                pop(queue)
+                callback = entry[2]
+                if callback is None:
+                    event = entry[3]
+                    if event.cancelled:
+                        continue  # counter already adjusted by cancel()
+                    event._fired = True
+                    callback = event.callback
+                    args = event.args
+                else:
+                    args = entry[3]
+                self._pending -= 1
+                self._now = when
                 fired += 1
-                if max_events is not None and fired > max_events:
+                if fired > limit:
                     raise SimulationError(f"exceeded max_events={max_events}")
-                event.callback(*event.args)
+                callback(*args)
             if until is not None and self._now < until:
                 self._now = until
         finally:
+            self._event_count += fired
             self._running = False
 
     def run_until(self, predicate: Callable[[], bool], timeout: float,
@@ -168,29 +248,44 @@ class Simulator:
         if predicate():
             return True
         deadline = self._now + timeout
+        queue = self._queue
+        pop = heappop
+        limit = _INF if max_events is None else max_events
         fired = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.time > deadline:
-                break
-            heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._event_count += 1
-            fired += 1
-            if max_events is not None and fired > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
-            event.callback(*event.args)
-            if predicate():
-                return True
+        try:
+            while queue:
+                entry = queue[0]
+                when = entry[0]
+                if when > deadline:
+                    break
+                pop(queue)
+                callback = entry[2]
+                if callback is None:
+                    event = entry[3]
+                    if event.cancelled:
+                        continue
+                    event._fired = True
+                    callback = event.callback
+                    args = event.args
+                else:
+                    args = entry[3]
+                self._pending -= 1
+                self._now = when
+                fired += 1
+                if fired > limit:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                callback(*args)
+                if predicate():
+                    return True
+        finally:
+            self._event_count += fired
         if self._now < deadline:
             self._now = deadline
         return predicate()
 
     def pending_events(self) -> int:
-        """Number of queued, non-cancelled events (O(n); for tests)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued events that will fire (O(1); cancelled excluded)."""
+        return self._pending
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

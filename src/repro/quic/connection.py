@@ -224,7 +224,7 @@ class QuicConnection(TransportEndpoint):
             self._app_data_allowed = True
             self.handshake_ready_time = self.sim.now
             if on_ready is not None:
-                self.sim.schedule(0.0, on_ready, self.sim.now)
+                self.sim.post(0.0, on_ready, self.sim.now)
         else:
             self._enqueue_crypto("inchoate_chlo", self.config.inchoate_chlo_bytes)
             self._handshake_state = "waiting_rej"
@@ -319,7 +319,7 @@ class QuicConnection(TransportEndpoint):
     def _wake_sender(self) -> None:
         if not self._send_scheduled and not self.closed:
             self._send_scheduled = True
-            self.sim.schedule(0.0, self._send_loop)
+            self.sim.post(0.0, self._send_loop)
 
     def _send_loop(self) -> None:
         self._send_scheduled = False
@@ -333,10 +333,14 @@ class QuicConnection(TransportEndpoint):
             packet = self._build_packet(min(budget, self.config.mss))
             if packet is None:
                 break
-            self._commit_packet(packet)
+            self._commit_packet(packet, arm_timer=False)
             sent_something = True
         if not sent_something:
             self._maybe_signal_app_limited()
+        else:
+            # One timer arming per burst: sim time does not advance inside
+            # the loop, so this deadline equals the last per-packet one.
+            self._set_retx_timer()
         # A pure-ACK obligation may remain even when cc is blocked.
         if self._ack_pending and self._ack_timer is None:
             self._arm_ack_timer()
@@ -427,7 +431,8 @@ class QuicConnection(TransportEndpoint):
             self._send_rr.rotate(-1)
         return packed
 
-    def _commit_packet(self, packet: QuicPacket, *, probe: bool = False) -> None:
+    def _commit_packet(self, packet: QuicPacket, *, probe: bool = False,
+                       arm_timer: bool = True) -> None:
         size = packet.payload_bytes
         now = self.sim.now
         if packet.retransmittable:
@@ -452,13 +457,14 @@ class QuicConnection(TransportEndpoint):
                     # FEC packets are paced, tracked and cwnd-charged like
                     # data (GQUIC numbered and acked them); their loss is
                     # simply absorbed (no frames to retransmit).
-                    self._commit_packet(fec_packet)
+                    self._commit_packet(fec_packet, arm_timer=arm_timer)
         release = self.pacer.release_time(now, size, self.cc.pacing_rate())
         if release <= now:
             self._emit_packet(packet)
         else:
-            self.sim.at(release, self._emit_packet, packet)
-        self._set_retx_timer()
+            self.sim.post_at(release, self._emit_packet, packet)
+        if arm_timer:
+            self._set_retx_timer()
 
     def _emit_packet(self, packet: QuicPacket) -> None:
         record = self.sent.get(packet.pkt_num)
@@ -885,7 +891,7 @@ class QuicConnection(TransportEndpoint):
 
     def _schedule_control_flush(self) -> None:
         """Window updates must go out promptly even without data to send."""
-        self.sim.schedule(0.0, self._flush_control)
+        self.sim.post(0.0, self._flush_control)
 
     def _flush_control(self) -> None:
         if not self._control_out or self.closed:
@@ -923,7 +929,7 @@ class QuicConnection(TransportEndpoint):
             self._pending_serve.append((stream.stream_id, stream.meta))
             return
         delay = self.rng.uniform(0.0, self.server_noise)
-        self.sim.schedule(delay, self._serve, stream.stream_id, stream.meta)
+        self.sim.post(delay, self._serve, stream.stream_id, stream.meta)
 
     def _serve(self, stream_id: int, meta: Any) -> None:
         if self.on_request is not None:
@@ -954,11 +960,11 @@ class QuicConnection(TransportEndpoint):
             return
         if self.role == "server":
             if frame.kind == "inchoate_chlo":
-                self.sim.schedule(
+                self.sim.post(
                     self.device.crypto_setup_cost, self._server_send_rej
                 )
             elif frame.kind == "chlo":
-                self.sim.schedule(
+                self.sim.post(
                     self.device.crypto_setup_cost, self._server_handshake_done
                 )
         else:
@@ -990,7 +996,7 @@ class QuicConnection(TransportEndpoint):
         self._enqueue_crypto("shlo", self.config.shlo_bytes)
         for stream_id, meta in self._pending_serve:
             delay = self.rng.uniform(0.0, self.server_noise)
-            self.sim.schedule(delay, self._serve, stream_id, meta)
+            self.sim.post(delay, self._serve, stream_id, meta)
         self._pending_serve.clear()
         self._wake_sender()
 

@@ -4,12 +4,19 @@ Only the structure that matters for performance is modelled — sizes,
 packet numbers, offsets, ACK blocks, timestamps.  Frame "contents" are
 byte *counts*; application metadata rides along unserialised (the network
 layer never looks inside).
+
+These are hand-rolled ``__slots__`` classes rather than dataclasses:
+frames and packets are allocated for every packet on the wire, and at
+that volume the dataclass ``__init__`` indirection and per-instance
+``__dict__`` show up in profiles.  ``wire_bytes`` is a plain attribute
+computed once at construction (frames are immutable in practice), and a
+:class:`QuicPacket` classifies itself as retransmittable exactly once
+instead of re-walking its frames on every query.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 #: Per-frame header overheads (approximating GQUIC wire format).
 STREAM_FRAME_OVERHEAD = 12
@@ -18,27 +25,31 @@ ACK_BLOCK_BYTES = 8
 WINDOW_UPDATE_BYTES = 14
 
 
-@dataclass
 class StreamFrame:
     """``length`` bytes of stream ``stream_id`` starting at ``offset``."""
 
-    stream_id: int
-    offset: int
-    length: int
-    fin: bool = False
-    #: Opaque application payload reference (e.g. an HTTP request object);
-    #: carried only on the frame that opens a request/response.
-    meta: Any = None
+    __slots__ = ("stream_id", "offset", "length", "fin", "meta", "wire_bytes")
 
-    @property
-    def wire_bytes(self) -> int:
-        return self.length + STREAM_FRAME_OVERHEAD
+    def __init__(self, stream_id: int, offset: int, length: int,
+                 fin: bool = False, meta: Any = None) -> None:
+        self.stream_id = stream_id
+        self.offset = offset
+        self.length = length
+        self.fin = fin
+        #: Opaque application payload reference (e.g. an HTTP request
+        #: object); carried only on the frame that opens a request/response.
+        self.meta = meta
+        self.wire_bytes = length + STREAM_FRAME_OVERHEAD
 
     def end(self) -> int:
         return self.offset + self.length
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fin = " fin" if self.fin else ""
+        return (f"StreamFrame(stream_id={self.stream_id}, "
+                f"offset={self.offset}, length={self.length}{fin})")
 
-@dataclass
+
 class AckFrame:
     """Acknowledges packet-number ranges with precise timing information.
 
@@ -48,13 +59,14 @@ class AckFrame:
     for unambiguous RTT samples (paper Sec. 2.1).
     """
 
-    largest_acked: int
-    ack_delay: float
-    blocks: Tuple[Tuple[int, int], ...]
+    __slots__ = ("largest_acked", "ack_delay", "blocks", "wire_bytes")
 
-    @property
-    def wire_bytes(self) -> int:
-        return ACK_FRAME_BASE + ACK_BLOCK_BYTES * len(self.blocks)
+    def __init__(self, largest_acked: int, ack_delay: float,
+                 blocks: Tuple[Tuple[int, int], ...]) -> None:
+        self.largest_acked = largest_acked
+        self.ack_delay = ack_delay
+        self.blocks = blocks
+        self.wire_bytes = ACK_FRAME_BASE + ACK_BLOCK_BYTES * len(blocks)
 
     def acked_numbers(self) -> List[int]:
         out: List[int] = []
@@ -62,73 +74,94 @@ class AckFrame:
             out.extend(range(lo, hi + 1))
         return out
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AckFrame(largest_acked={self.largest_acked}, "
+                f"blocks={self.blocks!r})")
 
-@dataclass
+
 class CryptoFrame:
     """A handshake message (inchoate CHLO / CHLO / REJ / SHLO)."""
 
-    kind: str
-    size: int
+    __slots__ = ("kind", "size", "wire_bytes")
 
-    @property
-    def wire_bytes(self) -> int:
-        return self.size
+    def __init__(self, kind: str, size: int) -> None:
+        self.kind = kind
+        self.size = size
+        self.wire_bytes = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CryptoFrame(kind={self.kind!r}, size={self.size})"
 
 
-@dataclass
 class MaxDataFrame:
     """Connection-level flow-control credit up to byte ``max_data``."""
 
-    max_data: int
+    __slots__ = ("max_data", "wire_bytes")
 
-    @property
-    def wire_bytes(self) -> int:
-        return WINDOW_UPDATE_BYTES
+    def __init__(self, max_data: int) -> None:
+        self.max_data = max_data
+        self.wire_bytes = WINDOW_UPDATE_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MaxDataFrame(max_data={self.max_data})"
 
 
-@dataclass
 class MaxStreamDataFrame:
     """Stream-level flow-control credit."""
 
-    stream_id: int
-    max_data: int
+    __slots__ = ("stream_id", "max_data", "wire_bytes")
 
-    @property
-    def wire_bytes(self) -> int:
-        return WINDOW_UPDATE_BYTES
+    def __init__(self, stream_id: int, max_data: int) -> None:
+        self.stream_id = stream_id
+        self.max_data = max_data
+        self.wire_bytes = WINDOW_UPDATE_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MaxStreamDataFrame(stream_id={self.stream_id}, "
+                f"max_data={self.max_data})")
 
 
 Frame = Any  # union of the frame classes above
 
+#: Frame types whose loss must be repaired by retransmission.  Window
+#: updates are retransmittable (losing one could deadlock the peer's
+#: flow control), matching GQUIC.
+_RETRANSMITTABLE = (StreamFrame, CryptoFrame, MaxDataFrame,
+                    MaxStreamDataFrame)
 
-@dataclass
+
 class QuicPacket:
-    """One QUIC packet: a numbered bundle of frames on a connection."""
+    """One QUIC packet: a numbered bundle of frames on a connection.
 
-    conn_id: str
-    pkt_num: int
-    frames: List[Frame] = field(default_factory=list)
+    ``payload_bytes`` and ``retransmittable`` are computed once here:
+    frames are never added after construction, and both quantities are
+    read multiple times per packet on the send and receive paths.
+    """
 
-    @property
-    def payload_bytes(self) -> int:
-        return sum(f.wire_bytes for f in self.frames)
+    __slots__ = ("conn_id", "pkt_num", "frames", "payload_bytes",
+                 "retransmittable")
 
-    @property
-    def retransmittable(self) -> bool:
-        """ACK-only packets are not congestion-controlled or acked.
-
-        Window updates are retransmittable (losing one could deadlock the
-        peer's flow control), matching GQUIC.  FEC packets are tracked
-        and congestion-charged like data (GQUIC numbered and acked them)
-        but carry no re-sendable frames — their loss is absorbed.
-        """
-        for f in self.frames:
-            if isinstance(f, (StreamFrame, CryptoFrame, MaxDataFrame,
-                              MaxStreamDataFrame)):
-                return True
-            if type(f).__name__ == "FecFrame":
-                return True
-        return False
+    def __init__(self, conn_id: str, pkt_num: int,
+                 frames: Optional[List[Frame]] = None) -> None:
+        if frames is None:
+            frames = []
+        self.conn_id = conn_id
+        self.pkt_num = pkt_num
+        self.frames = frames
+        payload = 0
+        retransmittable = False
+        for f in frames:
+            payload += f.wire_bytes
+            if not retransmittable:
+                # FEC packets are tracked and congestion-charged like
+                # data (GQUIC numbered and acked them) but carry no
+                # re-sendable frames — their loss is absorbed.
+                if isinstance(f, _RETRANSMITTABLE):
+                    retransmittable = True
+                elif type(f).__name__ == "FecFrame":
+                    retransmittable = True
+        self.payload_bytes = payload
+        self.retransmittable = retransmittable
 
     def stream_frames(self) -> List[StreamFrame]:
         return [f for f in self.frames if isinstance(f, StreamFrame)]

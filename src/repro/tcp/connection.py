@@ -351,7 +351,7 @@ class TcpConnection(TransportEndpoint):
             if kind == "syn":
                 self._emit_ctrl("synack")
             elif kind == "client_hello":
-                self.sim.schedule(self.device.crypto_setup_cost,
+                self.sim.post(self.device.crypto_setup_cost,
                                   self._emit_ctrl, "server_hello")
             elif kind == "client_finished":
                 self._emit_ctrl("server_finished")
@@ -369,7 +369,7 @@ class TcpConnection(TransportEndpoint):
             if self.config.tls_rtts <= 1:
                 self._client_ready(now)
             else:
-                self.sim.schedule(self.device.crypto_setup_cost,
+                self.sim.post(self.device.crypto_setup_cost,
                                   self._advance_handshake, "client_finished")
         elif kind == "server_finished":
             self._client_ready(now)
@@ -393,7 +393,7 @@ class TcpConnection(TransportEndpoint):
     def _wake_sender(self) -> None:
         if not self._send_scheduled and not self.closed:
             self._send_scheduled = True
-            self.sim.schedule(0.0, self._send_loop)
+            self.sim.post(0.0, self._send_loop)
 
     def _send_loop(self) -> None:
         self._send_scheduled = False
@@ -413,7 +413,7 @@ class TcpConnection(TransportEndpoint):
                 )
                 if stale:
                     continue
-                self._transmit_record(record, retransmit=True)
+                self._transmit_record(record, retransmit=True, arm_timer=False)
                 sent = True
                 continue
             if not self._has_new_data():
@@ -424,13 +424,22 @@ class TcpConnection(TransportEndpoint):
             record = self._segmentize(segment_len)
             if record is None:
                 break
-            self._transmit_record(record, retransmit=False)
+            self._transmit_record(record, retransmit=False, arm_timer=False)
             sent = True
         if not sent:
             self._maybe_signal_app_limited()
+        else:
+            # One timer arming per burst: sim time does not advance inside
+            # the loop, so this deadline equals the last per-segment one.
+            self._set_retx_timer()
 
     def _has_new_data(self) -> bool:
-        return any(m.remaining > 0 for m in self._msg_queue)
+        # Plain loop, not any(genexpr): called on every ACK and every
+        # send-loop pass, and the generator frame shows up in profiles.
+        for m in self._msg_queue:
+            if m.remaining > 0:
+                return True
+        return False
 
     def _maybe_signal_app_limited(self) -> None:
         if not self._sent_any_data:
@@ -472,7 +481,8 @@ class TcpConnection(TransportEndpoint):
         self._sent[record.seq] = record
         return record
 
-    def _transmit_record(self, record: SegmentRecord, *, retransmit: bool) -> None:
+    def _transmit_record(self, record: SegmentRecord, *, retransmit: bool,
+                         arm_timer: bool = True) -> None:
         now = self.sim.now
         if retransmit:
             record.retx_count += 1
@@ -498,7 +508,8 @@ class TcpConnection(TransportEndpoint):
         self.stats.segments_sent += 1
         self.stats.bytes_sent += record.length
         self.emit(seg, seg.wire_bytes)
-        self._set_retx_timer()
+        if arm_timer:
+            self._set_retx_timer()
 
     # ==================================================================
     # retransmission timer (RTO; optional TLP ablation)
@@ -610,8 +621,9 @@ class TcpConnection(TransportEndpoint):
             self._send_ack_now(self.sim.now)
 
     def _advertise_rwnd(self) -> int:
-        stored = self._rcv_total - self._app_processed
-        rwnd = max(self.config.receive_buffer - stored, 0)
+        rwnd = self.config.receive_buffer - (self._rcv_total - self._app_processed)
+        if rwnd < 0:
+            rwnd = 0
         self._last_advertised_rwnd = rwnd
         return rwnd
 
@@ -621,17 +633,13 @@ class TcpConnection(TransportEndpoint):
             self._ack_timer.cancel()
             self._ack_timer = None
         # SACK blocks (RFC 2018): the ranges containing the most recently
-        # received segments, most recent first.
+        # received segments, most recent first.  Blocks can only exist
+        # when coverage extends beyond the in-order frontier, so the
+        # no-holes common case skips the scan entirely.
         blocks: List[Tuple[int, int]] = []
-        for seq in self._recent_arrivals:
-            containing = self._rcv_ranges.containing(seq)
-            if containing is None or containing[1] <= self._rcv_frontier:
-                continue
-            block = (max(containing[0], self._rcv_frontier), containing[1])
-            if block not in blocks:
-                blocks.append(block)
-            if len(blocks) >= self.config.max_sack_blocks:
-                break
+        max_covered = self._rcv_ranges.max_covered()
+        if max_covered is not None and max_covered > self._rcv_frontier:
+            blocks = self._sack_blocks()
         seg = TcpSegment(
             self.conn_id, "ack",
             cum_ack=self._rcv_frontier,
@@ -644,6 +652,19 @@ class TcpConnection(TransportEndpoint):
             self._pending_dsack = None
         self.stats.acks_sent += 1
         self.emit(seg, 52)
+
+    def _sack_blocks(self) -> List[Tuple[int, int]]:
+        blocks: List[Tuple[int, int]] = []
+        for seq in self._recent_arrivals:
+            containing = self._rcv_ranges.containing(seq)
+            if containing is None or containing[1] <= self._rcv_frontier:
+                continue
+            block = (max(containing[0], self._rcv_frontier), containing[1])
+            if block not in blocks:
+                blocks.append(block)
+            if len(blocks) >= self.config.max_sack_blocks:
+                break
+        return blocks
 
     # ------------------------------------------------------------------
     # application delivery (through the device CPU model)
@@ -693,7 +714,7 @@ class TcpConnection(TransportEndpoint):
                 return
             _, _, app_meta = msg.meta
             delay = self.rng.uniform(0.0, self.server_noise)
-            self.sim.schedule(delay, self._serve, msg.msg_id, app_meta)
+            self.sim.post(delay, self._serve, msg.msg_id, app_meta)
         elif self.role == "client" and kind == "resp":
             _, req_msg_id, app_meta = msg.meta
             cb = self._response_cbs.pop(req_msg_id, None)
@@ -735,11 +756,13 @@ class TcpConnection(TransportEndpoint):
         # --- cumulative ACK advance ------------------------------------
         if cum > self._snd_una:
             walk = self._snd_una
+            sacked = self._sacked if self._sacked else None
             while walk < cum:
                 record = self._sent.pop(walk, None)
                 if record is None:
                     break
-                fully_sacked = self._sacked.covers(record.seq, record.end)
+                fully_sacked = (sacked is not None
+                                and sacked.covers(record.seq, record.end))
                 if not record.declared_lost and not fully_sacked:
                     self.bytes_in_flight -= record.length
                     newly_acked_bytes += record.length

@@ -6,11 +6,16 @@ ranges, ACK fields, advertised window.  A data segment also carries its
 stands in for HTTP/2 frame headers inside the TLS stream (the receiver
 can only use them once the bytes are *in order*: that is TCP's
 head-of-line blocking, modelled exactly).
+
+Hand-rolled ``__slots__`` classes (not dataclasses) for the same reason
+as :mod:`repro.quic.frames`: one of these is allocated per segment on
+the wire, and ``wire_bytes``/``end`` are read several times per segment
+— both are plain attributes computed once at construction (``seq``,
+``length`` and ``kind`` are never reassigned).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 #: TCP+TLS per-segment overhead beyond the network HEADER_BYTES (TLS
@@ -18,7 +23,6 @@ from typing import Any, List, Optional, Tuple
 SEGMENT_OVERHEAD = 12
 
 
-@dataclass
 class Piece:
     """``length`` bytes of message ``msg_id`` within a segment.
 
@@ -27,42 +31,51 @@ class Piece:
     frame, in effect).
     """
 
-    msg_id: int
-    length: int
-    total: Optional[int] = None
-    meta: Any = None
-    #: True on a message's final piece (HTTP/2 END_STREAM flag).
-    fin: bool = False
+    __slots__ = ("msg_id", "length", "total", "meta", "fin")
+
+    def __init__(self, msg_id: int, length: int, total: Optional[int] = None,
+                 meta: Any = None, fin: bool = False) -> None:
+        self.msg_id = msg_id
+        self.length = length
+        self.total = total
+        self.meta = meta
+        #: True on a message's final piece (HTTP/2 END_STREAM flag).
+        self.fin = fin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Piece(msg_id={self.msg_id}, length={self.length})"
 
 
-@dataclass
 class TcpSegment:
     """One TCP segment (data, pure ACK, or handshake control)."""
 
-    conn_id: str
-    kind: str  # "data" | "ack" | "ctrl"
-    #: Data fields.
-    seq: int = 0
-    length: int = 0
-    pieces: List[Piece] = field(default_factory=list)
-    #: ACK fields (piggybacked on data too).
-    cum_ack: Optional[int] = None
-    sack_blocks: Tuple[Tuple[int, int], ...] = ()
-    dsack: Optional[Tuple[int, int]] = None
-    rwnd: Optional[int] = None
-    #: Handshake fields.
-    ctrl: Optional[str] = None
-    ctrl_size: int = 0
+    __slots__ = ("conn_id", "kind", "seq", "length", "pieces", "cum_ack",
+                 "sack_blocks", "dsack", "rwnd", "ctrl", "ctrl_size",
+                 "wire_bytes", "end")
 
-    @property
-    def wire_bytes(self) -> int:
-        if self.kind == "ctrl":
-            return self.ctrl_size + SEGMENT_OVERHEAD
-        return self.length + SEGMENT_OVERHEAD
-
-    @property
-    def end(self) -> int:
-        return self.seq + self.length
+    def __init__(self, conn_id: str, kind: str, seq: int = 0, length: int = 0,
+                 pieces: Optional[List[Piece]] = None,
+                 cum_ack: Optional[int] = None,
+                 sack_blocks: Tuple[Tuple[int, int], ...] = (),
+                 dsack: Optional[Tuple[int, int]] = None,
+                 rwnd: Optional[int] = None, ctrl: Optional[str] = None,
+                 ctrl_size: int = 0) -> None:
+        self.conn_id = conn_id
+        self.kind = kind  # "data" | "ack" | "ctrl"
+        #: Data fields.
+        self.seq = seq
+        self.length = length
+        self.pieces = pieces if pieces is not None else []
+        #: ACK fields (piggybacked on data too).
+        self.cum_ack = cum_ack
+        self.sack_blocks = sack_blocks
+        self.dsack = dsack
+        self.rwnd = rwnd
+        #: Handshake fields.
+        self.ctrl = ctrl
+        self.ctrl_size = ctrl_size
+        self.wire_bytes = (ctrl_size if kind == "ctrl" else length) + SEGMENT_OVERHEAD
+        self.end = seq + length
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.kind == "data":
@@ -72,26 +85,32 @@ class TcpSegment:
         return f"<TcpSegment ctrl {self.ctrl}>"
 
 
-@dataclass
 class SegmentRecord:
     """Sender-side bookkeeping for one transmitted data segment."""
 
-    seq: int
-    length: int
-    sent_time: float
-    pieces: List[Piece]
-    retx_count: int = 0
-    #: Bytes SACKed above this segment when it was declared lost (the
-    #: reordering-depth evidence DSACK adaptation uses).
-    nack_bytes: int = 0
-    declared_lost: bool = False
-    #: ``snd_nxt`` at the moment of the last retransmission.  A
-    #: retransmitted segment may only be re-declared lost from SACK
-    #: evidence *above this edge* — i.e. acknowledgements of data sent
-    #: after the retransmission (RFC 6675 spirit; prevents instant
-    #: re-loss from SACKs of packets that were already in flight).
-    retx_edge: int = 0
+    __slots__ = ("seq", "length", "sent_time", "pieces", "retx_count",
+                 "nack_bytes", "declared_lost", "retx_edge", "end")
 
-    @property
-    def end(self) -> int:
-        return self.seq + self.length
+    def __init__(self, seq: int, length: int, sent_time: float,
+                 pieces: List[Piece], retx_count: int = 0,
+                 nack_bytes: int = 0, declared_lost: bool = False,
+                 retx_edge: int = 0) -> None:
+        self.seq = seq
+        self.length = length
+        self.sent_time = sent_time
+        self.pieces = pieces
+        self.retx_count = retx_count
+        #: Bytes SACKed above this segment when it was declared lost (the
+        #: reordering-depth evidence DSACK adaptation uses).
+        self.nack_bytes = nack_bytes
+        self.declared_lost = declared_lost
+        #: ``snd_nxt`` at the moment of the last retransmission.  A
+        #: retransmitted segment may only be re-declared lost from SACK
+        #: evidence *above this edge* — i.e. acknowledgements of data sent
+        #: after the retransmission (RFC 6675 spirit; prevents instant
+        #: re-loss from SACKs of packets that were already in flight).
+        self.retx_edge = retx_edge
+        self.end = seq + length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SegmentRecord [{self.seq},{self.end}) retx={self.retx_count}>"

@@ -87,14 +87,9 @@ class TransportEndpoint:
     # ------------------------------------------------------------------
     def emit(self, payload: Any, payload_bytes: int) -> None:
         """Send one packet to the peer (adds wire header overhead)."""
-        packet = Packet(
-            src=self.node.name,
-            dst=self.peer_addr,
-            size_bytes=payload_bytes + HEADER_BYTES,
-            payload=payload,
-            flow_id=self.flow_id,
-        )
-        self.node.send(packet)
+        self.node.send(Packet(self.node.name, self.peer_addr,
+                              payload_bytes + HEADER_BYTES, payload,
+                              self.flow_id))
 
     def on_packet(self, packet: Packet) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -151,17 +151,21 @@ class CubicCC(CongestionController):
     def can_send_bytes(self, in_flight: int) -> int:
         if self._in_recovery and self._prr is not None:
             return self._prr.can_send(in_flight)
-        return max(int(self._cwnd) - in_flight, 0)
+        budget = int(self._cwnd) - in_flight
+        return budget if budget > 0 else 0
 
     def pacing_rate(self) -> Optional[float]:
-        gain = (
-            self.config.pacing_gain_slow_start
-            if self.in_slow_start
-            else self.config.pacing_gain_ca
-        )
+        # Inlined in_slow_start and clamp: called once per sent packet.
+        if self._cwnd < self._ssthresh and not self._in_recovery:
+            gain = self.config.pacing_gain_slow_start
+        else:
+            gain = self.config.pacing_gain_ca
         if gain is None:
             return None
-        return gain * self._cwnd / max(self.rtt.smoothed_rtt(), 1e-6)
+        srtt = self.rtt.smoothed_rtt()
+        if srtt < 1e-6:
+            srtt = 1e-6
+        return gain * self._cwnd / srtt
 
     # ------------------------------------------------------------------
     # receiver buffer (calibration / Chromium-52 bug)

@@ -16,6 +16,8 @@ from typing import Optional
 class Pacer:
     """Computes packet release times for a paced sender."""
 
+    __slots__ = ("_next_release", "_burst_tokens", "_lump", "_lump_tokens")
+
     def __init__(self, initial_burst_packets: int = 10,
                  lump_packets: int = 2) -> None:
         self._next_release = 0.0
@@ -36,8 +38,9 @@ class Pacer:
         interval = size_bytes / rate_bytes_per_sec
         if self._burst_tokens > 0:
             self._burst_tokens -= 1
-            self._next_release = max(self._next_release, now)
-            return max(now, self._next_release)
+            if self._next_release < now:
+                self._next_release = now
+            return self._next_release
         if self._next_release <= now:
             # Idle pacer: allow a small lump before spacing resumes.
             if self._lump_tokens <= 0:

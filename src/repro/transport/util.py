@@ -44,6 +44,23 @@ class RangeSet:
         """
         if hi <= lo:
             return 0
+        # Fast path: insertion at or beyond the last range.  In-order
+        # delivery (the common case on every receive path) only ever
+        # appends to or extends the final range, so skip the bisect.
+        ranges = self._ranges
+        if ranges:
+            last_lo, last_hi = ranges[-1]
+            if lo >= last_lo:
+                if lo > last_hi:
+                    ranges.append((lo, hi))
+                    self._total += hi - lo
+                    return hi - lo
+                if hi <= last_hi:
+                    return 0
+                ranges[-1] = (last_lo, hi)
+                added = hi - last_hi
+                self._total += added
+                return added
         # Find all ranges overlapping or adjacent to [lo, hi).
         i = bisect.bisect_left(self._ranges, (lo, lo)) - 1
         if i >= 0 and self._ranges[i][1] >= lo:

@@ -1,0 +1,111 @@
+"""The perf-regression gate must actually gate.
+
+``scripts/bench_diff.py`` is run as a subprocess — exactly how CI runs
+it — against synthetic payloads, so the tests pin the exit-code
+contract: 0 when the candidate holds the line, non-zero when a gated
+rate regresses past the threshold or a fixed-seed outcome changes.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+SCRIPT = REPO / "scripts" / "bench_diff.py"
+
+
+def payload(events_per_sec=1_000_000.0, packets_per_sec=200_000.0,
+            plt_wall=0.07, calibration=30_000_000.0, plt_quic=0.73):
+    return {
+        "benchmark": "sim_hotpath",
+        "calibration_ops_per_sec": calibration,
+        "workload": {
+            "events": 200_000,
+            "packets": 30_000,
+            "plt_scenario": "emulated(20, extra_delay_ms=20, loss_pct=0.5)",
+            "plt_page": "page(10, 102400)",
+        },
+        "current": {
+            "events_per_sec": events_per_sec,
+            "packets_per_sec": packets_per_sec,
+            "plt_wall_seconds": plt_wall,
+            "plt_quic": plt_quic,
+            "plt_tcp": 1.30,
+            "events_quic": 4419,
+            "events_tcp": 5957,
+            "packets_delivered": 29_000,
+        },
+    }
+
+
+def diff(tmp_path, base, cand, *extra):
+    base_file = tmp_path / "base.json"
+    cand_file = tmp_path / "cand.json"
+    base_file.write_text(json.dumps(base))
+    cand_file.write_text(json.dumps(cand))
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(base_file), str(cand_file), *extra],
+        capture_output=True, text=True)
+
+
+class TestBenchDiff:
+    def test_identical_payloads_pass(self, tmp_path):
+        proc = diff(tmp_path, payload(), payload())
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_small_slowdown_within_threshold_passes(self, tmp_path):
+        proc = diff(tmp_path, payload(), payload(events_per_sec=850_000.0))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_injected_regression_fails(self, tmp_path):
+        proc = diff(tmp_path, payload(), payload(events_per_sec=500_000.0))
+        assert proc.returncode != 0
+        assert "REGRESSION" in proc.stdout
+        assert "events_per_sec" in proc.stdout
+
+    def test_packets_regression_fails(self, tmp_path):
+        proc = diff(tmp_path, payload(), payload(packets_per_sec=100_000.0))
+        assert proc.returncode != 0
+        assert "packets_per_sec" in proc.stdout
+
+    def test_plt_wall_is_informational_only(self, tmp_path):
+        # A 3x wall-clock slowdown on the PLT pair alone must NOT fail:
+        # it is the noisiest number and is reported, not gated.
+        proc = diff(tmp_path, payload(), payload(plt_wall=0.21))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "informational" in proc.stdout
+
+    def test_threshold_flag_tightens_the_gate(self, tmp_path):
+        proc = diff(tmp_path, payload(), payload(events_per_sec=850_000.0),
+                    "--threshold", "0.10")
+        assert proc.returncode != 0
+
+    def test_calibration_normalises_across_hosts(self, tmp_path):
+        # Candidate host is 2x slower overall; raw events/sec halves but
+        # the normalised rate is unchanged, so the gate passes.
+        slow_host = payload(events_per_sec=500_000.0,
+                            packets_per_sec=100_000.0,
+                            calibration=15_000_000.0)
+        proc = diff(tmp_path, payload(), slow_host)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "normalised" in proc.stdout
+
+    def test_behaviour_change_fails(self, tmp_path):
+        # Same speed, different simulated outcome: the "optimisation"
+        # changed what the simulator computes.
+        proc = diff(tmp_path, payload(), payload(plt_quic=0.74))
+        assert proc.returncode != 0
+        assert "BEHAVIOUR CHANGE" in proc.stdout
+
+    def test_gates_committed_payload_against_itself(self, tmp_path):
+        committed = REPO / "BENCH_sim.json"
+        if not committed.exists():
+            pytest.skip("no committed BENCH_sim.json")
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), str(committed), str(committed)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,103 @@
+"""Golden-seed determinism gate for the hot path.
+
+The hot-path optimisation contract (see docs/PERFORMANCE.md) is that the
+simulator may get *faster* but never *different*: for a fixed seed, every
+metric and the total event count are byte-identical to the unoptimised
+reference implementation.  The constants below were captured on that
+reference tree; any change to the event loop, the netem layer or the
+transports that alters behaviour — a reordered RNG draw, a skipped
+event, a float computed in a different order — fails these tests loudly.
+
+Two fixed cells cover the paths the optimisations touch:
+
+* QUIC over a lossy, jittery link — loss draws, jitter draws, packet
+  reordering, ACK-range bookkeeping, 0-RTT handshake.
+* TCP on a MotoG over a lossy link — the PacketProcessor device model
+  (per-packet cost jitter draws), droptail overflow, SACK recovery and a
+  retransmitted (timer-driven) handshake.
+
+Exact ``==`` on floats is deliberate: bit-identity is the guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.core.bench import bench_plt
+from repro.core.runner import run_page_load
+from repro.devices import MOTOG
+from repro.http.objects import page
+from repro.netem.profiles import emulated
+
+
+def _link_counts(stats):
+    return (stats.enqueued_packets, stats.enqueued_bytes,
+            stats.dropped_packets, stats.lost_packets,
+            stats.delivered_packets, stats.delivered_bytes,
+            stats.reordered_packets)
+
+
+class TestGoldenQuic:
+    """20 Mbps, +20 ms, 0.5 % loss, 2 ms jitter; 10 x 100 KB; seed 0."""
+
+    def _run(self):
+        scenario = emulated(20.0, extra_delay_ms=20.0, loss_pct=0.5,
+                            jitter_ms=2.0)
+        return run_page_load(scenario, page(10, 100 * 1024), "quic", seed=0)
+
+    def test_exact_metrics(self):
+        out = self._run()
+        assert out.result.plt == 1.706718879842138
+        assert out.result.handshake_ready_at == 0.0
+        assert out.sim.events_processed == 5893
+
+    def test_exact_link_counters(self):
+        out = self._run()
+        assert _link_counts(out.path.bottleneck_up.stats) == (
+            595, 52094, 0, 1, 583, 51030, 103)
+        assert _link_counts(out.path.bottleneck_down.stats) == (
+            1045, 1088018, 0, 3, 1042, 1085058, 310)
+
+
+class TestGoldenTcp:
+    """10 Mbps, +10 ms, 1 % loss; 6 x 80 KB on a MotoG; seed 3."""
+
+    def _run(self):
+        scenario = emulated(10.0, extra_delay_ms=10.0, loss_pct=1.0)
+        return run_page_load(scenario, page(6, 80 * 1024), "tcp", seed=3,
+                             device=MOTOG)
+
+    def test_exact_metrics(self):
+        out = self._run()
+        assert out.result.plt == 1.9992743918294384
+        assert out.result.handshake_ready_at == 1.1676615640906947
+        assert out.sim.events_processed == 2849
+
+    def test_exact_link_counters(self):
+        out = self._run()
+        assert _link_counts(out.path.bottleneck_up.stats) == (
+            272, 27314, 0, 4, 268, 26946, 0)
+        assert _link_counts(out.path.bottleneck_down.stats) == (
+            374, 517688, 84, 3, 371, 514792, 0)
+
+
+class TestCanonicalBenchCell:
+    """The BENCH_sim.json canonical cell is itself a golden pair.
+
+    This ties the perf numbers to behaviour: if the benchmark's PLT or
+    event count drifts, the committed BENCH_sim.json comparison is
+    comparing different work and the perf gate is void.
+    """
+
+    def test_canonical_plt_pair(self):
+        sample = bench_plt()
+        assert sample["plt_quic"] == 0.7314250558227289
+        assert sample["plt_tcp"] == 1.2991408814263505
+        assert sample["events_quic"] == 4419
+        assert sample["events_tcp"] == 5957
+
+    def test_repeatability_in_process(self):
+        first = bench_plt()
+        second = bench_plt()
+        assert first["plt_quic"] == second["plt_quic"]
+        assert first["plt_tcp"] == second["plt_tcp"]
+        assert first["events_quic"] == second["events_quic"]
+        assert first["events_tcp"] == second["events_tcp"]

@@ -276,6 +276,26 @@ class TestCacheAwareExecution:
         assert [r.cached for r in records] == [True, False, True, False]
         assert all(r.ok for r in records)
 
+    def test_misses_execute_heaviest_first(self):
+        # Cache-aware scheduling: the miss list runs in expected-cost
+        # order (object count, then total bytes, descending) so the
+        # longest run never starts last on an otherwise-drained pool —
+        # while the returned records stay in request order.
+        cache = RunCache(ResultStore(":memory:"))
+        small = req(page=single_object_page(1_000))
+        medium = req(page=page(4, 8_000))
+        big = req(page=page(9, 8_000))
+        executed = []
+
+        def spy(request):
+            executed.append(request.page.object_count)
+            return RunRecord(request=request, plt=1.0, complete=True,
+                             metrics={"plt": 1.0})
+
+        records = run_requests([small, big, medium], store=cache, run_fn=spy)
+        assert executed == [9, 4, 1]
+        assert [r.request.page.object_count for r in records] == [1, 9, 4]
+
     def test_results_are_written_back_as_they_complete(self):
         # Resumability hinges on incremental write-back: if run 2 of 3
         # dies, runs 0..1 must already be in the store.
