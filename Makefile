@@ -27,11 +27,26 @@ bench-smoke:
 # (small --quick sizes are biased low and would trip the gate) and
 # compare host-normalised rates against the committed BENCH_sim.json;
 # exits non-zero on a >25% regression in events/sec or packets/sec, or
-# on any change in the fixed-seed simulated outcomes.
+# on any change in the fixed-seed simulated outcomes.  The executor and
+# store payloads are then re-measured and gated on their correctness
+# contracts (byte-identical results; warm hit rate exactly 1.0).  Each
+# gate appends a per-commit trend line to
+# benchmarks/results/bench_history.jsonl.
+HISTORY = benchmarks/results/bench_history.jsonl
 perf-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/sim_hotpath.py --repeat 3 \
 		--out /tmp/BENCH_sim.candidate.json
-	$(PYTHON) scripts/bench_diff.py BENCH_sim.json /tmp/BENCH_sim.candidate.json
+	$(PYTHON) scripts/bench_diff.py BENCH_sim.json \
+		/tmp/BENCH_sim.candidate.json --history $(HISTORY)
+	cp BENCH_executor.json /tmp/BENCH_executor.baseline.json
+	cp BENCH_store.json /tmp/BENCH_store.baseline.json
+	PYTHONPATH=src $(PYTHON) benchmarks/executor_scaling.py --jobs 2
+	$(PYTHON) scripts/bench_diff.py /tmp/BENCH_executor.baseline.json \
+		BENCH_executor.json --history $(HISTORY)
+	PYTHONPATH=src $(PYTHON) benchmarks/store_hit_rate.py --runs 2
+	$(PYTHON) scripts/bench_diff.py /tmp/BENCH_store.baseline.json \
+		BENCH_store.json --history $(HISTORY)
+	git checkout -- BENCH_executor.json BENCH_store.json 2>/dev/null || true
 
 # Paper-scale: >=10 rounds per cell and full workload grids.
 bench-full:

@@ -1,60 +1,102 @@
 #!/usr/bin/env python
-"""Perf-regression gate: compare two BENCH_sim.json payloads.
+"""Perf-regression gate: compare two benchmark payloads.
 
 Usage::
 
     python scripts/bench_diff.py BASELINE.json CANDIDATE.json \
-        [--threshold 0.25]
+        [--threshold 0.25] [--history benchmarks/results/bench_history.jsonl]
 
-Compares the ``current`` section of each payload and exits non-zero if
-the candidate regresses ``events_per_sec`` or ``packets_per_sec`` by
-more than ``--threshold`` (default 25 %).  ``plt_wall_seconds`` is
-reported but informational only: the canonical PLT pair is a short run,
-so its wall clock is the noisiest of the three numbers.
+Understands the three machine-readable payload shapes the repo commits:
 
-When both payloads carry ``calibration_ops_per_sec`` (a pure-Python
-spin-loop rate measured on the same host as the benchmarks), the gated
-rates are normalised by it first.  That makes the comparison meaningful
-across hosts: a laptop and a CI runner disagree wildly on absolute
-events/sec, but far less on events-per-calibration-op.
+* ``BENCH_sim.json`` (``benchmark: sim_hotpath``) — the candidate fails
+  the gate if ``events_per_sec`` or ``packets_per_sec`` regresses by
+  more than ``--threshold`` (default 25 %), or if any fixed-seed
+  simulated outcome (``plt_quic``, ``plt_tcp``, ``events_quic``,
+  ``events_tcp``, ``packets_delivered``) changes on an identical
+  workload.  When both payloads carry ``calibration_ops_per_sec`` the
+  gated rates are normalised by it first, making the comparison
+  meaningful across hosts.  ``plt_wall_seconds`` is informational.
+* ``BENCH_executor.json`` (``executor_scaling``) — the payload shape is
+  gated (every required key present) plus the correctness contract:
+  ``results_identical`` must be true.  ``speedup`` is informational
+  (it measures the host's core count more than the code).
+* ``BENCH_store.json`` (``store_hit_rate``) — shape-gated, plus
+  ``results_identical`` true and ``warm_hit_rate`` exactly 1.0 (a warm
+  sweep re-executing anything is a cache-correctness bug).  The
+  cold/warm speedup is informational.
 
-The simulated outcomes embedded in the payloads (``plt_quic``,
-``plt_tcp``, ``events_quic``, ``events_tcp``, ``packets_delivered``)
-are fixed-seed and must be *identical* when the workloads match; a
-mismatch is reported as a behaviour change and also fails the gate,
-because it means the "optimisation" changed what the simulator computes.
+Exit codes: 0 = gate passes; 1 = regression, behaviour change, or
+contract violation; 2 = malformed payload (missing required keys) or a
+baseline/candidate benchmark-kind mismatch.
+
+``--history PATH`` appends one JSON line per invocation (commit, kind,
+outcome, headline metrics) so per-commit trends are visible, not just
+one-step diffs; the committed ledger lives at
+``benchmarks/results/bench_history.jsonl``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
-from typing import Any, Dict, List
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 GATED_RATES = ("events_per_sec", "packets_per_sec")
 BEHAVIOUR_KEYS = ("plt_quic", "plt_tcp", "events_quic", "events_tcp",
                   "packets_delivered")
 
+#: Keys every payload of a kind must carry (the "shape" gate).
+REQUIRED_KEYS = {
+    "sim_hotpath": ("current",),
+    "executor_scaling": ("runs_total", "jobs", "serial_seconds",
+                         "parallel_seconds", "speedup", "results_identical"),
+    "store_hit_rate": ("runs_total", "cold_seconds", "warm_seconds",
+                       "warm_speedup", "warm_hit_rate", "results_identical"),
+}
 
-def load_current(path: str) -> Dict[str, Any]:
+#: What lands in the history line per payload kind.
+HISTORY_METRICS = {
+    "sim_hotpath": ("events_per_sec", "packets_per_sec", "plt_wall_seconds"),
+    "executor_scaling": ("speedup", "serial_seconds", "parallel_seconds"),
+    "store_hit_rate": ("warm_speedup", "warm_hit_rate", "cold_seconds",
+                       "warm_seconds"),
+}
+
+
+def load_payload(path: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
     with open(path) as handle:
         payload = json.load(handle)
     return payload.get("current", payload), payload
 
 
-def main(argv: List[str] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_sim.json")
-    parser.add_argument("candidate", help="freshly measured BENCH_sim.json")
-    parser.add_argument("--threshold", type=float, default=0.25,
-                        help="max tolerated fractional slowdown in the "
-                             "gated rates (default 0.25 = 25%%)")
-    args = parser.parse_args(argv)
+def payload_kind(payload: Dict[str, Any]) -> str:
+    """The payload's declared benchmark; legacy payloads are sim-shaped."""
+    return payload.get("benchmark", "sim_hotpath")
 
-    base, base_payload = load_current(args.baseline)
-    cand, cand_payload = load_current(args.candidate)
 
+def check_shape(kind: str, payload: Dict[str, Any], current: Dict[str, Any],
+                which: str) -> List[str]:
+    source = current if kind == "sim_hotpath" else payload
+    if kind == "sim_hotpath":
+        # The sim payload nests its numbers under "current"; the shape
+        # requirement is that the gated rates exist there.
+        missing = [key for key in GATED_RATES if key not in current]
+    else:
+        missing = [key for key in REQUIRED_KEYS[kind] if key not in source]
+    return [f"{which} payload missing required {kind} key(s): "
+            f"{', '.join(missing)}"] if missing else []
+
+
+# ----------------------------------------------------------------------
+# per-kind gates: each returns the list of gate failures
+# ----------------------------------------------------------------------
+def gate_sim(base: Dict[str, Any], cand: Dict[str, Any],
+             base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
+             threshold: float) -> List[str]:
     base_cal = base_payload.get("calibration_ops_per_sec")
     cand_cal = cand_payload.get("calibration_ops_per_sec")
     normalised = bool(base_cal and cand_cal)
@@ -75,11 +117,11 @@ def main(argv: List[str] = None) -> int:
             b, c = b / base_cal, c / cand_cal
         ratio = c / b
         status = "ok"
-        if ratio < 1.0 - args.threshold:
+        if ratio < 1.0 - threshold:
             status = "REGRESSION"
             failures.append(
                 f"{metric} regressed {100 * (1 - ratio):.1f}% "
-                f"(limit {100 * args.threshold:.0f}%)")
+                f"(limit {100 * threshold:.0f}%)")
         print(f"{metric}: {ratio:.3f}x of baseline [{status}]")
 
     b, c = base.get("plt_wall_seconds"), cand.get("plt_wall_seconds")
@@ -94,14 +136,145 @@ def main(argv: List[str] = None) -> int:
                     f"behaviour change: {key} {base[key]!r} -> {cand[key]!r}")
                 print(f"{key}: {base[key]!r} -> {cand[key]!r} "
                       "[BEHAVIOUR CHANGE]")
+    return failures
+
+
+def gate_executor(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
+                  threshold: float) -> List[str]:
+    failures: List[str] = []
+    if cand_payload.get("results_identical") is not True:
+        failures.append(
+            "executor contract: parallel results are not byte-identical "
+            "to serial (results_identical is "
+            f"{cand_payload.get('results_identical')!r})")
+        print("results_identical: "
+              f"{cand_payload.get('results_identical')!r} [CONTRACT FAIL]")
+    else:
+        print("results_identical: True [ok]")
+    b, c = base_payload.get("speedup"), cand_payload.get("speedup")
+    if b and c:
+        print(f"speedup: {c:.2f}x vs baseline {b:.2f}x [informational]")
+    return failures
+
+
+def gate_store(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
+               threshold: float) -> List[str]:
+    failures: List[str] = []
+    if cand_payload.get("results_identical") is not True:
+        failures.append(
+            "store contract: warm/resumed results are not byte-identical "
+            "to the cold pass (results_identical is "
+            f"{cand_payload.get('results_identical')!r})")
+        print("results_identical: "
+              f"{cand_payload.get('results_identical')!r} [CONTRACT FAIL]")
+    else:
+        print("results_identical: True [ok]")
+    hit_rate = cand_payload.get("warm_hit_rate")
+    if hit_rate != 1.0:
+        failures.append(
+            f"store contract: warm pass hit rate is {hit_rate!r}, "
+            "expected 1.0 (a warm sweep re-executed cells)")
+        print(f"warm_hit_rate: {hit_rate!r} [CONTRACT FAIL]")
+    else:
+        print("warm_hit_rate: 1.0 [ok]")
+    b, c = base_payload.get("warm_speedup"), cand_payload.get("warm_speedup")
+    if b and c:
+        print(f"warm_speedup: {c:.1f}x vs baseline {b:.1f}x [informational]")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# history
+# ----------------------------------------------------------------------
+def _commit_id() -> Optional[str]:
+    commit = os.environ.get("GIT_COMMIT") or os.environ.get("GITHUB_SHA")
+    if commit:
+        return commit[:12]
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def append_history(path: str, kind: str, ok: bool,
+                   current: Dict[str, Any], payload: Dict[str, Any]) -> None:
+    source = current if kind == "sim_hotpath" else payload
+    metrics = {key: source[key] for key in HISTORY_METRICS[kind]
+               if key in source}
+    line = {
+        "ts": round(time.time(), 3),
+        "commit": _commit_id(),
+        "benchmark": kind,
+        "ok": ok,
+        "metrics": metrics,
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    print(f"history line appended to {path}")
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("candidate", help="freshly measured BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional slowdown in the "
+                             "gated rates (default 0.25 = 25%%)")
+    parser.add_argument("--history", default=None, metavar="JSONL",
+                        help="append a per-commit history line here "
+                             "(e.g. benchmarks/results/bench_history.jsonl)")
+    args = parser.parse_args(argv)
+
+    base, base_payload = load_payload(args.baseline)
+    cand, cand_payload = load_payload(args.candidate)
+
+    base_kind = payload_kind(base_payload)
+    cand_kind = payload_kind(cand_payload)
+    if base_kind != cand_kind:
+        print(f"FAIL: baseline is a {base_kind!r} payload but candidate "
+              f"is {cand_kind!r}; compare like with like")
+        return 2
+    if base_kind not in REQUIRED_KEYS:
+        print(f"FAIL: unknown benchmark kind {base_kind!r} "
+              f"(expected one of {', '.join(sorted(REQUIRED_KEYS))})")
+        return 2
+    shape_errors = (check_shape(base_kind, base_payload, base, "baseline")
+                    + check_shape(cand_kind, cand_payload, cand, "candidate"))
+    if shape_errors:
+        print("FAIL:")
+        for line in shape_errors:
+            print(f"  - {line}")
+        return 2
+
+    print(f"benchmark: {base_kind}")
+    if base_kind == "sim_hotpath":
+        failures = gate_sim(base, cand, base_payload, cand_payload,
+                            args.threshold)
+    elif base_kind == "executor_scaling":
+        failures = gate_executor(base_payload, cand_payload, args.threshold)
+    else:
+        failures = gate_store(base_payload, cand_payload, args.threshold)
+
+    ok = not failures
+    if args.history:
+        append_history(args.history, cand_kind, ok, cand, cand_payload)
 
     if failures:
         print("\nFAIL:")
         for line in failures:
             print(f"  - {line}")
         return 1
-    print("\nOK: no regression beyond "
-          f"{100 * args.threshold:.0f}% in {', '.join(GATED_RATES)}")
+    if base_kind == "sim_hotpath":
+        print("\nOK: no regression beyond "
+              f"{100 * args.threshold:.0f}% in {', '.join(GATED_RATES)}")
+    else:
+        print(f"\nOK: {base_kind} payload shape and contract hold")
     return 0
 
 

@@ -192,7 +192,28 @@ def cmd_spec(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .core.report import build_report, missing_experiments
+    from .core.report import (
+        build_report,
+        build_store_report,
+        missing_experiments,
+    )
+
+    if args.from_store is not None:
+        from .store import default_store_path, open_store
+
+        store_path = args.from_store or default_store_path()
+        if store_path != ":memory:" and not Path(store_path).exists():
+            print(f"no results store at {store_path} — run a sweep with "
+                  "--cache first")
+            return 0
+        with open_store(store_path) as store:
+            text = build_store_report(store)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"report written to {args.out}")
+        else:
+            print(text)
+        return 0
 
     results_dir = Path(args.results)
     text = build_report(results_dir)
@@ -225,16 +246,39 @@ def _resolve_key(store, prefix: str) -> str:
 def cmd_store(args: argparse.Namespace) -> int:
     import json as _json
     import time as _time
+    from pathlib import Path as _Path
 
-    from .store import ResultStore, code_fingerprint, record_to_dict
+    from .store import (
+        achievable_fingerprints,
+        default_store_path,
+        merge_into,
+        open_store,
+        record_to_dict,
+        subsystem_fingerprints,
+    )
 
-    with ResultStore.open(args.store or None) as store:
+    path = args.store or default_store_path()
+    backend = None if args.backend in (None, "auto") else args.backend
+    # Read-only commands on a store that was never created get a
+    # friendly note instead of a traceback (or a spurious empty store).
+    if (args.store_command in ("ls", "show", "stats", "gc", "export")
+            and path != ":memory:" and not _Path(path).exists()):
+        print(f"no results store at {path} — nothing to "
+              f"{args.store_command}; run a sweep with --cache to "
+              "create one")
+        return 0
+
+    with open_store(path, backend=backend) as store:
         if args.store_command == "ls":
+            if len(store) == 0:
+                print(f"results store at {store.path} is empty")
+                return 0
             for key, created, fingerprint, label in store.rows():
                 stamp = _time.strftime("%Y-%m-%d %H:%M:%S",
                                        _time.localtime(created))
                 print(f"{key[:16]}  {stamp}  {label}")
-            print(f"{len(store)} stored run(s) in {store.path}")
+            print(f"{len(store)} stored run(s) in {store.path} "
+                  f"[{store.kind}]")
         elif args.store_command == "show":
             key = _resolve_key(store, args.key)
             record = store.get(key)
@@ -246,19 +290,37 @@ def cmd_store(args: argparse.Namespace) -> int:
         elif args.store_command == "import":
             count = store.import_jsonl(args.file)
             print(f"imported {count} run(s) into {store.path}")
+        elif args.store_command == "sync":
+            try:
+                imported, skipped = merge_into(store, args.source)
+            except FileNotFoundError as exc:
+                raise SystemExit(str(exc))
+            print(f"synced from {args.source}: {imported} imported, "
+                  f"{skipped} already present; {len(store)} total in "
+                  f"{store.path}")
         elif args.store_command == "gc":
-            dropped = store.gc(args.older_than * 86400.0)
-            print(f"dropped {dropped} run(s) older than "
-                  f"{args.older_than:g} day(s); {len(store)} remain")
+            if len(store) == 0:
+                print(f"results store at {store.path} is empty — "
+                      "nothing to collect")
+                return 0
+            dropped = store.gc(args.older_than * 86400.0,
+                               dry_run=args.dry_run)
+            if args.dry_run:
+                print(f"would drop {dropped} run(s) older than "
+                      f"{args.older_than:g} day(s); {len(store)} stored "
+                      "(dry run, nothing removed)")
+            else:
+                print(f"dropped {dropped} run(s) older than "
+                      f"{args.older_than:g} day(s); {len(store)} remain")
         elif args.store_command == "stats":
             counters = store.counters()
-            current = code_fingerprint()
+            fresh_prints = achievable_fingerprints()
             by_fingerprint = store.fingerprints()
-            fresh = by_fingerprint.get(current, 0)
-            print(f"store:   {store.path}")
+            fresh = sum(n for f, n in by_fingerprint.items()
+                        if f in fresh_prints)
+            print(f"store:   {store.path} [{store.kind}]")
             print(f"runs:    {len(store)} stored "
-                  f"({fresh} for the current code fingerprint "
-                  f"{current[:12]})")
+                  f"({fresh} reusable by the current code)")
             hits = counters.get("hits", 0)
             misses = counters.get("misses", 0)
             total = hits + misses
@@ -266,11 +328,16 @@ def cmd_store(args: argparse.Namespace) -> int:
             print(f"lookups: {hits} hits / {misses} misses "
                   f"({rate:.0f}% lifetime hit rate)")
             print(f"writes:  {counters.get('writes', 0)}")
-            stale = {f: n for f, n in by_fingerprint.items() if f != current}
+            stale = {f: n for f, n in by_fingerprint.items()
+                     if f not in fresh_prints}
             if stale:
                 print(f"stale:   {sum(stale.values())} run(s) from "
                       f"{len(stale)} older code fingerprint(s) "
                       f"(reclaim with 'repro store gc')")
+            subsystems = subsystem_fingerprints()
+            print("code:    " + ", ".join(
+                f"{name}={subsystems[name][:8]}"
+                for name in sorted(subsystems)))
     return 0
 
 
@@ -407,15 +474,27 @@ def build_parser() -> argparse.ArgumentParser:
     cache_arg(p)
     p.set_defaults(func=cmd_spec)
 
-    p = sub.add_parser("report", help="collate benchmarks/results into Markdown")
-    p.add_argument("--results", default="benchmarks/results")
+    p = sub.add_parser("report", help="collate results into Markdown")
+    p.add_argument("--results", default="benchmarks/results",
+                   help="results directory for the file-based path")
+    p.add_argument("--from-store", nargs="?", const="", default=None,
+                   metavar="PATH",
+                   help="collate directly from a results store instead of "
+                        "result files; PATH defaults to $REPRO_STORE or "
+                        ".repro-store.sqlite")
     p.add_argument("--out", default=None)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("store", help="inspect and maintain the results store")
     p.add_argument("--store", default=None, metavar="PATH",
                    help="store location (default: $REPRO_STORE or "
-                        ".repro-store.sqlite)")
+                        ".repro-store.sqlite); a .sqlite/.db path or "
+                        "existing file opens sqlite, anything else a "
+                        "sharded JSONL directory")
+    p.add_argument("--backend", choices=("auto", "sqlite", "shards"),
+                   default="auto",
+                   help="force the backend instead of inferring it from "
+                        "the path (default: auto)")
     store_sub = p.add_subparsers(dest="store_command", required=True)
     store_sub.add_parser("ls", help="list stored runs")
     sp = store_sub.add_parser("show", help="dump one stored run as JSON")
@@ -424,9 +503,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("file")
     sp = store_sub.add_parser("import", help="merge a JSONL export")
     sp.add_argument("file")
+    sp = store_sub.add_parser(
+        "sync", help="merge another store (sqlite file, shard directory, "
+                     "or JSONL export), skipping keys already present")
+    sp.add_argument("source", help="path to the store or export to pull")
     sp = store_sub.add_parser("gc", help="drop old rows")
     sp.add_argument("--older-than", type=float, required=True, metavar="DAYS",
                     help="drop runs recorded more than DAYS days ago")
+    sp.add_argument("--dry-run", action="store_true",
+                    help="only report what would be dropped")
     store_sub.add_parser("stats", help="row counts and hit/miss counters")
     p.set_defaults(func=cmd_store)
 

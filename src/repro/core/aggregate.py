@@ -1,0 +1,154 @@
+"""Record selection and aggregation shared by the report paths.
+
+``REPORT.md`` can be collated from two places: the committed
+``benchmarks/results/*.txt`` summaries, or directly from a results
+store (any :class:`~repro.store.backend.StoreBackend`) holding cached
+:class:`~repro.core.executor.RunRecord` rows.  Both paths meet here:
+this module turns a bag of records into deterministic per-cell
+aggregates (scenario x page x protocol) and renders them as the one
+table text both ``repro report --from-store`` and the results-file
+path embed — so a warm cache reports identically to a completed
+benchmark run without re-executing anything.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .executor import RunRecord
+
+#: A cell identity: (scenario name, page name, protocol name).
+CellKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class CellAggregate:
+    """Summary statistics for one (scenario, page, protocol) cell."""
+
+    scenario: str
+    page: str
+    protocol: str
+    runs: int
+    ok: int
+    median_plt: Optional[float]
+    mean_plt: Optional[float]
+
+    @property
+    def key(self) -> CellKey:
+        return (self.scenario, self.page, self.protocol)
+
+
+def select_records(store: object, *,
+                   fingerprints: Optional[Iterable[str]] = None
+                   ) -> List[RunRecord]:
+    """Every decodable record in ``store``, oldest first.
+
+    ``fingerprints`` restricts the selection to rows stamped with one of
+    the given code fingerprints (e.g. only results the current code
+    could still produce).  Undecodable rows are skipped, not fatal — a
+    report over a shared store should survive one bad row.
+    """
+    from ..store.keys import record_from_dict  # avoid a package cycle
+
+    wanted = None if fingerprints is None else set(fingerprints)
+    records: List[RunRecord] = []
+    for _key, _created, fingerprint, raw in store.items():  # type: ignore[attr-defined]
+        if wanted is not None and fingerprint not in wanted:
+            continue
+        try:
+            records.append(record_from_dict(raw))
+        except Exception:  # noqa: BLE001 - tolerate foreign/stale rows
+            continue
+    return records
+
+
+def aggregate_cells(records: Iterable[RunRecord]) -> List[CellAggregate]:
+    """Group records into cells and summarise each, sorted by cell key."""
+    cells: Dict[CellKey, List[RunRecord]] = {}
+    for record in records:
+        request = record.request
+        key = (request.scenario.name, request.page.name,
+               request.protocol.name)
+        cells.setdefault(key, []).append(record)
+    aggregates: List[CellAggregate] = []
+    for key in sorted(cells):
+        group = cells[key]
+        plts = sorted(r.plt for r in group if r.ok and r.plt is not None)
+        aggregates.append(CellAggregate(
+            scenario=key[0], page=key[1], protocol=key[2],
+            runs=len(group), ok=len(plts),
+            median_plt=statistics.median(plts) if plts else None,
+            mean_plt=statistics.fmean(plts) if plts else None,
+        ))
+    return aggregates
+
+
+def _ratio_rows(cells: List[CellAggregate]) -> List[Tuple[str, str, float]]:
+    """(scenario, page, quic/tcp median ratio) where both medians exist."""
+    medians: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for cell in cells:
+        if cell.median_plt is not None:
+            medians.setdefault((cell.scenario, cell.page), {})[
+                cell.protocol] = cell.median_plt
+    rows = []
+    for (scenario, page), by_proto in sorted(medians.items()):
+        if "quic" in by_proto and "tcp" in by_proto and by_proto["tcp"]:
+            rows.append((scenario, page, by_proto["quic"] / by_proto["tcp"]))
+    return rows
+
+
+def render_cell_table(cells: List[CellAggregate]) -> str:
+    """The canonical fixed-width cell table (both report paths embed it)."""
+    if not cells:
+        return "(no records)"
+    width_scn = max(len("scenario"), *(len(c.scenario) for c in cells))
+    width_page = max(len("page"), *(len(c.page) for c in cells))
+    lines = [
+        f"{'scenario':<{width_scn}}  {'page':<{width_page}}  "
+        f"{'proto':<5}  {'runs':>4}  {'ok':>4}  "
+        f"{'median PLT':>10}  {'mean PLT':>10}",
+    ]
+    for cell in cells:
+        median = (f"{cell.median_plt:.4f}s" if cell.median_plt is not None
+                  else "-")
+        mean = f"{cell.mean_plt:.4f}s" if cell.mean_plt is not None else "-"
+        lines.append(
+            f"{cell.scenario:<{width_scn}}  {cell.page:<{width_page}}  "
+            f"{cell.protocol:<5}  {cell.runs:>4}  {cell.ok:>4}  "
+            f"{median:>10}  {mean:>10}")
+    ratios = _ratio_rows(cells)
+    if ratios:
+        lines.append("")
+        lines.append("QUIC/TCP median PLT ratio (<1 means QUIC wins):")
+        for scenario, page, ratio in ratios:
+            lines.append(f"  {scenario:<{width_scn}}  {page:<{width_page}}  "
+                         f"{ratio:.3f}")
+    return "\n".join(lines)
+
+
+def store_result_text(store: object) -> str:
+    """The aggregation body for one store — the shared table text.
+
+    This exact text is what ``repro report --from-store`` embeds and
+    what :func:`write_store_results` drops into a results directory, so
+    the two report paths produce identical tables for identical records.
+    """
+    return render_cell_table(aggregate_cells(select_records(store)))
+
+
+def write_store_results(store: object, results_dir: Union[str, Path], *,
+                        stem: str = "store_summary") -> Path:
+    """Write the store's aggregation into a results dir as ``<stem>.txt``.
+
+    The file feeds the classic ``benchmarks/results`` report path
+    (appearing under *Ablations & extensions*) with a body byte-identical
+    to the ``--from-store`` section for the same records.
+    """
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"{stem}.txt"
+    path.write_text(store_result_text(store) + "\n")
+    return path

@@ -420,15 +420,19 @@ def run_requests(
         The per-request run function (default: the real simulator).
         Must be picklable (module-level) when ``jobs > 1``.
     store:
-        A results store — a :class:`repro.store.RunCache`,
-        :class:`repro.store.ResultStore`, or a path to one.  Requests
+        A results store — a :class:`repro.store.RunCache`, any
+        :class:`repro.store.StoreBackend` (sqlite file or sharded JSONL
+        directory), or a path to one (backend selected by path
+        convention; see :func:`repro.store.open_store`).  Requests
         whose content address is already stored are served as hits
         (``record.cached`` set, no execution); misses execute normally
         and are written back *as they complete*, so an interrupted batch
         is resumable — the rerun only executes the missing requests.
-        The address covers configuration, seed and a source-tree
-        fingerprint, so stale hits are impossible.  Only meaningful with
-        the real simulator (a custom ``run_fn`` is not part of the key).
+        The address covers configuration, seed and the code fingerprints
+        of the subsystems the run exercises, so stale hits are
+        impossible while unrelated edits (say, under ``video/``) leave
+        a warm cache warm.  Only meaningful with the real simulator (a
+        custom ``run_fn`` is not part of the key).
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")

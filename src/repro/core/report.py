@@ -1,8 +1,18 @@
 """Reproduction report generation.
 
-Collates the reproduced tables under ``benchmarks/results/`` into one
-Markdown report with the experiment index — the artefact a reproduction
-study would publish next to EXPERIMENTS.md.  Exposed as
+Collates the reproduced tables into one Markdown report — the artefact
+a reproduction study would publish next to EXPERIMENTS.md.  Two
+sources feed it:
+
+* the committed text summaries under ``benchmarks/results/`` (the
+  classic path, keyed by :data:`EXPERIMENT_INDEX`), and
+* any results store (``repro report --from-store PATH``), whose cached
+  :class:`~repro.core.executor.RunRecord` rows are aggregated through
+  :mod:`repro.core.aggregate` — so a warm cache is reportable without
+  re-running a single benchmark.
+
+Both paths share the record-aggregation module, so for an identical
+result set they embed identical tables.  Exposed as
 ``python -m repro report``.
 """
 
@@ -11,6 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+from .aggregate import (
+    aggregate_cells,
+    render_cell_table,
+    select_records,
+    write_store_results,
+)
 
 #: Experiment index: result-file stem -> (paper artefact, one-line claim).
 EXPERIMENT_INDEX: Dict[str, Tuple[str, str]] = {
@@ -114,3 +131,45 @@ def build_report(results_dir: Path, title: str = "Reproduction report") -> str:
             lines.append("```")
             lines.append("")
     return "\n".join(lines)
+
+
+def build_store_report(store: object,
+                       title: str = "Reproduction report") -> str:
+    """Render the Markdown report straight from a results store.
+
+    The table body comes from :func:`~repro.core.aggregate
+    .store_result_text` — byte-identical to what
+    :func:`~repro.core.aggregate.write_store_results` feeds the
+    results-file path for the same records.
+    """
+    records = select_records(store)
+    lines = [f"# {title}", ""]
+    path = getattr(store, "path", "results store")
+    if not records:
+        lines.append(f"*(store at `{path}` holds no decodable records — "
+                     "run a sweep with `--cache` first)*")
+        return "\n".join(lines)
+    cells = aggregate_cells(records)
+    lines.append(f"Collated from the results store at `{path}`: "
+                 f"{len(records)} cached run(s) across {len(cells)} "
+                 f"cell(s), no re-execution.")
+    lines.append("")
+    lines.append("## Store summary")
+    lines.append("")
+    lines.append("```")
+    lines.append(render_cell_table(cells))
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "EXPERIMENT_INDEX",
+    "ReportSection",
+    "build_report",
+    "build_store_report",
+    "collect_sections",
+    "extra_results",
+    "missing_experiments",
+    "write_store_results",
+]

@@ -1,64 +1,93 @@
 """Content-addressed results store and run cache.
 
 Every run in this framework is a pure function of its
-:class:`~repro.core.executor.RunRequest` plus the simulator's source
-code, so results are perfectly cacheable.  This package provides the
-three layers:
+:class:`~repro.core.executor.RunRequest` plus the source code it
+exercises, so results are perfectly cacheable.  This package provides
+the three layers:
 
-* :mod:`repro.store.keys` — canonical serialisation, the source-tree
-  fingerprint, and the :func:`run_key` content address;
-* :mod:`repro.store.backend` — the sqlite-backed :class:`ResultStore`
-  with JSONL export/import and garbage collection;
+* :mod:`repro.store.keys` — canonical serialisation, per-subsystem code
+  fingerprints, and the :func:`run_key` content address;
+* :mod:`repro.store.backend` — the :class:`StoreBackend` protocol, the
+  sqlite :class:`SqliteStore`, the :func:`open_store` factory and
+  :func:`merge_into` cross-store sync;
+* :mod:`repro.store.shards` — the sharded JSONL :class:`ShardStore`
+  (concurrent multi-process writers, no single writer lock);
 * :mod:`repro.store.cache` — the :class:`RunCache` policy layer the
   executor talks to (what is reusable, what is written back, hit/miss
   accounting).
 
 Typical use::
 
-    from repro.store import ResultStore
+    from repro.store import open_store
     from repro.core import run_experiment
 
-    store = ResultStore("results.sqlite")
+    store = open_store("results.sqlite")        # or a shard directory
     run_experiment(spec, jobs=8, store=store)   # cold: executes, fills
     run_experiment(spec, jobs=8, store=store)   # warm: 100% cache hits
 
 Because completed runs are written back *as they finish*, a killed
-sweep resumes for free: the rerun only executes the missing cells.
+sweep resumes for free: the rerun only executes the missing cells.  A
+warm store is also directly reportable: ``repro report --from-store``
+collates the cached records without re-running anything.
 """
 
 from .backend import (
+    BACKENDS,
     DEFAULT_STORE_PATH,
     STORE_ENV_VAR,
     ResultStore,
+    SqliteStore,
+    StoreBackend,
     default_store_path,
+    merge_into,
+    open_store,
 )
 from .cache import RunCache, StoreLike
 from .keys import (
     KEY_SCHEMA_VERSION,
+    SUBSYSTEMS,
+    achievable_fingerprints,
     canonical,
     canonical_json,
     code_fingerprint,
+    composite_fingerprint,
+    fingerprint_for,
     record_from_dict,
     record_to_dict,
     request_from_dict,
+    request_subsystems,
     request_to_dict,
     run_key,
+    subsystem_fingerprints,
 )
+from .shards import ShardStore
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_STORE_PATH",
     "STORE_ENV_VAR",
     "ResultStore",
+    "SqliteStore",
+    "ShardStore",
+    "StoreBackend",
     "default_store_path",
+    "merge_into",
+    "open_store",
     "RunCache",
     "StoreLike",
     "KEY_SCHEMA_VERSION",
+    "SUBSYSTEMS",
+    "achievable_fingerprints",
     "canonical",
     "canonical_json",
     "code_fingerprint",
+    "composite_fingerprint",
+    "fingerprint_for",
     "record_from_dict",
     "record_to_dict",
     "request_from_dict",
+    "request_subsystems",
     "request_to_dict",
     "run_key",
+    "subsystem_fingerprints",
 ]

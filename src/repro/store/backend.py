@@ -1,13 +1,25 @@
-"""The persistent results store: sqlite rows keyed by content address.
+"""The persistent results store: pluggable backends behind one protocol.
 
-A :class:`ResultStore` maps :func:`~repro.store.keys.run_key` content
-addresses to completed :class:`~repro.core.executor.RunRecord` rows.
-sqlite gives atomic writes from a single process (the executor only
-touches the store from the coordinating process, never from pool
-workers) and cheap point lookups; a JSONL export/import pair makes a
-store portable across machines and sqlite versions.
+A store maps :func:`~repro.store.keys.run_key` content addresses to
+completed :class:`~repro.core.executor.RunRecord` rows.  The interface
+is :class:`StoreBackend`; two implementations ship:
 
-The store is deliberately dumb: it never computes keys, never decides
+* :class:`SqliteStore` — one sqlite file.  Atomic, compact, cheap point
+  lookups; writes serialise on the sqlite lock, which is fine for a
+  single coordinating process.
+* :class:`~repro.store.shards.ShardStore` — a directory of append-only
+  JSONL shard files bucketed by key prefix.  Many processes append
+  concurrently without contending on one writer lock, which is what
+  paper-scale sweeps on many-core hosts need.
+
+:func:`open_store` selects a backend by path convention (``.sqlite`` /
+``.db`` file vs directory), honours ``$REPRO_STORE`` for the default
+location, and takes an explicit ``backend=`` override.  Everything
+above the backend — :class:`~repro.store.cache.RunCache`, the executor's
+``store=`` argument, the ``repro store`` CLI group — works identically
+against both.
+
+A store is deliberately dumb: it never computes keys, never decides
 what is cacheable, and never invalidates.  Key semantics live in
 :mod:`repro.store.keys`; the caching *policy* lives in
 :mod:`repro.store.cache`.
@@ -15,12 +27,13 @@ what is cacheable, and never invalidates.  Key semantics live in
 
 from __future__ import annotations
 
+import abc
 import json
 import os
 import sqlite3
 import time
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.executor import RunRecord
 from .keys import record_from_dict, record_to_dict
@@ -29,6 +42,122 @@ from .keys import record_from_dict, record_to_dict
 STORE_ENV_VAR = "REPRO_STORE"
 #: Default on-disk location when none is given (repo/cwd-local).
 DEFAULT_STORE_PATH = ".repro-store.sqlite"
+#: ``backend=`` values :func:`open_store` understands.
+BACKENDS = ("sqlite", "shards")
+
+#: First bytes of every sqlite database file (format sniffing).
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def default_store_path() -> str:
+    """Where ``--cache`` puts the store unless told otherwise."""
+    return os.environ.get(STORE_ENV_VAR) or DEFAULT_STORE_PATH
+
+
+class StoreBackend(abc.ABC):
+    """The contract every results-store backend fulfils.
+
+    Keys are opaque strings (in practice 64-hex run keys); values are
+    :class:`RunRecord` rows tagged with a creation time and the code
+    fingerprint that produced them.  ``export_jsonl``/``import_jsonl``
+    are implemented once here on top of :meth:`items`/:meth:`put`, so
+    every backend speaks the same portable JSONL dialect.
+    """
+
+    #: Human-readable backend name ("sqlite" / "shards").
+    kind: str = ""
+    #: String form of the on-disk location.
+    path: str = ""
+
+    # -- core map operations ----------------------------------------------
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[RunRecord]:
+        """The stored record for ``key``, or None."""
+
+    @abc.abstractmethod
+    def put(self, key: str, record: RunRecord, *, fingerprint: str = "",
+            created: Optional[float] = None) -> None:
+        """Insert or replace one row."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: str) -> bool: ...
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def keys(self) -> List[str]:
+        """Every stored key, oldest row first."""
+
+    @abc.abstractmethod
+    def rows(self) -> Iterator[Tuple[str, float, str, str]]:
+        """(key, created, fingerprint, label) for every row, oldest first."""
+
+    @abc.abstractmethod
+    def items(self) -> Iterator[Tuple[str, float, str, Dict[str, Any]]]:
+        """(key, created, fingerprint, record-dict), oldest row first."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> bool: ...
+
+    # -- maintenance -------------------------------------------------------
+    @abc.abstractmethod
+    def gc(self, older_than_seconds: float, now: Optional[float] = None,
+           *, dry_run: bool = False) -> int:
+        """Drop rows older than the horizon; returns how many went.
+
+        ``dry_run`` only counts what *would* go, touching nothing.
+        """
+
+    @abc.abstractmethod
+    def fingerprints(self) -> Dict[str, int]:
+        """Row count per code fingerprint (stale generations show up here)."""
+
+    # -- persistent counters ----------------------------------------------
+    @abc.abstractmethod
+    def bump_counter(self, name: str, delta: int = 1) -> None: ...
+
+    @abc.abstractmethod
+    def counters(self) -> Dict[str, int]: ...
+
+    @abc.abstractmethod
+    def close(self) -> None: ...
+
+    # -- portability (shared) ----------------------------------------------
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """Write every row as one JSON line; returns the row count."""
+        count = 0
+        with open(path, "w") as handle:
+            for key, created, fingerprint, record in self.items():
+                handle.write(json.dumps({
+                    "key": key, "created": created,
+                    "fingerprint": fingerprint, "record": record,
+                }, sort_keys=True) + "\n")
+                count += 1
+        return count
+
+    def import_jsonl(self, path: Union[str, Path]) -> int:
+        """Merge a JSONL export into this store; returns rows imported."""
+        count = 0
+        for key, created, fingerprint, record in _iter_jsonl(path):
+            self.put(key, record_from_dict(record),
+                     fingerprint=fingerprint, created=created)
+            count += 1
+        return count
+
+    # -- plumbing ----------------------------------------------------------
+    @classmethod
+    def open(cls, store: Union["StoreBackend", str, Path, None]
+             ) -> "StoreBackend":
+        """Coerce a store argument: an instance, a path, or None (default)."""
+        return open_store(store)
+
+    def __enter__(self) -> "StoreBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -45,30 +174,21 @@ CREATE TABLE IF NOT EXISTS meta (
 """
 
 
-def default_store_path() -> str:
-    """Where ``--cache`` puts the store unless told otherwise."""
-    return os.environ.get(STORE_ENV_VAR) or DEFAULT_STORE_PATH
+class SqliteStore(StoreBackend):
+    """A content-addressed map of run keys to run records in one sqlite file."""
 
-
-class ResultStore:
-    """A content-addressed map of run keys to run records."""
+    kind = "sqlite"
 
     def __init__(self, path: Union[str, Path] = ":memory:") -> None:
         self.path = str(path)
         if self.path != ":memory:":
             parent = Path(self.path).resolve().parent
             parent.mkdir(parents=True, exist_ok=True)
-        self._db = sqlite3.connect(self.path)
+        # A generous busy timeout: concurrent writers (benchmarks, a lab
+        # of machines syncing into one file) queue instead of erroring.
+        self._db = sqlite3.connect(self.path, timeout=30.0)
         self._db.executescript(_SCHEMA)
         self._db.commit()
-
-    @classmethod
-    def open(cls, store: Union["ResultStore", str, Path, None]
-             ) -> "ResultStore":
-        """Coerce a store argument: an instance, a path, or None (default)."""
-        if isinstance(store, ResultStore):
-            return store
-        return cls(default_store_path() if store is None else store)
 
     # -- core map operations ----------------------------------------------
     def get(self, key: str) -> Optional[RunRecord]:
@@ -101,10 +221,15 @@ class ResultStore:
             "SELECT key FROM runs ORDER BY created, key")]
 
     def rows(self) -> Iterator[Tuple[str, float, str, str]]:
-        """(key, created, fingerprint, label) for every row, oldest first."""
         yield from self._db.execute(
             "SELECT key, created, fingerprint, label FROM runs "
             "ORDER BY created, key")
+
+    def items(self) -> Iterator[Tuple[str, float, str, Dict[str, Any]]]:
+        for key, created, fingerprint, record in self._db.execute(
+                "SELECT key, created, fingerprint, record FROM runs "
+                "ORDER BY created, key"):
+            yield key, created, fingerprint, json.loads(record)
 
     def delete(self, key: str) -> bool:
         cursor = self._db.execute("DELETE FROM runs WHERE key = ?", (key,))
@@ -112,17 +237,19 @@ class ResultStore:
         return cursor.rowcount > 0
 
     # -- maintenance -------------------------------------------------------
-    def gc(self, older_than_seconds: float,
-           now: Optional[float] = None) -> int:
-        """Drop rows older than the horizon; returns how many went."""
+    def gc(self, older_than_seconds: float, now: Optional[float] = None,
+           *, dry_run: bool = False) -> int:
         horizon = (time.time() if now is None else now) - older_than_seconds
+        if dry_run:
+            return self._db.execute(
+                "SELECT COUNT(*) FROM runs WHERE created < ?",
+                (horizon,)).fetchone()[0]
         cursor = self._db.execute(
             "DELETE FROM runs WHERE created < ?", (horizon,))
         self._db.commit()
         return cursor.rowcount
 
     def fingerprints(self) -> Dict[str, int]:
-        """Row count per code fingerprint (stale generations show up here)."""
         return dict(self._db.execute(
             "SELECT fingerprint, COUNT(*) FROM runs GROUP BY fingerprint"))
 
@@ -138,43 +265,106 @@ class ResultStore:
         return {name: int(value) for name, value in self._db.execute(
             "SELECT name, value FROM meta")}
 
-    # -- portability -------------------------------------------------------
-    def export_jsonl(self, path: Union[str, Path]) -> int:
-        """Write every row as one JSON line; returns the row count."""
-        count = 0
-        with open(path, "w") as handle:
-            for key, created, fingerprint, _label in list(self.rows()):
-                record = self._db.execute(
-                    "SELECT record FROM runs WHERE key = ?", (key,)
-                ).fetchone()[0]
-                handle.write(json.dumps({
-                    "key": key, "created": created,
-                    "fingerprint": fingerprint,
-                    "record": json.loads(record),
-                }, sort_keys=True) + "\n")
-                count += 1
-        return count
-
-    def import_jsonl(self, path: Union[str, Path]) -> int:
-        """Merge a JSONL export into this store; returns rows imported."""
-        count = 0
-        with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                raw = json.loads(line)
-                self.put(raw["key"], record_from_dict(raw["record"]),
-                         fingerprint=raw.get("fingerprint", ""),
-                         created=raw.get("created"))
-                count += 1
-        return count
-
     def close(self) -> None:
         self._db.close()
 
-    def __enter__(self) -> "ResultStore":
-        return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+#: Backwards-compatible name: `ResultStore` was the sqlite store before
+#: the backend split.
+ResultStore = SqliteStore
+
+
+def open_store(store: Union[StoreBackend, str, Path, None] = None, *,
+               backend: Optional[str] = None) -> StoreBackend:
+    """Open a results store, selecting the backend by convention.
+
+    ``store`` may be an existing backend (returned as-is), a path, or
+    None (``$REPRO_STORE`` / ``.repro-store.sqlite``).  ``backend``
+    forces ``"sqlite"`` or ``"shards"``; otherwise the path decides:
+    ``:memory:`` and existing files (or ``.sqlite``/``.db`` suffixes)
+    open sqlite, existing directories (or any other new path) open the
+    sharded JSONL store.
+    """
+    if isinstance(store, StoreBackend):
+        if backend is not None and backend != store.kind:
+            raise ValueError(
+                f"store at {store.path} is {store.kind!r}, not {backend!r}")
+        return store
+    from .shards import ShardStore  # local: shards imports this module
+
+    path = default_store_path() if store is None else str(store)
+    if backend is not None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown store backend {backend!r} (expected one of "
+                f"{', '.join(BACKENDS)})")
+        return SqliteStore(path) if backend == "sqlite" else ShardStore(path)
+    if path == ":memory:":
+        return SqliteStore(path)
+    target = Path(path)
+    if target.is_dir():
+        return ShardStore(target)
+    if target.is_file():
+        return SqliteStore(target)
+    if target.suffix in (".sqlite", ".db"):
+        return SqliteStore(target)
+    return ShardStore(target)
+
+
+# ----------------------------------------------------------------------
+# cross-store sync
+# ----------------------------------------------------------------------
+def _iter_jsonl(path: Union[str, Path]
+                ) -> Iterator[Tuple[str, Optional[float], str,
+                                    Dict[str, Any]]]:
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            yield (raw["key"], raw.get("created"),
+                   raw.get("fingerprint", ""), raw["record"])
+
+
+def iter_source(source: Union[StoreBackend, str, Path]
+                ) -> Iterator[Tuple[str, Optional[float], str,
+                                    Dict[str, Any]]]:
+    """Rows of any syncable source: a backend, a store path, or a JSONL
+    export (sqlite files are sniffed by their magic bytes)."""
+    if isinstance(source, StoreBackend):
+        yield from source.items()
+        return
+    path = Path(source)
+    if path.is_dir():
+        with open_store(path) as src:
+            yield from src.items()
+        return
+    if not path.exists():
+        raise FileNotFoundError(f"no store or export at {path}")
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_SQLITE_MAGIC))
+    if magic == _SQLITE_MAGIC:
+        with SqliteStore(path) as src:
+            yield from src.items()
+        return
+    yield from _iter_jsonl(path)
+
+
+def merge_into(dst: StoreBackend, source: Union[StoreBackend, str, Path]
+               ) -> Tuple[int, int]:
+    """Merge ``source`` into ``dst``, skipping keys already present.
+
+    Returns ``(imported, skipped)`` — the lab-wide warm-cache path:
+    pull a peer's store (sqlite file, shard directory, or JSONL export)
+    and only the rows you were missing land.
+    """
+    imported = skipped = 0
+    for key, created, fingerprint, record in iter_source(source):
+        if key in dst:
+            skipped += 1
+            continue
+        dst.put(key, record_from_dict(record), fingerprint=fingerprint,
+                created=created)
+        imported += 1
+    return imported, skipped

@@ -1,10 +1,12 @@
 """The caching policy: which records are reusable, and the hit/miss ledger.
 
 :class:`RunCache` sits between the executor and a
-:class:`~repro.store.backend.ResultStore`.  It decides what may be
+:class:`~repro.store.backend.StoreBackend` (sqlite or sharded JSONL —
+see :func:`~repro.store.backend.open_store`).  It decides what may be
 served from the store (anything whose key matches — the key already
-encodes configuration, seed *and* code fingerprint, so a hit is
-definitionally fresh) and what may be written back:
+encodes configuration, seed *and* the code fingerprints of the
+subsystems the run exercises, so a hit is definitionally fresh) and
+what may be written back:
 
 * successful records — always;
 * ``"incomplete"`` failures — the simulated-time cap is deterministic,
@@ -22,24 +24,27 @@ persistent lifetime counters feed ``repro store stats``.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from ..core.executor import RunRecord, RunRequest
-from .backend import ResultStore
-from .keys import code_fingerprint, run_key
+from .backend import StoreBackend, open_store
+from .keys import fingerprint_for, run_key
 
 #: What ``run_requests(store=...)`` accepts.
-StoreLike = Union["RunCache", ResultStore, str, Path]
+StoreLike = Union["RunCache", StoreBackend, str, Path]
 
 
 class RunCache:
-    """A cache-policy wrapper around one :class:`ResultStore`."""
+    """A cache-policy wrapper around one :class:`StoreBackend`."""
 
-    def __init__(self, store: Union[ResultStore, str, Path, None] = None,
-                 *, fingerprint: Optional[str] = None) -> None:
-        self.store = ResultStore.open(store)
-        self.fingerprint = (fingerprint if fingerprint is not None
-                            else code_fingerprint())
+    def __init__(self, store: Union[StoreBackend, str, Path, None] = None,
+                 *, fingerprint: Optional[str] = None,
+                 backend: Optional[str] = None) -> None:
+        self.store = open_store(store, backend=backend)
+        #: A pinned fingerprint overriding the per-request subsystem
+        #: composite — for tests and cross-machine stores that pin a
+        #: release.  None (the default) derives it per request.
+        self.fingerprint = fingerprint
         #: Session counters (this process, this cache instance).
         self.hits = 0
         self.misses = 0
@@ -53,8 +58,14 @@ class RunCache:
         return cls(store)
 
     # ------------------------------------------------------------------
+    def fingerprint_of(self, request: RunRequest) -> str:
+        """The code fingerprint entering this request's key."""
+        if self.fingerprint is not None:
+            return self.fingerprint
+        return fingerprint_for(request)
+
     def key_for(self, request: RunRequest) -> str:
-        return run_key(request, fingerprint=self.fingerprint)
+        return run_key(request, fingerprint=self.fingerprint_of(request))
 
     def lookup(self, request: RunRequest) -> Optional[RunRecord]:
         """A fresh hit for ``request``, or None (counted either way)."""
@@ -79,7 +90,7 @@ class RunCache:
         if not self.cacheable(record):
             return False
         self.store.put(self.key_for(record.request), record,
-                       fingerprint=self.fingerprint)
+                       fingerprint=self.fingerprint_of(record.request))
         self.writes += 1
         self.store.bump_counter("writes")
         return True

@@ -4,16 +4,26 @@ The executor made every run a pure function of ``(configuration,
 seed)``; this module turns that configuration into a *content address*.
 A :class:`~repro.core.executor.RunRequest` is reduced to a canonical,
 type-tagged, JSON-serialisable form (:func:`canonical`), combined with a
-fingerprint of the ``repro`` source tree (:func:`code_fingerprint`), and
-hashed into a :func:`run_key`.  Two guarantees follow:
+fingerprint of the source code the run exercises, and hashed into a
+:func:`run_key`.  Two guarantees follow:
 
 * the *same logical request* — however it was constructed, in whatever
   process — always maps to the same key;
 * *any* change to the request (a config field, the scenario, the seed,
-  the device) or to the simulator's code produces a different key, so a
+  the device) or to the code it exercises produces a different key, so a
   store lookup can never return a stale result.
 
-The module also provides the JSON codec used by the sqlite backend to
+The code fingerprint is *per subsystem*: the package is partitioned
+into :data:`SUBSYSTEMS` (netem, transport, http, proxy, video, core)
+and a request's key covers only the subsystems its scenario / protocol
+/ workload actually exercise (:func:`request_subsystems`).  A touch
+under ``video/`` therefore leaves a cached PLT sweep's keys unchanged,
+while a touch under ``netem/`` invalidates it.  The ``store`` package
+and ``cli.py`` are deliberately outside every fingerprint: they cannot
+change what a simulation computes, and the key layer's own shape is
+versioned explicitly via :data:`KEY_SCHEMA_VERSION`.
+
+The module also provides the JSON codec used by the store backends to
 persist :class:`~repro.core.executor.RunRecord` rows
 (:func:`request_to_dict` / :func:`request_from_dict`,
 :func:`record_to_dict` / :func:`record_from_dict`).
@@ -25,7 +35,7 @@ import dataclasses
 import hashlib
 import json
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple
 
 from ..devices import DEVICE_PROFILES, DeviceProfile
 from ..http.objects import WebObject, WebPage
@@ -37,7 +47,9 @@ from ..core.executor import ProtocolSpec, RunFailure, RunRecord, RunRequest
 
 #: Bump when the canonical form itself changes shape, so stores written
 #: by older code are invalidated wholesale instead of mis-read.
-KEY_SCHEMA_VERSION = 1
+#: v2: whole-package code fingerprint replaced by per-subsystem
+#: composites (see :data:`SUBSYSTEMS`).
+KEY_SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -80,45 +92,143 @@ def canonical_json(obj: Any) -> str:
 
 
 # ----------------------------------------------------------------------
-# code fingerprint
+# code fingerprints
 # ----------------------------------------------------------------------
+#: The package partition: subsystem name -> package-relative entries
+#: (directories are walked recursively for ``*.py``).  Everything not
+#: listed — the ``store`` package, ``cli.py`` — is outside every
+#: fingerprint: those layers cannot change what a simulation computes.
+SUBSYSTEMS: Dict[str, Tuple[str, ...]] = {
+    "core": ("core", "devices.py", "__init__.py", "__main__.py"),
+    "netem": ("netem",),
+    "transport": ("transport", "quic", "tcp"),
+    "http": ("http",),
+    "proxy": ("proxy",),
+    "video": ("video",),
+}
+
+#: Subsystems every page-load run exercises: the event loop and drivers
+#: (core), the emulated network (netem), a transport stack (transport),
+#: and the page model / HTTP layers (http).
+_BASE_SUBSYSTEMS: Tuple[str, ...] = ("core", "http", "netem", "transport")
+
 _FINGERPRINT_CACHE: Dict[str, str] = {}
+_SUBSYSTEM_CACHE: Dict[str, Dict[str, str]] = {}
+
+
+def _default_package_dir() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def _hash_tree(digest: "hashlib._Hash", root: Path, paths: Iterable[Path]
+               ) -> None:
+    for path in paths:
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
 
 
 def code_fingerprint(package_dir: Optional[Path] = None) -> str:
     """A sha256 over every ``.py`` file of the ``repro`` package.
 
-    Any source change — a congestion-control tweak, a new default — maps
-    every request to a fresh key, so cached results can never silently
-    survive a code change.  The walk is deterministic (sorted relative
-    paths) and cached per process.
+    The *whole-package* fingerprint — the coarsest possible invalidation
+    signal, kept for pinning a release and for diagnostics.  Run keys
+    use the per-subsystem composites (:func:`fingerprint_for`) instead.
     """
     if package_dir is None:
-        package_dir = Path(__file__).resolve().parent.parent
+        package_dir = _default_package_dir()
     cache_key = str(package_dir)
     cached = _FINGERPRINT_CACHE.get(cache_key)
     if cached is not None:
         return cached
     digest = hashlib.sha256()
-    for path in sorted(package_dir.rglob("*.py")):
-        digest.update(path.relative_to(package_dir).as_posix().encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
+    _hash_tree(digest, package_dir, sorted(package_dir.rglob("*.py")))
     fingerprint = digest.hexdigest()
     _FINGERPRINT_CACHE[cache_key] = fingerprint
     return fingerprint
 
 
+def subsystem_fingerprints(package_dir: Optional[Path] = None
+                           ) -> Dict[str, str]:
+    """One sha256 per :data:`SUBSYSTEMS` entry, cached per process.
+
+    Missing entries hash to the digest of nothing, so the function also
+    works on partial trees (tests fingerprint synthetic packages).
+    """
+    if package_dir is None:
+        package_dir = _default_package_dir()
+    cache_key = str(package_dir)
+    cached = _SUBSYSTEM_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    fingerprints: Dict[str, str] = {}
+    for name, entries in SUBSYSTEMS.items():
+        digest = hashlib.sha256()
+        for entry in entries:
+            target = package_dir / entry
+            if target.is_dir():
+                _hash_tree(digest, package_dir, sorted(target.rglob("*.py")))
+            elif target.is_file():
+                _hash_tree(digest, package_dir, [target])
+        fingerprints[name] = digest.hexdigest()
+    _SUBSYSTEM_CACHE[cache_key] = fingerprints
+    return fingerprints
+
+
+def request_subsystems(request: RunRequest) -> Tuple[str, ...]:
+    """The subsystems one run actually exercises (sorted).
+
+    Every page load touches the base set; ``proxied`` runs additionally
+    route through the ``proxy`` package.  ``video/`` never backs a
+    :class:`RunRequest` (the QoE driver has its own loop), so video
+    edits leave every run key unchanged.
+    """
+    subsystems: Set[str] = set(_BASE_SUBSYSTEMS)
+    if request.proxied:
+        subsystems.add("proxy")
+    return tuple(sorted(subsystems))
+
+
+def composite_fingerprint(subsystems: Iterable[str],
+                          package_dir: Optional[Path] = None) -> str:
+    """One hash over the named subsystems' fingerprints."""
+    fingerprints = subsystem_fingerprints(package_dir)
+    payload = json.dumps(
+        {name: fingerprints.get(name, "") for name in sorted(set(subsystems))},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def fingerprint_for(request: RunRequest,
+                    package_dir: Optional[Path] = None) -> str:
+    """The code fingerprint entering ``request``'s run key."""
+    return composite_fingerprint(request_subsystems(request), package_dir)
+
+
+def achievable_fingerprints(package_dir: Optional[Path] = None) -> Set[str]:
+    """Every composite the current code can emit (fresh-row detection).
+
+    ``repro store stats`` counts a row as *fresh* when its stored
+    fingerprint is one of these; anything else came from older code.
+    """
+    return {
+        composite_fingerprint(_BASE_SUBSYSTEMS, package_dir),
+        composite_fingerprint(_BASE_SUBSYSTEMS + ("proxy",), package_dir),
+    }
+
+
 def run_key(request: RunRequest, *, fingerprint: Optional[str] = None) -> str:
     """The content address of one run: sha256 of request + code.
 
-    ``fingerprint`` defaults to :func:`code_fingerprint`; tests (and
-    cross-machine stores that pin a release) may pass their own.
+    ``fingerprint`` defaults to the per-subsystem composite for this
+    request (:func:`fingerprint_for`); tests (and cross-machine stores
+    that pin a release) may pass their own.
     """
     payload = canonical_json({
         "schema": KEY_SCHEMA_VERSION,
-        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        "code": (fingerprint if fingerprint is not None
+                 else fingerprint_for(request)),
         "request": canonical(request),
     })
     return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,299 @@
+"""The sharded JSONL store: many writers, no single lock.
+
+A :class:`ShardStore` is a directory of append-only JSONL files, one
+per run-key prefix bucket (``0.jsonl`` … ``f.jsonl``, plus ``misc`` for
+non-hex keys).  A write appends one line to one shard under a per-shard
+lockfile, so N processes sweeping the same grid write concurrently and
+only collide when two runs land in the same bucket at the same instant
+— and even then they queue for microseconds, not for a database-wide
+writer lock.  Structural changes (delete, gc compaction) rewrite the
+shard to a temp file and ``os.replace`` it atomically.
+
+Durability/concurrency contract:
+
+* appends happen with the shard's lockfile held and are flushed before
+  the lock drops, so concurrent writers interleave whole lines;
+* the lock lives in a *separate* ``<shard>.lock`` file that is never
+  renamed, so an appender can never race a compaction onto a dead inode;
+* readers take no locks: a torn trailing line (a crash mid-append) is
+  skipped, and duplicate keys resolve last-write-wins;
+* counters are their own append-only ``counters.jsonl`` ledger of
+  ``{"name": …, "delta": …}`` lines, summed on read and compacted
+  opportunistically.
+
+On platforms without :mod:`fcntl` (Windows) locking degrades to plain
+O_APPEND writes, which POSIX-atomically append whole small lines on
+local filesystems — the single-process case stays correct everywhere.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None  # type: ignore[assignment]
+
+from ..core.executor import RunRecord
+from .backend import StoreBackend
+from .keys import record_from_dict, record_to_dict
+
+#: Directory marker; refuses to treat arbitrary directories as stores.
+MANIFEST_NAME = "store.json"
+#: Hex characters a key prefix may bucket to; anything else -> "misc".
+_HEX = set("0123456789abcdef")
+#: Compact the counters ledger when it grows past this many lines.
+_COUNTER_COMPACT_LINES = 4096
+
+_Entry = Tuple[float, str, Dict[str, Any]]  # created, fingerprint, record
+
+
+class ShardStore(StoreBackend):
+    """A directory of key-prefix JSONL shards (see module docstring)."""
+
+    kind = "shards"
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = str(path)
+        self._dir = Path(path)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        manifest = self._dir / MANIFEST_NAME
+        if manifest.exists():
+            meta = json.loads(manifest.read_text())
+            if meta.get("format") != "repro-shards":
+                raise ValueError(
+                    f"{self.path} exists but is not a repro shard store")
+        else:
+            tmp = manifest.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(
+                {"format": "repro-shards", "version": 1}) + "\n")
+            os.replace(tmp, manifest)
+        #: Per-shard parse cache: name -> ((mtime_ns, size), entries).
+        self._cache: Dict[str, Tuple[Tuple[int, int], Dict[str, _Entry]]] = {}
+
+    # -- shard plumbing ----------------------------------------------------
+    @staticmethod
+    def shard_of(key: str) -> str:
+        prefix = key[:1].lower()
+        return prefix if prefix in _HEX else "misc"
+
+    def _data_path(self, shard: str) -> Path:
+        return self._dir / f"{shard}.jsonl"
+
+    @contextlib.contextmanager
+    def _locked(self, name: str) -> Iterator[None]:
+        """Hold ``<name>.lock`` exclusively (no-op without fcntl)."""
+        lock_path = self._dir / f"{name}.lock"
+        with open(lock_path, "a") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+
+    @staticmethod
+    def _parse_lines(text: str) -> Dict[str, _Entry]:
+        entries: Dict[str, _Entry] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line from a crashed append
+            entries[raw["key"]] = (raw["created"],
+                                   raw.get("fingerprint", ""),
+                                   raw["record"])
+        return entries
+
+    def _load(self, shard: str) -> Dict[str, _Entry]:
+        """Parse one shard, served from the mtime/size cache when clean."""
+        path = self._data_path(shard)
+        try:
+            stat = path.stat()
+        except FileNotFoundError:
+            self._cache.pop(shard, None)
+            return {}
+        signature = (stat.st_mtime_ns, stat.st_size)
+        cached = self._cache.get(shard)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        entries = self._parse_lines(path.read_text())
+        self._cache[shard] = (signature, entries)
+        return entries
+
+    def _shards(self) -> List[str]:
+        return sorted(
+            path.stem for path in self._dir.glob("*.jsonl")
+            if path.stem != "counters")
+
+    def _rewrite(self, shard: str, entries: Dict[str, _Entry]) -> None:
+        """Compaction: temp file + atomic rename (caller holds the lock)."""
+        path = self._data_path(shard)
+        self._cache.pop(shard, None)
+        if not entries:
+            with contextlib.suppress(FileNotFoundError):
+                path.unlink()
+            return
+        tmp = path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w") as handle:
+            for key in sorted(entries, key=lambda k: (entries[k][0], k)):
+                created, fingerprint, record = entries[key]
+                handle.write(_line(key, created, fingerprint, record))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # -- core map operations ----------------------------------------------
+    def get(self, key: str) -> Optional[RunRecord]:
+        entry = self._load(self.shard_of(key)).get(key)
+        if entry is None:
+            return None
+        return record_from_dict(entry[2])
+
+    def put(self, key: str, record: RunRecord, *, fingerprint: str = "",
+            created: Optional[float] = None) -> None:
+        shard = self.shard_of(key)
+        stamp = time.time() if created is None else created
+        line = _line(key, stamp, fingerprint, record_to_dict(record))
+        with self._locked(shard):
+            with open(self._data_path(shard), "a") as handle:
+                handle.write(line)
+                handle.flush()
+        self._cache.pop(shard, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load(self.shard_of(key))
+
+    def __len__(self) -> int:
+        return sum(len(self._load(shard)) for shard in self._shards())
+
+    def _all_entries(self) -> List[Tuple[str, _Entry]]:
+        merged: List[Tuple[str, _Entry]] = []
+        for shard in self._shards():
+            merged.extend(self._load(shard).items())
+        merged.sort(key=lambda item: (item[1][0], item[0]))
+        return merged
+
+    def keys(self) -> List[str]:
+        return [key for key, _entry in self._all_entries()]
+
+    def rows(self) -> Iterator[Tuple[str, float, str, str]]:
+        for key, (created, fingerprint, record) in self._all_entries():
+            label = record.get("request", {}).get("page", {}).get("name", "")
+            try:
+                label = record_from_dict(record).request.label
+            except Exception:  # noqa: BLE001 - keep listings best-effort
+                pass
+            yield key, created, fingerprint, label
+
+    def items(self) -> Iterator[Tuple[str, float, str, Dict[str, Any]]]:
+        for key, (created, fingerprint, record) in self._all_entries():
+            yield key, created, fingerprint, record
+
+    def delete(self, key: str) -> bool:
+        shard = self.shard_of(key)
+        with self._locked(shard):
+            path = self._data_path(shard)
+            entries = self._parse_lines(
+                path.read_text()) if path.exists() else {}
+            if key not in entries:
+                return False
+            del entries[key]
+            self._rewrite(shard, entries)
+        return True
+
+    # -- maintenance -------------------------------------------------------
+    def gc(self, older_than_seconds: float, now: Optional[float] = None,
+           *, dry_run: bool = False) -> int:
+        horizon = (time.time() if now is None else now) - older_than_seconds
+        dropped = 0
+        for shard in self._shards():
+            with self._locked(shard):
+                path = self._data_path(shard)
+                entries = self._parse_lines(
+                    path.read_text()) if path.exists() else {}
+                doomed = [key for key, entry in entries.items()
+                          if entry[0] < horizon]
+                dropped += len(doomed)
+                if dry_run or not doomed:
+                    continue
+                for key in doomed:
+                    del entries[key]
+                self._rewrite(shard, entries)
+        return dropped
+
+    def fingerprints(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _key, (_created, fingerprint, _record) in self._all_entries():
+            counts[fingerprint] = counts.get(fingerprint, 0) + 1
+        return counts
+
+    # -- persistent counters ----------------------------------------------
+    def bump_counter(self, name: str, delta: int = 1) -> None:
+        path = self._dir / "counters.jsonl"
+        with self._locked("counters"):
+            with open(path, "a") as handle:
+                handle.write(json.dumps({"name": name, "delta": delta},
+                                        sort_keys=True) + "\n")
+                handle.flush()
+
+    def counters(self) -> Dict[str, int]:
+        path = self._dir / "counters.jsonl"
+        if not path.exists():
+            return {}
+        totals: Dict[str, int] = {}
+        lines = 0
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            totals[raw["name"]] = totals.get(raw["name"], 0) + raw["delta"]
+            lines += 1
+        if lines > _COUNTER_COMPACT_LINES:
+            self._compact_counters()
+        return totals
+
+    def _compact_counters(self) -> None:
+        path = self._dir / "counters.jsonl"
+        tmp = path.with_suffix(".jsonl.tmp")
+        with self._locked("counters"):
+            # Re-read under the lock: a bump may have landed since the
+            # caller's unlocked read, and compaction must not lose it.
+            totals: Dict[str, int] = {}
+            for line in path.read_text().splitlines():
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                totals[raw["name"]] = (totals.get(raw["name"], 0)
+                                       + raw["delta"])
+            with open(tmp, "w") as handle:
+                for name in sorted(totals):
+                    handle.write(json.dumps(
+                        {"name": name, "delta": totals[name]},
+                        sort_keys=True) + "\n")
+            os.replace(tmp, path)
+
+    def close(self) -> None:
+        self._cache.clear()
+
+
+def _line(key: str, created: float, fingerprint: str,
+          record: Dict[str, Any]) -> str:
+    return json.dumps({"key": key, "created": created,
+                       "fingerprint": fingerprint, "record": record},
+                      sort_keys=True) + "\n"

@@ -109,3 +109,134 @@ class TestBenchDiff:
             [sys.executable, str(SCRIPT), str(committed), str(committed)],
             capture_output=True, text=True)
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def executor_payload(**overrides):
+    base = {
+        "benchmark": "executor_scaling",
+        "runs_total": 24,
+        "jobs": 4,
+        "serial_seconds": 2.0,
+        "parallel_seconds": 0.7,
+        "speedup": 2.9,
+        "results_identical": True,
+    }
+    base.update(overrides)
+    return base
+
+
+def store_payload(**overrides):
+    base = {
+        "benchmark": "store_hit_rate",
+        "runs_total": 24,
+        "cold_seconds": 2.0,
+        "warm_seconds": 0.05,
+        "warm_speedup": 40.0,
+        "warm_hit_rate": 1.0,
+        "results_identical": True,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestMultiPayloadGate:
+    """Exit-code contract for the executor/store payload kinds:
+    0 = shape + contract hold, 1 = contract violation, 2 = malformed
+    payload or benchmark-kind mismatch."""
+
+    def test_executor_payload_passes(self, tmp_path):
+        proc = diff(tmp_path, executor_payload(), executor_payload())
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "executor_scaling" in proc.stdout
+
+    def test_store_payload_passes(self, tmp_path):
+        proc = diff(tmp_path, store_payload(), store_payload())
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "store_hit_rate" in proc.stdout
+
+    def test_executor_results_not_identical_fails(self, tmp_path):
+        proc = diff(tmp_path, executor_payload(),
+                    executor_payload(results_identical=False))
+        assert proc.returncode == 1
+        assert "CONTRACT FAIL" in proc.stdout
+
+    def test_executor_speedup_is_informational(self, tmp_path):
+        # A slower parallel run is the host's business, not a gate.
+        proc = diff(tmp_path, executor_payload(),
+                    executor_payload(speedup=1.1, parallel_seconds=1.8))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_store_cold_hit_rate_fails(self, tmp_path):
+        proc = diff(tmp_path, store_payload(),
+                    store_payload(warm_hit_rate=0.9))
+        assert proc.returncode == 1
+        assert "warm_hit_rate" in proc.stdout
+
+    def test_store_results_not_identical_fails(self, tmp_path):
+        proc = diff(tmp_path, store_payload(),
+                    store_payload(results_identical=False))
+        assert proc.returncode == 1
+
+    def test_missing_required_key_is_malformed(self, tmp_path):
+        broken = executor_payload()
+        del broken["results_identical"]
+        proc = diff(tmp_path, executor_payload(), broken)
+        assert proc.returncode == 2
+        assert "missing required" in proc.stdout
+
+    def test_kind_mismatch_is_an_error(self, tmp_path):
+        proc = diff(tmp_path, payload(), store_payload())
+        assert proc.returncode == 2
+        assert "like with like" in proc.stdout
+
+    def test_unknown_kind_is_an_error(self, tmp_path):
+        odd = {"benchmark": "frobnication", "x": 1}
+        proc = diff(tmp_path, odd, odd)
+        assert proc.returncode == 2
+
+    def test_legacy_payload_without_kind_is_sim(self, tmp_path):
+        old = payload()
+        del old["benchmark"]
+        proc = diff(tmp_path, old, old)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_gates_committed_executor_and_store_payloads(self):
+        for name in ("BENCH_executor.json", "BENCH_store.json"):
+            committed = REPO / name
+            if not committed.exists():
+                pytest.skip(f"no committed {name}")
+            proc = subprocess.run(
+                [sys.executable, str(SCRIPT), str(committed),
+                 str(committed)], capture_output=True, text=True)
+            assert proc.returncode == 0, (name, proc.stdout + proc.stderr)
+
+
+class TestHistory:
+    def test_history_line_appended_and_parseable(self, tmp_path):
+        ledger = tmp_path / "hist.jsonl"
+        proc = diff(tmp_path, store_payload(), store_payload(),
+                    "--history", str(ledger))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        lines = ledger.read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["benchmark"] == "store_hit_rate"
+        assert entry["ok"] is True
+        assert entry["metrics"]["warm_hit_rate"] == 1.0
+        assert "ts" in entry
+
+    def test_failures_are_recorded_too(self, tmp_path):
+        ledger = tmp_path / "hist.jsonl"
+        diff(tmp_path, store_payload(), store_payload(),
+             "--history", str(ledger))
+        proc = diff(tmp_path, store_payload(),
+                    store_payload(warm_hit_rate=0.5),
+                    "--history", str(ledger))
+        assert proc.returncode == 1
+        lines = [json.loads(line)
+                 for line in ledger.read_text().splitlines()]
+        assert [entry["ok"] for entry in lines] == [True, False]
+
+    def test_no_history_flag_writes_nothing(self, tmp_path):
+        diff(tmp_path, payload(), payload())
+        assert not list(tmp_path.glob("*.jsonl"))

@@ -5,13 +5,24 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
+from repro.core.aggregate import (
+    aggregate_cells,
+    render_cell_table,
+    select_records,
+    write_store_results,
+)
+from repro.core.executor import ProtocolSpec, RunRecord, RunRequest
 from repro.core.report import (
     EXPERIMENT_INDEX,
     build_report,
+    build_store_report,
     collect_sections,
     extra_results,
     missing_experiments,
 )
+from repro.http import single_object_page
+from repro.netem import emulated
+from repro.store import RunCache, SqliteStore, run_key
 
 
 @pytest.fixture
@@ -63,3 +74,82 @@ class TestReport:
                      "--out", str(out)]) == 0
         assert out.exists()
         assert "Reproduction report" in out.read_text()
+
+
+def _record(scenario, page, protocol, seed, plt):
+    request = RunRequest(scenario=scenario, page=page, protocol=protocol,
+                         seed=seed)
+    return RunRecord(request=request, plt=plt, complete=True,
+                     metrics={"plt": plt})
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A small store: one scenario/page cell, QUIC and TCP, 3 seeds."""
+    backend = SqliteStore(tmp_path / "report.sqlite")
+    scenario = emulated(10.0)
+    page = single_object_page(20_000)
+    for seed, (q_plt, t_plt) in enumerate([(0.7, 1.3), (0.8, 1.2),
+                                           (0.9, 1.4)]):
+        for protocol, plt in ((ProtocolSpec.quic(), q_plt),
+                              (ProtocolSpec.tcp(), t_plt)):
+            record = _record(scenario, page, protocol, seed, plt)
+            backend.put(run_key(record.request), record)
+    return backend
+
+
+class TestStoreReport:
+    def test_structure(self, store):
+        text = build_store_report(store)
+        assert text.startswith("# Reproduction report")
+        assert "6 cached run(s) across 2 cell(s)" in text
+        assert "no re-execution" in text
+        assert "## Store summary" in text
+        assert "QUIC/TCP median PLT ratio" in text  # the ratio block
+
+    def test_aggregates_are_correct(self, store):
+        records = select_records(store)
+        cells = {(c.protocol): c for c in aggregate_cells(records)}
+        assert cells["quic"].runs == 3
+        assert cells["quic"].median_plt == pytest.approx(0.8)
+        assert cells["tcp"].median_plt == pytest.approx(1.3)
+
+    def test_empty_store_is_friendly(self, tmp_path):
+        text = build_store_report(SqliteStore(tmp_path / "empty.sqlite"))
+        assert "no decodable records" in text
+        assert "--cache" in text
+
+    def test_table_parity_with_results_file_path(self, store, tmp_path):
+        # Acceptance: for an identical result set, the store-backed
+        # report embeds the very table the benchmarks-file path writes.
+        written = write_store_results(store, tmp_path)
+        file_table = written.read_text().rstrip("\n")
+        report = build_store_report(store)
+        assert file_table in report
+        cells = aggregate_cells(select_records(store))
+        assert render_cell_table(cells) == file_table
+
+    def test_cached_sweep_reports_without_rerun(self, tmp_path):
+        # End to end: executor --cache writes the store, report reads it.
+        from repro.core.executor import run_requests
+
+        cache = RunCache(SqliteStore(tmp_path / "sweep.sqlite"))
+        requests = [RunRequest(scenario=emulated(10.0),
+                               page=single_object_page(20_000),
+                               protocol=proto, seed=s)
+                    for proto in (ProtocolSpec.quic(), ProtocolSpec.tcp())
+                    for s in range(2)]
+        run_requests(requests, store=cache)
+        text = build_store_report(cache.store)
+        assert "4 cached run(s)" in text
+
+    def test_cli_from_store(self, store, tmp_path, capsys):
+        out = tmp_path / "STORE_REPORT.md"
+        assert main(["report", "--from-store", store.path,
+                     "--out", str(out)]) == 0
+        assert out.read_text() == build_store_report(store) + "\n"
+
+    def test_cli_from_store_missing_is_friendly(self, tmp_path, capsys):
+        assert main(["report", "--from-store",
+                     str(tmp_path / "nope.sqlite")]) == 0
+        assert "no results store" in capsys.readouterr().out

@@ -2,12 +2,15 @@
 
 The correctness contract: the same logical request always maps to the
 same key (across object identities and across processes), while *any*
-change to the configuration, seed, or code fingerprint maps to a
-different key — a cache hit can therefore never be stale.
+change to the configuration, seed, or the code the run exercises maps
+to a different key — a cache hit can therefore never be stale.  Every
+backend-facing test runs against both store backends (sqlite and
+sharded JSONL) through the ``make_store`` fixture.
 """
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -35,14 +38,26 @@ from repro.quic import quic_config
 from repro.store import (
     ResultStore,
     RunCache,
+    ShardStore,
+    SqliteStore,
+    StoreBackend,
+    achievable_fingerprints,
     code_fingerprint,
+    composite_fingerprint,
+    fingerprint_for,
+    merge_into,
+    open_store,
     record_from_dict,
     record_to_dict,
     request_from_dict,
+    request_subsystems,
     request_to_dict,
     run_key,
+    subsystem_fingerprints,
 )
 from repro.tcp import tcp_config
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
 SCN = emulated(10.0)
 PAGE = single_object_page(20_000)
@@ -62,6 +77,20 @@ def fresh_req(seed=0):
                       protocol=ProtocolSpec.quic(), seed=seed)
 
 
+@pytest.fixture(params=["sqlite", "shards"])
+def make_store(request, tmp_path):
+    """A factory building fresh stores of one backend per parametrisation."""
+    param = request.param
+
+    def _make(name="store"):
+        if param == "sqlite":
+            return SqliteStore(tmp_path / f"{name}.sqlite")
+        return ShardStore(tmp_path / f"{name}-shards")
+
+    _make.backend = param
+    return _make
+
+
 # ----------------------------------------------------------------------
 # keys
 # ----------------------------------------------------------------------
@@ -75,7 +104,6 @@ class TestRunKey:
         assert run_key(req(seed=5)) == run_key(fresh_req(seed=5))
 
     def test_key_is_stable_across_processes(self):
-        src_dir = Path(__file__).resolve().parent.parent / "src"
         code = (
             "from repro.core.executor import ProtocolSpec, RunRequest\n"
             "from repro.http import single_object_page\n"
@@ -87,7 +115,7 @@ class TestRunKey:
             "print(run_key(r))\n"
         )
         env = dict(os.environ)
-        env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get("PYTHONPATH",
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH",
                                                                 "")
         out = subprocess.run([sys.executable, "-c", code], env=env,
                              capture_output=True, text=True, check=True)
@@ -137,6 +165,115 @@ class TestRunKey:
 
 
 # ----------------------------------------------------------------------
+# per-subsystem fingerprints
+# ----------------------------------------------------------------------
+def _fake_package(root: Path) -> Path:
+    """A miniature repro tree exercising every subsystem bucket."""
+    pkg = root / "pkg"
+    for sub in ("core", "netem", "transport", "quic", "tcp", "http",
+                "proxy", "video"):
+        (pkg / sub).mkdir(parents=True)
+        (pkg / sub / "mod.py").write_text(f"name = {sub!r}\n")
+    (pkg / "devices.py").write_text("profiles = {}\n")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "cli.py").write_text("entry = None\n")
+    (pkg / "store").mkdir()
+    (pkg / "store" / "keys.py").write_text("schema = 1\n")
+    return pkg
+
+
+def _edited_copy(pkg: Path, relative: str, text: str) -> Path:
+    """A sibling copy of ``pkg`` with one file changed.
+
+    A copy (not an in-place edit) because fingerprints are cached per
+    process per directory — exactly how two checkouts would differ.
+    """
+    clone = pkg.parent / f"{pkg.name}-edited-{relative.replace('/', '_')}"
+    shutil.copytree(pkg, clone)
+    (clone / relative).write_text(text)
+    return clone
+
+
+class TestSubsystemFingerprints:
+    def test_request_subsystems(self):
+        assert request_subsystems(req()) == ("core", "http", "netem",
+                                             "transport")
+        assert "proxy" in request_subsystems(req(proxied=True))
+        assert "video" not in request_subsystems(req(proxied=True))
+
+    def test_video_edit_leaves_plt_keys_unchanged(self, tmp_path):
+        # The acceptance criterion: a comment-only touch under video/
+        # must not invalidate a cached QUIC-vs-TCP PLT sweep.
+        pkg = _fake_package(tmp_path)
+        edited = _edited_copy(pkg, "video/mod.py",
+                              "name = 'video'\n# doc tweak only\n")
+        for request in (req(), req(protocol=ProtocolSpec.tcp())):
+            before = run_key(request,
+                             fingerprint=fingerprint_for(request, pkg))
+            after = run_key(request,
+                            fingerprint=fingerprint_for(request, edited))
+            assert before == after
+
+    def test_netem_edit_changes_plt_keys(self, tmp_path):
+        pkg = _fake_package(tmp_path)
+        edited = _edited_copy(pkg, "netem/mod.py",
+                              "name = 'netem'\nrate = 2\n")
+        for request in (req(), req(protocol=ProtocolSpec.tcp())):
+            before = run_key(request,
+                             fingerprint=fingerprint_for(request, pkg))
+            after = run_key(request,
+                            fingerprint=fingerprint_for(request, edited))
+            assert before != after
+
+    @pytest.mark.parametrize("relative", [
+        "transport/mod.py", "quic/mod.py", "tcp/mod.py", "http/mod.py",
+        "core/mod.py", "devices.py",
+    ])
+    def test_exercised_subsystem_edits_change_keys(self, tmp_path, relative):
+        pkg = _fake_package(tmp_path)
+        edited = _edited_copy(pkg, relative, "changed = True\n")
+        assert (fingerprint_for(req(), pkg)
+                != fingerprint_for(req(), edited))
+
+    @pytest.mark.parametrize("relative", [
+        "store/keys.py", "cli.py", "proxy/mod.py",
+    ])
+    def test_unexercised_edits_leave_keys_alone(self, tmp_path, relative):
+        # store/ and cli.py are outside every fingerprint; proxy/ only
+        # enters the key of proxied runs.
+        pkg = _fake_package(tmp_path)
+        edited = _edited_copy(pkg, relative, "changed = True\n")
+        assert (fingerprint_for(req(), pkg)
+                == fingerprint_for(req(), edited))
+
+    def test_proxied_requests_cover_proxy_code(self, tmp_path):
+        pkg = _fake_package(tmp_path)
+        edited = _edited_copy(pkg, "proxy/mod.py", "changed = True\n")
+        proxied = req(proxied=True)
+        assert (fingerprint_for(proxied, pkg)
+                != fingerprint_for(proxied, edited))
+
+    def test_achievable_fingerprints_cover_requests(self, tmp_path):
+        pkg = _fake_package(tmp_path)
+        achievable = achievable_fingerprints(pkg)
+        assert fingerprint_for(req(), pkg) in achievable
+        assert fingerprint_for(req(proxied=True), pkg) in achievable
+
+    def test_composite_is_order_insensitive(self, tmp_path):
+        pkg = _fake_package(tmp_path)
+        assert (composite_fingerprint(("netem", "core"), pkg)
+                == composite_fingerprint(("core", "netem"), pkg))
+
+    def test_subsystem_map_covers_real_package(self):
+        fingerprints = subsystem_fingerprints()
+        assert set(fingerprints) == {"core", "netem", "transport", "http",
+                                     "proxy", "video"}
+        # A real tree backs every bucket, so no digest is the empty hash.
+        empty = __import__("hashlib").sha256().hexdigest()
+        assert all(fp != empty for fp in fingerprints.values())
+
+
+# ----------------------------------------------------------------------
 # the JSON codec
 # ----------------------------------------------------------------------
 class TestCodec:
@@ -176,15 +313,15 @@ class TestCodec:
 
 
 # ----------------------------------------------------------------------
-# the sqlite backend
+# the backends (each test runs against sqlite AND shards)
 # ----------------------------------------------------------------------
-class TestResultStore:
+class TestStoreBackends:
     def record(self, seed=0, plt=1.0):
         return RunRecord(request=req(seed=seed), plt=plt, complete=True,
                          metrics={"plt": plt})
 
-    def test_put_get_contains_len_delete(self):
-        store = ResultStore(":memory:")
+    def test_put_get_contains_len_delete(self, make_store):
+        store = make_store()
         assert len(store) == 0
         store.put("k1", self.record())
         assert "k1" in store
@@ -196,49 +333,333 @@ class TestResultStore:
         assert not store.delete("k1")
         assert len(store) == 0
 
-    def test_persists_across_reopen(self, tmp_path):
-        path = tmp_path / "sub" / "store.sqlite"  # parent auto-created
-        with ResultStore(path) as store:
+    def test_put_replaces(self, make_store):
+        store = make_store()
+        store.put("k1", self.record(plt=1.0))
+        store.put("k1", self.record(plt=2.0))
+        assert len(store) == 1
+        assert store.get("k1").plt == 2.0
+
+    def test_persists_across_reopen(self, make_store):
+        with make_store("reopen") as store:
+            path = store.path
             store.put("k1", self.record(plt=2.5), fingerprint="f1")
-        with ResultStore(path) as store:
+        with open_store(path) as store:
+            assert store.kind == make_store.backend
             assert store.get("k1").plt == 2.5
             assert store.fingerprints() == {"f1": 1}
 
-    def test_jsonl_round_trip(self, tmp_path):
-        store = ResultStore(":memory:")
+    def test_jsonl_round_trip(self, make_store, tmp_path):
+        store = make_store("src")
         for i in range(3):
             store.put(f"k{i}", self.record(seed=i, plt=float(i)),
                       fingerprint="f")
         out = tmp_path / "dump.jsonl"
         assert store.export_jsonl(out) == 3
-        other = ResultStore(":memory:")
+        other = make_store("dst")
         assert other.import_jsonl(out) == 3
         assert other.keys() == store.keys()
         for key in store.keys():
             assert other.get(key).plt == store.get(key).plt
 
-    def test_gc_drops_only_old_rows(self):
-        store = ResultStore(":memory:")
+    def test_rows_oldest_first(self, make_store):
+        store = make_store()
+        store.put("b", self.record(seed=1), created=2_000.0,
+                  fingerprint="f2")
+        store.put("a", self.record(seed=0), created=1_000.0,
+                  fingerprint="f1")
+        rows = list(store.rows())
+        assert [row[0] for row in rows] == ["a", "b"]
+        assert [row[1] for row in rows] == [1_000.0, 2_000.0]
+        assert [row[2] for row in rows] == ["f1", "f2"]
+        assert all(row[3].startswith("quic ") for row in rows)  # req label
+
+    def test_gc_drops_only_old_rows(self, make_store):
+        store = make_store()
         store.put("old", self.record(), created=1_000.0)
         store.put("new", self.record(seed=1), created=2_000.0)
         dropped = store.gc(500.0, now=2_100.0)  # horizon: 1600
         assert dropped == 1
         assert "old" not in store and "new" in store
 
-    def test_counters(self):
-        store = ResultStore(":memory:")
+    def test_gc_dry_run_touches_nothing(self, make_store):
+        store = make_store()
+        store.put("old", self.record(), created=1_000.0)
+        store.put("new", self.record(seed=1), created=2_000.0)
+        assert store.gc(500.0, now=2_100.0, dry_run=True) == 1
+        assert "old" in store and "new" in store
+        assert len(store) == 2
+
+    def test_counters(self, make_store):
+        store = make_store()
         assert store.counters() == {}
         store.bump_counter("hits")
         store.bump_counter("hits", 2)
         assert store.counters() == {"hits": 3}
 
 
+class TestShardLayout:
+    def test_records_bucket_by_key_prefix(self, tmp_path):
+        store = ShardStore(tmp_path / "shards")
+        record = RunRecord(request=req(), plt=1.0, complete=True)
+        store.put("aa11", record)
+        store.put("ab22", record)
+        store.put("0c33", record)
+        store.put("zz44", record)  # non-hex prefix
+        assert (tmp_path / "shards" / "a.jsonl").exists()
+        assert (tmp_path / "shards" / "0.jsonl").exists()
+        assert (tmp_path / "shards" / "misc.jsonl").exists()
+        # appends go through per-shard lockfiles that survive the write
+        assert (tmp_path / "shards" / "a.lock").exists()
+        assert len(store) == 4
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        store = ShardStore(tmp_path / "shards")
+        store.put("aa11", RunRecord(request=req(), plt=1.0, complete=True))
+        shard = tmp_path / "shards" / "a.jsonl"
+        with open(shard, "a") as handle:
+            handle.write('{"key": "ab22", "created": 1.0, "rec')  # torn
+        assert store.keys() == ["aa11"]
+        assert store.get("aa11").plt == 1.0
+
+    def test_refuses_foreign_directory(self, tmp_path):
+        target = tmp_path / "notastore"
+        target.mkdir()
+        (target / "store.json").write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            ShardStore(target)
+
+    def test_compaction_is_atomic_rename(self, tmp_path):
+        store = ShardStore(tmp_path / "shards")
+        record = RunRecord(request=req(), plt=1.0, complete=True)
+        store.put("aa11", record)
+        store.put("ab22", record)
+        store.delete("aa11")
+        shard = tmp_path / "shards" / "a.jsonl"
+        assert shard.exists()
+        assert not shard.with_suffix(".jsonl.tmp").exists()
+        assert store.keys() == ["ab22"]
+        store.delete("ab22")
+        assert not shard.exists()  # empty shard files are removed
+
+
 # ----------------------------------------------------------------------
-# cache-aware execution
+# concurrent writers (the reason the sharded backend exists)
+# ----------------------------------------------------------------------
+_WRITER_CODE = """
+import hashlib, sys
+from repro.core.executor import ProtocolSpec, RunRecord, RunRequest
+from repro.http import single_object_page
+from repro.netem import emulated
+from repro.store import open_store
+
+path, worker, count = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+store = open_store(path)
+request = RunRequest(scenario=emulated(10.0),
+                     page=single_object_page(20_000),
+                     protocol=ProtocolSpec.quic(), seed=worker)
+record = RunRecord(request=request, plt=float(worker), complete=True,
+                   metrics={"plt": float(worker)})
+for i in range(count):
+    key = hashlib.sha256(f"w{worker}-r{i}".encode()).hexdigest()
+    store.put(key, record, fingerprint=f"w{worker}")
+    store.bump_counter("writes")
+store.close()
+"""
+
+
+class TestConcurrentWriters:
+    WORKERS = 4
+    RECORDS = 20
+
+    def test_parallel_appends_lose_no_records(self, tmp_path):
+        import hashlib
+
+        store_dir = tmp_path / "shared-shards"
+        ShardStore(store_dir).close()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get(
+            "PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_CODE, str(store_dir),
+                 str(worker), str(self.RECORDS)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+            for worker in range(self.WORKERS)
+        ]
+        for proc in procs:
+            _out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+
+        store = ShardStore(store_dir)
+        total = self.WORKERS * self.RECORDS
+        assert len(store) == total
+        for worker in range(self.WORKERS):
+            for i in range(self.RECORDS):
+                key = hashlib.sha256(f"w{worker}-r{i}".encode()).hexdigest()
+                record = store.get(key)  # parses: no torn/corrupt lines
+                assert record is not None
+                assert record.plt == float(worker)
+        # every shard file is fully valid JSONL (no interleaved writes)
+        for shard in store_dir.glob("[0-9a-f]*.jsonl"):
+            for line in shard.read_text().splitlines():
+                json.loads(line)
+        assert store.counters() == {"writes": total}
+        assert store.fingerprints() == {
+            f"w{w}": self.RECORDS for w in range(self.WORKERS)}
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+class TestOpenStore:
+    def test_memory_is_sqlite(self):
+        assert open_store(":memory:").kind == "sqlite"
+
+    def test_suffix_convention(self, tmp_path):
+        assert open_store(tmp_path / "a.sqlite").kind == "sqlite"
+        assert open_store(tmp_path / "b.db").kind == "sqlite"
+        assert open_store(tmp_path / "c-store").kind == "shards"
+
+    def test_existing_paths_win_over_suffix(self, tmp_path):
+        sqlite_path = tmp_path / "store.sqlite"
+        SqliteStore(sqlite_path).close()
+        assert open_store(sqlite_path).kind == "sqlite"
+        shard_dir = tmp_path / "weird.sqlite.d"
+        ShardStore(shard_dir).close()
+        assert open_store(shard_dir).kind == "shards"
+
+    def test_backend_kwarg_forces(self, tmp_path):
+        store = open_store(tmp_path / "forced.sqlite", backend="shards")
+        assert store.kind == "shards"
+        assert (tmp_path / "forced.sqlite" / "store.json").exists()
+
+    def test_backend_kwarg_rejects_unknown(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_store(tmp_path / "x", backend="parquet")
+
+    def test_instance_passthrough_and_mismatch(self, tmp_path):
+        store = SqliteStore(":memory:")
+        assert open_store(store) is store
+        with pytest.raises(ValueError):
+            open_store(store, backend="shards")
+
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        store = open_store(None)
+        assert store.kind == "shards"
+        assert store.path == str(tmp_path / "env-store")
+
+    def test_resultstore_alias_and_open(self, tmp_path):
+        # Backwards compatibility: ResultStore is the sqlite backend and
+        # its .open() coerces like open_store().
+        assert ResultStore is SqliteStore
+        assert isinstance(ResultStore.open(tmp_path / "x.sqlite"),
+                          SqliteStore)
+        assert isinstance(StoreBackend.open(tmp_path / "y-dir"), ShardStore)
+
+
+# ----------------------------------------------------------------------
+# cross-store sync and parity
+# ----------------------------------------------------------------------
+def _store_dump(store):
+    """Canonical bytes of every row (key, created, fingerprint, record)."""
+    return [json.dumps({"key": k, "created": c, "fingerprint": f,
+                        "record": r}, sort_keys=True)
+            for k, c, f, r in store.items()]
+
+
+class TestSyncAndParity:
+    def fill(self, store, n=5):
+        for i in range(n):
+            record = RunRecord(request=req(seed=i), plt=float(i),
+                               complete=True, metrics={"plt": float(i)})
+            store.put(run_key(record.request), record,
+                      fingerprint="fp", created=1_000.0 + i)
+
+    def test_sqlite_shards_round_trip_parity(self, tmp_path):
+        # Byte-identical records both ways: sqlite -> shards -> sqlite.
+        sqlite_store = SqliteStore(tmp_path / "a.sqlite")
+        self.fill(sqlite_store)
+        shard_store = ShardStore(tmp_path / "b-shards")
+        assert merge_into(shard_store, sqlite_store) == (5, 0)
+        assert shard_store.keys() == sqlite_store.keys()
+        assert _store_dump(shard_store) == _store_dump(sqlite_store)
+
+        back = SqliteStore(tmp_path / "c.sqlite")
+        assert merge_into(back, shard_store) == (5, 0)
+        assert _store_dump(back) == _store_dump(sqlite_store)
+
+    def test_sync_skips_present_keys(self, tmp_path):
+        src = SqliteStore(tmp_path / "src.sqlite")
+        self.fill(src, n=4)
+        dst = ShardStore(tmp_path / "dst-shards")
+        assert merge_into(dst, src) == (4, 0)
+        self.fill(src, n=6)  # two new rows beyond the four already synced
+        assert merge_into(dst, src) == (2, 4)
+        assert len(dst) == 6
+
+    def test_sync_from_paths_and_jsonl(self, tmp_path):
+        src = ShardStore(tmp_path / "src-shards")
+        self.fill(src, n=3)
+        # from a shard-directory path
+        dst1 = SqliteStore(tmp_path / "d1.sqlite")
+        assert merge_into(dst1, tmp_path / "src-shards") == (3, 0)
+        # from a sqlite-file path (sniffed by magic bytes, not suffix)
+        odd_name = tmp_path / "peer.store"
+        shutil.copyfile(tmp_path / "d1.sqlite", odd_name)
+        dst2 = ShardStore(tmp_path / "d2-shards")
+        assert merge_into(dst2, odd_name) == (3, 0)
+        # from a JSONL export
+        dump = tmp_path / "dump.jsonl"
+        src.export_jsonl(dump)
+        dst3 = SqliteStore(tmp_path / "d3.sqlite")
+        assert merge_into(dst3, dump) == (3, 0)
+        assert (_store_dump(dst1) == _store_dump(dst2)
+                == _store_dump(dst3) == _store_dump(src))
+
+    def test_sync_missing_source_raises(self, tmp_path):
+        dst = SqliteStore(":memory:")
+        with pytest.raises(FileNotFoundError):
+            merge_into(dst, tmp_path / "nope")
+
+    def test_sweep_resumes_across_backends(self, tmp_path):
+        # Acceptance: a sweep cached under one backend resumes
+        # (only-missing-cells) under the other after `store sync`.
+        sqlite_cache = RunCache(SqliteStore(tmp_path / "a.sqlite"))
+
+        def spy_factory(log):
+            def spy(request):
+                log.append(request.seed)
+                return RunRecord(request=request, plt=float(request.seed),
+                                 complete=True,
+                                 metrics={"plt": float(request.seed)})
+            return spy
+
+        first = []
+        run_requests([req(seed=0), req(seed=2)], store=sqlite_cache,
+                     run_fn=spy_factory(first))
+        assert first == [0, 2]
+
+        shard_store = ShardStore(tmp_path / "b-shards")
+        assert merge_into(shard_store, sqlite_cache.store) == (2, 0)
+
+        second = []
+        shard_cache = RunCache(shard_store)
+        records = run_requests([req(seed=s) for s in range(4)],
+                               store=shard_cache,
+                               run_fn=spy_factory(second))
+        assert second == [1, 3]  # only the cells sqlite didn't have
+        assert [r.cached for r in records] == [True, False, True, False]
+        assert all(r.ok for r in records)
+
+
+# ----------------------------------------------------------------------
+# cache-aware execution (each test runs against both backends)
 # ----------------------------------------------------------------------
 class TestCacheAwareExecution:
-    def test_second_run_is_all_hits_and_bit_identical(self):
-        cache = RunCache(ResultStore(":memory:"))
+    def test_second_run_is_all_hits_and_bit_identical(self, make_store):
+        cache = RunCache(make_store())
         requests = [req(seed=s) for s in range(3)]
         cold = run_requests(requests, store=cache)
         assert cache.session_stats == (0, 3, 3)
@@ -258,8 +679,8 @@ class TestCacheAwareExecution:
         assert [r.metrics for r in warm] == [r.metrics for r in cold]
         assert cache.session_stats == (3, 3, 3)
 
-    def test_interrupted_sweep_resumes_missing_cells_only(self):
-        cache = RunCache(ResultStore(":memory:"))
+    def test_interrupted_sweep_resumes_missing_cells_only(self, make_store):
+        cache = RunCache(make_store())
         # The "interrupted" first attempt completed seeds 0 and 2 only.
         run_requests([req(seed=0), req(seed=2)], store=cache)
 
@@ -276,12 +697,12 @@ class TestCacheAwareExecution:
         assert [r.cached for r in records] == [True, False, True, False]
         assert all(r.ok for r in records)
 
-    def test_misses_execute_heaviest_first(self):
+    def test_misses_execute_heaviest_first(self, make_store):
         # Cache-aware scheduling: the miss list runs in expected-cost
         # order (object count, then total bytes, descending) so the
         # longest run never starts last on an otherwise-drained pool —
         # while the returned records stay in request order.
-        cache = RunCache(ResultStore(":memory:"))
+        cache = RunCache(make_store())
         small = req(page=single_object_page(1_000))
         medium = req(page=page(4, 8_000))
         big = req(page=page(9, 8_000))
@@ -296,10 +717,10 @@ class TestCacheAwareExecution:
         assert executed == [9, 4, 1]
         assert [r.request.page.object_count for r in records] == [1, 9, 4]
 
-    def test_results_are_written_back_as_they_complete(self):
+    def test_results_are_written_back_as_they_complete(self, make_store):
         # Resumability hinges on incremental write-back: if run 2 of 3
         # dies, runs 0..1 must already be in the store.
-        cache = RunCache(ResultStore(":memory:"))
+        cache = RunCache(make_store())
 
         def dies_at_seed_two(request):
             if request.seed == 2:
@@ -311,8 +732,8 @@ class TestCacheAwareExecution:
                          run_fn=dies_at_seed_two)
         assert len(cache.store) == 2
 
-    def test_error_failures_are_not_cached(self):
-        cache = RunCache(ResultStore(":memory:"))
+    def test_error_failures_are_not_cached(self, make_store):
+        cache = RunCache(make_store())
 
         def broken(request):
             raise RuntimeError("boom")
@@ -321,8 +742,8 @@ class TestCacheAwareExecution:
         assert records[0].failure.kind == "error"
         assert len(cache.store) == 0
 
-    def test_incomplete_runs_are_cached(self):
-        cache = RunCache(ResultStore(":memory:"))
+    def test_incomplete_runs_are_cached(self, make_store):
+        cache = RunCache(make_store())
         cold = run_requests([req(timeout=0.001)], store=cache)
         assert cold[0].failure.kind == "incomplete"
         assert len(cache.store) == 1
@@ -330,8 +751,8 @@ class TestCacheAwareExecution:
         assert warm[0].cached
         assert warm[0].failure == cold[0].failure
 
-    def test_progress_fires_for_hits_and_misses(self):
-        cache = RunCache(ResultStore(":memory:"))
+    def test_progress_fires_for_hits_and_misses(self, make_store):
+        cache = RunCache(make_store())
         run_requests([req(seed=0)], store=cache)
         seen = []
         run_requests([req(seed=s) for s in range(2)], store=cache,
@@ -342,11 +763,16 @@ class TestCacheAwareExecution:
     def test_store_accepts_a_bare_path(self, tmp_path):
         path = tmp_path / "store.sqlite"
         run_requests([req()], store=path)
-        reopened = ResultStore(path)
+        assert len(open_store(path)) == 1
+        # and a directory-flavoured path lands in a shard store
+        shard_path = tmp_path / "store-dir"
+        run_requests([req()], store=shard_path)
+        reopened = open_store(shard_path)
+        assert reopened.kind == "shards"
         assert len(reopened) == 1
 
-    def test_code_change_invalidates_hits(self):
-        store = ResultStore(":memory:")
+    def test_code_change_invalidates_hits(self, make_store):
+        store = make_store()
         old_code = RunCache(store, fingerprint="old-code")
         run_requests([req()], store=old_code)
         new_code = RunCache(store, fingerprint="new-code")
@@ -359,6 +785,15 @@ class TestCacheAwareExecution:
         run_requests([req()], store=new_code, run_fn=spy)
         assert executed == [0]  # old result was not served
         assert new_code.session_stats == (0, 1, 1)
+
+    def test_default_fingerprint_is_per_request_composite(self, make_store):
+        cache = RunCache(make_store())
+        assert cache.fingerprint is None
+        assert cache.fingerprint_of(req()) == fingerprint_for(req())
+        assert (cache.fingerprint_of(req(proxied=True))
+                == fingerprint_for(req(proxied=True)))
+        assert cache.fingerprint_of(req()) != cache.fingerprint_of(
+            req(proxied=True))
 
 
 # ----------------------------------------------------------------------
@@ -375,8 +810,8 @@ class TestExperimentCaching:
         kwargs.update(overrides)
         return ExperimentSpec(**kwargs)
 
-    def test_rerun_is_all_hits_with_identical_json(self):
-        cache = RunCache(ResultStore(":memory:"))
+    def test_rerun_is_all_hits_with_identical_json(self, make_store):
+        cache = RunCache(make_store())
         first = run_experiment(self.spec(), store=cache)
         runs_total = cache.misses
         assert cache.hits == 0 and runs_total > 0
@@ -385,8 +820,8 @@ class TestExperimentCaching:
         assert cache.misses == runs_total  # no new misses
         assert second.to_json() == first.to_json()
 
-    def test_config_change_misses(self):
-        cache = RunCache(ResultStore(":memory:"))
+    def test_config_change_misses(self, make_store):
+        cache = RunCache(make_store())
         run_experiment(self.spec(), store=cache)
         cache.hits = cache.misses = 0
         run_experiment(self.spec(quic_version=30), store=cache)
