@@ -27,11 +27,11 @@ bench-smoke:
 # (small --quick sizes are biased low and would trip the gate) and
 # compare host-normalised rates against the committed BENCH_sim.json;
 # exits non-zero on a >25% regression in events/sec or packets/sec, or
-# on any change in the fixed-seed simulated outcomes.  The executor and
-# store payloads are then re-measured and gated on their correctness
-# contracts (byte-identical results; warm hit rate exactly 1.0).  Each
-# gate appends a per-commit trend line to
-# benchmarks/results/bench_history.jsonl.
+# on any change in the fixed-seed simulated outcomes.  The executor,
+# store and pipeline payloads are then re-measured and gated on their
+# correctness contracts (byte-identical results; warm hit rate exactly
+# 1.0; no record payload on the parent pipe).  Each gate appends a
+# per-commit trend line to benchmarks/results/bench_history.jsonl.
 HISTORY = benchmarks/results/bench_history.jsonl
 perf-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/sim_hotpath.py --repeat 3 \
@@ -46,7 +46,13 @@ perf-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/store_hit_rate.py --runs 2
 	$(PYTHON) scripts/bench_diff.py /tmp/BENCH_store.baseline.json \
 		BENCH_store.json --history $(HISTORY)
-	git checkout -- BENCH_executor.json BENCH_store.json 2>/dev/null || true
+	cp BENCH_pipeline.json /tmp/BENCH_pipeline.baseline.json
+	PYTHONPATH=src $(PYTHON) benchmarks/executor_pipeline.py --cells 2000
+	$(PYTHON) scripts/bench_diff.py /tmp/BENCH_pipeline.baseline.json \
+		BENCH_pipeline.json --history $(HISTORY)
+	git checkout -- BENCH_executor.json 2>/dev/null || true
+	git checkout -- BENCH_store.json 2>/dev/null || true
+	git checkout -- BENCH_pipeline.json 2>/dev/null || true
 
 # Paper-scale: >=10 rounds per cell and full workload grids.
 bench-full:
@@ -75,4 +81,4 @@ clean:
 # results directory (restorable with git checkout), local result stores
 # and the machine-readable benchmark outputs.
 distclean: clean
-	rm -rf benchmarks/results .repro-store.sqlite BENCH_executor.json BENCH_store.json
+	rm -rf benchmarks/results .repro-store.sqlite BENCH_executor.json BENCH_store.json BENCH_pipeline.json

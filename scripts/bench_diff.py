@@ -24,6 +24,13 @@ Understands the three machine-readable payload shapes the repo commits:
   ``results_identical`` true and ``warm_hit_rate`` exactly 1.0 (a warm
   sweep re-executing anything is a cache-correctness bug).  The
   cold/warm speedup is informational.
+* ``BENCH_pipeline.json`` (``pipeline``) — the streaming-executor gate:
+  shape-gated, ``results_identical`` must be true (the pipelined sweep
+  produced the same store as the round-trip path), and
+  ``max_event_bytes`` must stay within ``event_bound_bytes`` (a record
+  payload crossing the parent pipe is the exact regression the
+  streaming API exists to prevent).  Throughput and parent RSS are
+  informational trends.
 
 Exit codes: 0 = gate passes; 1 = regression, behaviour change, or
 contract violation; 2 = malformed payload (missing required keys) or a
@@ -56,6 +63,10 @@ REQUIRED_KEYS = {
                          "parallel_seconds", "speedup", "results_identical"),
     "store_hit_rate": ("runs_total", "cold_seconds", "warm_seconds",
                        "warm_speedup", "warm_hit_rate", "results_identical"),
+    "pipeline": ("cells", "jobs", "roundtrip_seconds", "pipelined_seconds",
+                 "pipelined_speedup", "events_per_sec", "max_event_bytes",
+                 "event_bound_bytes", "parent_rss_peak_kb",
+                 "results_identical"),
 }
 
 #: What lands in the history line per payload kind.
@@ -64,6 +75,9 @@ HISTORY_METRICS = {
     "executor_scaling": ("speedup", "serial_seconds", "parallel_seconds"),
     "store_hit_rate": ("warm_speedup", "warm_hit_rate", "cold_seconds",
                        "warm_seconds"),
+    "pipeline": ("pipelined_speedup", "events_per_sec",
+                 "parent_rss_peak_kb", "pipelined_seconds",
+                 "roundtrip_seconds"),
 }
 
 
@@ -183,6 +197,40 @@ def gate_store(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
     return failures
 
 
+def gate_pipeline(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
+                  threshold: float) -> List[str]:
+    failures: List[str] = []
+    if cand_payload.get("results_identical") is not True:
+        failures.append(
+            "pipeline contract: the pipelined sweep did not produce the "
+            "same store as the round-trip path (results_identical is "
+            f"{cand_payload.get('results_identical')!r})")
+        print("results_identical: "
+              f"{cand_payload.get('results_identical')!r} [CONTRACT FAIL]")
+    else:
+        print("results_identical: True [ok]")
+    bound = cand_payload.get("event_bound_bytes")
+    largest = cand_payload.get("max_event_bytes")
+    if largest > bound:
+        failures.append(
+            f"pipeline contract: a {largest}-byte event crossed the parent "
+            f"pipe (bound {bound} bytes) — a record payload leaked into "
+            "the event stream")
+        print(f"max_event_bytes: {largest} > {bound} [CONTRACT FAIL]")
+    else:
+        print(f"max_event_bytes: {largest} <= {bound} [ok]")
+    b = base_payload.get("pipelined_speedup")
+    c = cand_payload.get("pipelined_speedup")
+    if b and c:
+        print(f"pipelined_speedup: {c:.2f}x vs baseline {b:.2f}x "
+              "[informational]")
+    b = base_payload.get("events_per_sec")
+    c = cand_payload.get("events_per_sec")
+    if b and c:
+        print(f"events_per_sec: {c / b:.3f}x of baseline [informational]")
+    return failures
+
+
 # ----------------------------------------------------------------------
 # history
 # ----------------------------------------------------------------------
@@ -258,6 +306,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             args.threshold)
     elif base_kind == "executor_scaling":
         failures = gate_executor(base_payload, cand_payload, args.threshold)
+    elif base_kind == "pipeline":
+        failures = gate_pipeline(base_payload, cand_payload, args.threshold)
     else:
         failures = gate_store(base_payload, cand_payload, args.threshold)
 

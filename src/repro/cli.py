@@ -65,12 +65,24 @@ def _workload(args: argparse.Namespace):
 
 
 def _cache(args: argparse.Namespace):
-    """Build the RunCache behind ``--cache [PATH]``, or None."""
+    """Build the RunCache behind ``--cache [PATH]``, or None.
+
+    Resolution goes through :func:`repro.store.resolve_store` — the
+    same precedence (explicit path > ``$REPRO_STORE`` > default) every
+    other entry point uses, with a clean error when ``--backend``
+    conflicts with an existing store.
+    """
     if getattr(args, "cache", None) is None:
         return None
-    from .store import RunCache
+    from .store import RunCache, resolve_store
 
-    return RunCache(args.cache or None)  # "" means the default path
+    try:
+        # "" (bare --cache) means the default path.
+        store = resolve_store(args.cache or None,
+                              backend=getattr(args, "backend", None))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return RunCache(store)
 
 
 # ----------------------------------------------------------------------
@@ -199,21 +211,24 @@ def cmd_report(args: argparse.Namespace) -> int:
     )
 
     if args.from_store is not None:
-        from .store import default_store_path, open_store
+        from .store import StoreNotFoundError, resolve_store
 
-        store_path = args.from_store or default_store_path()
-        if store_path != ":memory:" and not Path(store_path).exists():
-            print(f"no results store at {store_path} — run a sweep with "
-                  "--cache first")
+        try:
+            found = resolve_store(args.from_store or None, must_exist=True)
+        except StoreNotFoundError as exc:
+            print(f"{exc} — run a sweep with --cache first")
             return 0
-        with open_store(store_path) as store:
-            text = build_store_report(store)
+        with found as store:
+            text = build_store_report(store, live=args.live)
         if args.out:
             Path(args.out).write_text(text + "\n")
             print(f"report written to {args.out}")
         else:
             print(text)
         return 0
+    if args.live:
+        raise SystemExit("error: --live only applies to --from-store "
+                         "(file-based reports are always final)")
 
     results_dir = Path(args.results)
     text = build_report(results_dir)
@@ -249,26 +264,30 @@ def cmd_store(args: argparse.Namespace) -> int:
     from pathlib import Path as _Path
 
     from .store import (
+        StoreNotFoundError,
         achievable_fingerprints,
-        default_store_path,
         merge_into,
-        open_store,
         record_to_dict,
+        resolve_store,
+        resolve_store_path,
         subsystem_fingerprints,
     )
 
-    path = args.store or default_store_path()
-    backend = None if args.backend in (None, "auto") else args.backend
     # Read-only commands on a store that was never created get a
     # friendly note instead of a traceback (or a spurious empty store).
-    if (args.store_command in ("ls", "show", "stats", "gc", "export")
-            and path != ":memory:" and not _Path(path).exists()):
-        print(f"no results store at {path} — nothing to "
-              f"{args.store_command}; run a sweep with --cache to "
-              "create one")
+    read_only = args.store_command in ("ls", "show", "stats", "gc", "export")
+    try:
+        opened = resolve_store(args.store, backend=args.backend,
+                               must_exist=read_only)
+    except StoreNotFoundError:
+        print(f"no results store at {resolve_store_path(args.store)} — "
+              f"nothing to {args.store_command}; run a sweep with --cache "
+              "to create one")
         return 0
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
 
-    with open_store(path, backend=backend) as store:
+    with opened as store:
         if args.store_command == "ls":
             if len(store) == 0:
                 print(f"results store at {store.path} is empty")
@@ -401,6 +420,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve already-computed runs from a results "
                             "store and persist new ones; PATH defaults to "
                             "$REPRO_STORE or .repro-store.sqlite")
+        p.add_argument("--backend", choices=("auto", "sqlite", "shards"),
+                       default=None,
+                       help="force the --cache store backend (default: "
+                            "auto — infer from the path / what exists "
+                            "there)")
 
     def common_network(p):
         p.add_argument("--rate", type=float, default=10.0,
@@ -482,6 +506,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collate directly from a results store instead of "
                         "result files; PATH defaults to $REPRO_STORE or "
                         ".repro-store.sqlite")
+    p.add_argument("--live", action="store_true",
+                   help="with --from-store: render mid-sweep — label the "
+                        "partial cells instead of presenting the grid as "
+                        "final")
     p.add_argument("--out", default=None)
     p.set_defaults(func=cmd_report)
 

@@ -13,14 +13,18 @@ from .calibration import (
     measure_server_configuration,
     uncalibrated_vs_calibrated,
 )
-from .comparison import Comparison
+from .aggregate import CellAccumulator, StreamAggregator
+from .comparison import Comparison, SamplePair
 from .diffing import ModelDiff, diff_models, version_stability_report
 from .executor import (
+    EVENT_WIRE_BOUND,
     ProtocolSpec,
+    RunEvent,
     RunFailure,
     RunRecord,
     RunRequest,
     execute_request,
+    iter_runs,
     run_requests,
 )
 from .experiment import (
@@ -32,7 +36,7 @@ from .experiment import (
     experiment_requests,
     run_experiment,
 )
-from .heatmap import Heatmap
+from .heatmap import GridAccumulator, Heatmap
 from .instrumentation import Trace, TraceRecord
 from .monitors import FlowThroughputMonitor
 from .report import build_report, collect_sections, missing_experiments
@@ -82,15 +86,21 @@ __all__ = [
     "calibrate_macw",
     "measure_server_configuration",
     "uncalibrated_vs_calibrated",
+    "CellAccumulator",
+    "StreamAggregator",
     "Comparison",
+    "SamplePair",
     "ModelDiff",
     "diff_models",
     "version_stability_report",
+    "EVENT_WIRE_BOUND",
     "ProtocolSpec",
+    "RunEvent",
     "RunFailure",
     "RunRecord",
     "RunRequest",
     "execute_request",
+    "iter_runs",
     "run_requests",
     "SCHEMA_VERSION",
     "ExperimentResult",
@@ -99,6 +109,7 @@ __all__ = [
     "WorkloadSpec",
     "experiment_requests",
     "run_experiment",
+    "GridAccumulator",
     "Heatmap",
     "Trace",
     "TraceRecord",

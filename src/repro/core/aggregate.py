@@ -1,24 +1,34 @@
-"""Record selection and aggregation shared by the report paths.
+"""Incremental record aggregation shared by the report paths.
 
 ``REPORT.md`` can be collated from two places: the committed
 ``benchmarks/results/*.txt`` summaries, or directly from a results
 store (any :class:`~repro.store.backend.StoreBackend`) holding cached
 :class:`~repro.core.executor.RunRecord` rows.  Both paths meet here:
-this module turns a bag of records into deterministic per-cell
-aggregates (scenario x page x protocol) and renders them as the one
-table text both ``repro report --from-store`` and the results-file
-path embed — so a warm cache reports identically to a completed
-benchmark run without re-executing anything.
+this module turns a stream of records — or of the executor's
+:class:`~repro.core.executor.RunEvent`\\ s — into deterministic
+per-cell aggregates (scenario x page x protocol) and renders them as
+the one table text both ``repro report --from-store`` and the
+results-file path embed — so a warm cache reports identically to a
+completed benchmark run without re-executing anything.
+
+The aggregation is *incremental*: a :class:`StreamAggregator` holds one
+:class:`CellAccumulator` per cell, each updated per record/event and
+``merge``-able across workers, so nothing ever materialises the full
+record list.  An accumulator keeps only the cell's PLT floats and a
+run counter — the memory ceiling of a 10⁶-cell sweep's report is a few
+floats per cell, not 10⁶ pickled records.  Because a partially-fed
+aggregator is already renderable, ``repro report --from-store --live``
+can collate a store *while* a sweep is appending to it.
 """
 
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from .executor import RunRecord
+from .executor import RunEvent, RunRecord
 
 #: A cell identity: (scenario name, page name, protocol name).
 CellKey = Tuple[str, str, str]
@@ -41,12 +51,115 @@ class CellAggregate:
         return (self.scenario, self.page, self.protocol)
 
 
-def select_records(store: object, *,
-                   fingerprints: Optional[Iterable[str]] = None
-                   ) -> List[RunRecord]:
-    """Every decodable record in ``store``, oldest first.
+@dataclass
+class CellAccumulator:
+    """Incremental aggregation state for one cell.
 
-    ``fingerprints`` restricts the selection to rows stamped with one of
+    Holds only a run counter and the successful PLT floats — bounded
+    memory regardless of how many records flow through.  Feed it
+    records or terminal :class:`RunEvent`\\ s; ``merge`` folds in a
+    peer accumulator (another worker's, or a later resume's).
+    """
+
+    scenario: str
+    page: str
+    protocol: str
+    runs: int = 0
+    plts: List[float] = field(default_factory=list)
+
+    @property
+    def key(self) -> CellKey:
+        return (self.scenario, self.page, self.protocol)
+
+    @property
+    def ok(self) -> int:
+        return len(self.plts)
+
+    def add_record(self, record: RunRecord) -> None:
+        self.runs += 1
+        if record.ok and record.plt is not None:
+            self.plts.append(record.plt)
+
+    def add_event(self, event: RunEvent) -> None:
+        """Fold in one executor event (non-terminal kinds are ignored)."""
+        if not event.terminal:
+            return
+        self.runs += 1
+        if event.ok and event.plt is not None:
+            self.plts.append(event.plt)
+
+    def merge(self, other: "CellAccumulator") -> None:
+        if other.key != self.key:
+            raise ValueError(
+                f"cannot merge cell {other.key} into cell {self.key}")
+        self.runs += other.runs
+        self.plts.extend(other.plts)
+
+    def aggregate(self) -> CellAggregate:
+        plts = sorted(self.plts)
+        return CellAggregate(
+            scenario=self.scenario, page=self.page, protocol=self.protocol,
+            runs=self.runs, ok=len(plts),
+            median_plt=statistics.median(plts) if plts else None,
+            mean_plt=statistics.fmean(plts) if plts else None,
+        )
+
+
+class StreamAggregator:
+    """Per-cell accumulators fed one record/event at a time.
+
+    The streaming counterpart of :func:`aggregate_cells`: identical
+    output for identical inputs, but nothing is materialised and two
+    aggregators (e.g. from two workers, or a live view plus a resumed
+    sweep) ``merge`` associatively.
+    """
+
+    def __init__(self) -> None:
+        self.cells: Dict[CellKey, CellAccumulator] = {}
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def total_runs(self) -> int:
+        return sum(cell.runs for cell in self.cells.values())
+
+    def _cell(self, scenario: str, page: str, protocol: str
+              ) -> CellAccumulator:
+        key = (scenario, page, protocol)
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = self.cells[key] = CellAccumulator(*key)
+        return cell
+
+    def add_record(self, record: RunRecord) -> None:
+        request = record.request
+        self._cell(request.scenario.name, request.page.name,
+                   request.protocol.name).add_record(record)
+
+    def add_event(self, event: RunEvent) -> None:
+        if not event.terminal:
+            return
+        self._cell(event.scenario, event.page,
+                   event.protocol).add_event(event)
+
+    def merge(self, other: "StreamAggregator") -> None:
+        for key, cell in other.cells.items():
+            self._cell(*key).merge(cell)
+
+    def aggregates(self) -> List[CellAggregate]:
+        return [self.cells[key].aggregate() for key in sorted(self.cells)]
+
+    def render(self) -> str:
+        return render_cell_table(self.aggregates())
+
+
+def iter_records(store: Any, *,
+                 fingerprints: Optional[Iterable[str]] = None
+                 ) -> Iterator[RunRecord]:
+    """Every decodable record in ``store``, streamed oldest first.
+
+    ``fingerprints`` restricts the stream to rows stamped with one of
     the given code fingerprints (e.g. only results the current code
     could still produce).  Undecodable rows are skipped, not fatal — a
     report over a shared store should survive one bad row.
@@ -54,36 +167,38 @@ def select_records(store: object, *,
     from ..store.keys import record_from_dict  # avoid a package cycle
 
     wanted = None if fingerprints is None else set(fingerprints)
-    records: List[RunRecord] = []
-    for _key, _created, fingerprint, raw in store.items():  # type: ignore[attr-defined]
+    for _key, _created, fingerprint, raw in store.items():
         if wanted is not None and fingerprint not in wanted:
             continue
         try:
-            records.append(record_from_dict(raw))
+            yield record_from_dict(raw)
         except Exception:  # noqa: BLE001 - tolerate foreign/stale rows
             continue
-    return records
+
+
+def select_records(store: object, *,
+                   fingerprints: Optional[Iterable[str]] = None
+                   ) -> List[RunRecord]:
+    """List form of :func:`iter_records` (kept for small stores/tests)."""
+    return list(iter_records(store, fingerprints=fingerprints))
+
+
+def store_aggregator(store: Any, *,
+                     fingerprints: Optional[Iterable[str]] = None
+                     ) -> StreamAggregator:
+    """Aggregate a whole store without materialising its records."""
+    aggregator = StreamAggregator()
+    for record in iter_records(store, fingerprints=fingerprints):
+        aggregator.add_record(record)
+    return aggregator
 
 
 def aggregate_cells(records: Iterable[RunRecord]) -> List[CellAggregate]:
     """Group records into cells and summarise each, sorted by cell key."""
-    cells: Dict[CellKey, List[RunRecord]] = {}
+    aggregator = StreamAggregator()
     for record in records:
-        request = record.request
-        key = (request.scenario.name, request.page.name,
-               request.protocol.name)
-        cells.setdefault(key, []).append(record)
-    aggregates: List[CellAggregate] = []
-    for key in sorted(cells):
-        group = cells[key]
-        plts = sorted(r.plt for r in group if r.ok and r.plt is not None)
-        aggregates.append(CellAggregate(
-            scenario=key[0], page=key[1], protocol=key[2],
-            runs=len(group), ok=len(plts),
-            median_plt=statistics.median(plts) if plts else None,
-            mean_plt=statistics.fmean(plts) if plts else None,
-        ))
-    return aggregates
+        aggregator.add_record(record)
+    return aggregator.aggregates()
 
 
 def _ratio_rows(cells: List[CellAggregate]) -> List[Tuple[str, str, float]]:
@@ -136,7 +251,7 @@ def store_result_text(store: object) -> str:
     what :func:`write_store_results` drops into a results directory, so
     the two report paths produce identical tables for identical records.
     """
-    return render_cell_table(aggregate_cells(select_records(store)))
+    return store_aggregator(store).render()
 
 
 def write_store_results(store: object, results_dir: Union[str, Path], *,

@@ -12,14 +12,26 @@ device, seed, trace options).  Executing one yields a :class:`RunRecord`
 carrying the metrics, wall-clock timing and — instead of an exception
 that would poison a whole batch — a structured :class:`RunFailure`.
 
-:func:`run_requests` is the engine: a bounded process pool
-(``jobs`` workers, chunked dispatch) with per-run wall-clock timeout
-enforcement, bounded retry-on-failure, and a progress callback.  Results
-are always returned in *request order* regardless of completion order,
-and each run re-seeds from its request alone, so a parallel execution is
-bit-identical to a serial one.  ``jobs=1`` is a true in-process serial
-mode — the escape hatch for Windows, coverage tooling, and debugging —
-and the engine degrades to it automatically if the pool cannot be used.
+:func:`iter_runs` is the engine: a bounded process pool (``jobs``
+workers, chunked dispatch) with per-run wall-clock timeout enforcement
+and bounded retry-on-failure, surfaced to the caller as a *stream* of
+typed :class:`RunEvent`\\ s (``hit`` / ``miss-start`` / ``retry`` /
+``complete`` / ``timeout`` / ``error``).  When a results store is
+attached, pool workers write their full :class:`RunRecord`\\ s straight
+into the store (the sharded backend's per-shard locks make multi-writer
+append safe) and only the lightweight events — key, status, summary
+stats, never a record payload — cross the pipe back to the parent.  A
+10⁵-cell sweep therefore costs the parent O(cells) small events, not
+O(cells) pickled records, and its memory stays bounded by whatever the
+caller accumulates.
+
+:func:`run_requests` remains as a thin compatibility wrapper that
+materialises the stream into the classic request-ordered
+``List[RunRecord]``.  Each run re-seeds from its request alone, so a
+parallel execution is bit-identical to a serial one.  ``jobs=1`` is a
+true in-process serial mode — the escape hatch for Windows, coverage
+tooling, and debugging — and the engine degrades to it automatically if
+the pool cannot be used.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ import signal
 import sys
 import threading
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -224,6 +237,144 @@ class RunRecord:
 RunFn = Callable[[RunRequest], RunRecord]
 ProgressFn = Callable[[RunRecord], None]
 
+# ----------------------------------------------------------------------
+# the event stream
+# ----------------------------------------------------------------------
+#: Every kind a :class:`RunEvent` can carry, in rough lifecycle order.
+EVENT_KINDS = ("hit", "miss-start", "retry", "complete", "timeout", "error")
+#: Kinds that end a request's lifecycle (exactly one per request).
+TERMINAL_EVENTS = frozenset({"hit", "complete", "timeout", "error"})
+#: Upper bound on one pickled streaming event (asserted in tests): the
+#: parent-pipe cost of a cell is a few hundred bytes, not a record.
+EVENT_WIRE_BOUND = 1024
+#: Failure messages are clipped to keep events under the wire bound.
+_FAILURE_MESSAGE_LIMIT = 300
+
+
+def _clipped(message: Optional[str]) -> Optional[str]:
+    if message is None or len(message) <= _FAILURE_MESSAGE_LIMIT:
+        return message
+    return message[:_FAILURE_MESSAGE_LIMIT - 3] + "..."
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One step of a streamed execution (see :func:`iter_runs`).
+
+    Events identify their run by coordinates — ``(scenario, page,
+    protocol, seed)`` names plus the request ``index`` — and carry only
+    strings and numbers, never a request or record object, so they stay
+    tiny on the parent pipe (``EVENT_WIRE_BOUND`` bytes pickled).
+
+    Kinds:
+
+    - ``"hit"`` — served from the results store, no execution (terminal).
+    - ``"miss-start"`` — execution of this request began.
+    - ``"retry"`` — one failed attempt that will be retried; ``attempts``
+      counts attempts so far and ``failure_kind``/``failure_message``
+      describe what went wrong.  One event per failed attempt, so store
+      counters reconcile exactly with the events observed.
+    - ``"complete"`` — the run finished (terminal).  ``ok`` distinguishes
+      a measured sample from a structured ``"incomplete"`` outcome.
+    - ``"timeout"`` / ``"error"`` — the run's final attempt failed with
+      that failure kind (terminal).
+
+    ``stored`` marks terminal events whose record is in the results
+    store (a hit, a worker-direct write-back, or a parent-side offer).
+    ``record`` is populated only on the ``keep_records`` compatibility
+    path used by :func:`run_requests`; on the streaming path it is
+    always ``None``.
+    """
+
+    kind: str
+    index: int
+    scenario: str
+    page: str
+    protocol: str
+    seed: int
+    key: Optional[str] = None
+    plt: Optional[float] = None
+    ok: bool = False
+    attempts: int = 1
+    wall_time: float = 0.0
+    failure_kind: Optional[str] = None
+    failure_message: Optional[str] = None
+    cached: bool = False
+    stored: bool = False
+    record: Optional[RunRecord] = None
+
+    @property
+    def terminal(self) -> bool:
+        """Whether this event ends its request's lifecycle."""
+        return self.kind in TERMINAL_EVENTS
+
+    @property
+    def label(self) -> str:
+        return (f"{self.protocol} {self.page} @ {self.scenario} "
+                f"seed={self.seed}")
+
+    def require(self) -> float:
+        """The measured PLT, or a loud error mirroring ``RunRecord.require``."""
+        if self.ok and self.plt is not None:
+            return self.plt
+        if self.failure_kind is not None:
+            reason = f"[{self.failure_kind}] {self.failure_message}"
+        else:
+            reason = "did not complete"
+        raise RuntimeError(
+            f"{self.protocol} load of {self.page} in {self.scenario} "
+            f"(seed {self.seed}) failed: {reason}"
+        )
+
+
+def _event(kind: str, index: int, request: RunRequest,
+           key: Optional[str]) -> RunEvent:
+    return RunEvent(kind=kind, index=index, scenario=request.scenario.name,
+                    page=request.page.name, protocol=request.protocol.name,
+                    seed=request.seed, key=key)
+
+
+def _retry_event(index: int, request: RunRequest, key: Optional[str],
+                 attempt: RunRecord) -> RunEvent:
+    failure = attempt.failure
+    return RunEvent(
+        kind="retry", index=index, scenario=request.scenario.name,
+        page=request.page.name, protocol=request.protocol.name,
+        seed=request.seed, key=key, attempts=attempt.attempts,
+        wall_time=attempt.wall_time,
+        failure_kind=failure.kind if failure is not None else None,
+        failure_message=_clipped(failure.message) if failure is not None
+        else None)
+
+
+def _terminal_kind(record: RunRecord) -> str:
+    """The event kind a final record maps to.
+
+    ``"incomplete"`` is a structured, deterministic (and cacheable)
+    outcome of a finished run, so it surfaces as ``"complete"`` with
+    ``ok=False`` rather than as its own kind.
+    """
+    if record.failure is not None and record.failure.kind in ("timeout",
+                                                              "error"):
+        return record.failure.kind
+    return "complete"
+
+
+def _terminal_event(kind: str, index: int, request: RunRequest,
+                    key: Optional[str], record: RunRecord, *,
+                    stored: bool = False,
+                    attach: Optional[RunRecord] = None) -> RunEvent:
+    failure = record.failure
+    return RunEvent(
+        kind=kind, index=index, scenario=request.scenario.name,
+        page=request.page.name, protocol=request.protocol.name,
+        seed=request.seed, key=key, plt=record.plt, ok=record.ok,
+        attempts=record.attempts, wall_time=record.wall_time,
+        failure_kind=failure.kind if failure is not None else None,
+        failure_message=_clipped(failure.message) if failure is not None
+        else None,
+        cached=record.cached, stored=stored, record=attach)
+
 
 def execute_request(request: RunRequest) -> RunRecord:
     """Execute one request with the real simulator (the default RunFn)."""
@@ -315,12 +466,15 @@ def _guarded_run(run_fn: RunFn, request: RunRequest,
 
 
 def _run_with_retries(run_fn: RunFn, request: RunRequest,
-                      wall_timeout: Optional[float], retries: int) -> RunRecord:
+                      wall_timeout: Optional[float], retries: int,
+                      on_retry: Optional[ProgressFn] = None) -> RunRecord:
     """Attempt a run up to ``1 + retries`` times.
 
     Only ``"error"`` failures are retried: timeouts and simulated-time
     exhaustion are deterministic in this simulator, so repeating them
-    would only burn the pool's time.
+    would only burn the pool's time.  ``on_retry`` sees the failed
+    record of every attempt that *will* be retried — the final attempt,
+    successful or exhausted, is the return value instead.
     """
     attempt = 0
     while True:
@@ -331,13 +485,61 @@ def _run_with_retries(run_fn: RunFn, request: RunRequest,
             return record
         if attempt > retries:
             return record
+        if on_retry is not None:
+            on_retry(record)
 
 
-def _run_chunk(run_fn: RunFn, chunk: Sequence[RunRequest],
-               wall_timeout: Optional[float], retries: int) -> List[RunRecord]:
-    """Worker-side entry point: execute one chunk of requests in order."""
-    return [_run_with_retries(run_fn, request, wall_timeout, retries)
-            for request in chunk]
+#: A parent-precomputed unit of work: ``(index, request, key, fingerprint)``.
+#: ``key``/``fingerprint`` are ``None`` when no store is attached.
+TaggedRequest = Tuple[int, RunRequest, Optional[str], Optional[str]]
+
+
+def _cacheable_policy() -> Callable[[RunRecord], bool]:
+    from ..store.cache import RunCache  # lazy: store imports this module
+
+    return RunCache.cacheable
+
+
+def _run_chunk_events(run_fn: RunFn, chunk: Sequence[TaggedRequest],
+                      wall_timeout: Optional[float], retries: int,
+                      writeback: Optional[Tuple[str, str]],
+                      keep_records: bool) -> List[RunEvent]:
+    """Worker-side entry point: execute one chunk of tagged misses.
+
+    With ``writeback`` (a ``(path, kind)`` store spec) the worker
+    persists the chunk's cacheable records straight into the store —
+    one batched append per shard — and the returned events cross the
+    pipe payload-free.  With ``keep_records`` the full records ride
+    back on the terminal events instead (the compatibility path
+    :func:`run_requests` uses; the parent writes the store there).
+    """
+    events: List[RunEvent] = []
+    batch: List[Tuple[str, RunRecord, str]] = []
+    cacheable = _cacheable_policy() if writeback is not None else None
+    for index, request, key, fingerprint in chunk:
+        retried: List[RunRecord] = []
+        record = _run_with_retries(run_fn, request, wall_timeout, retries,
+                                   on_retry=retried.append)
+        for failed in retried:
+            events.append(_retry_event(index, request, key, failed))
+        stored = False
+        if cacheable is not None and key is not None and cacheable(record):
+            batch.append((key, record, fingerprint or ""))
+            stored = True
+        events.append(_terminal_event(
+            _terminal_kind(record), index, request, key, record,
+            stored=stored, attach=record if keep_records else None))
+    if batch:
+        from ..store.backend import open_store  # lazy, as above
+
+        path, kind = writeback  # type: ignore[misc]  # batch implies spec
+        store = open_store(path, backend=kind)
+        try:
+            store.put_many(batch)
+            store.bump_counter("writes", len(batch))
+        finally:
+            store.close()
+    return events
 
 
 # ----------------------------------------------------------------------
@@ -374,24 +576,26 @@ def _force_serial() -> bool:
     return sys.platform == "win32" or bool(os.environ.get(SERIAL_ENV_VAR))
 
 
-def _chunked(requests: Sequence[RunRequest], chunk_size: int
-             ) -> List[Tuple[int, List[RunRequest]]]:
-    return [(start, list(requests[start:start + chunk_size]))
-            for start in range(0, len(requests), chunk_size)]
-
-
-def run_requests(
+def iter_runs(
     requests: Sequence[RunRequest],
     *,
     jobs: Optional[int] = 1,
     wall_timeout: Optional[float] = None,
     retries: int = 1,
-    progress: Optional[ProgressFn] = None,
     chunk_size: Optional[int] = None,
     run_fn: Optional[RunFn] = None,
     store: Optional[Any] = None,
-) -> List[RunRecord]:
-    """Execute ``requests`` and return records in *request order*.
+    keep_records: bool = False,
+    force_pool: bool = False,
+) -> Iterator[RunEvent]:
+    """Execute ``requests``, streaming typed :class:`RunEvent`\\ s.
+
+    This is the primary execution API.  Exactly one *terminal* event
+    (``hit``/``complete``/``timeout``/``error``) is emitted per request,
+    carrying the request's ``index`` so callers can slot samples back
+    into request order; ``miss-start`` and per-attempt ``retry`` events
+    interleave as execution proceeds.  Nothing is materialised: a sweep
+    is O(1) memory here, bounded only by what the caller accumulates.
 
     Parameters
     ----------
@@ -409,9 +613,7 @@ def run_requests(
     retries:
         How many times an ``"error"`` failure is retried (bounded;
         deterministic timeout/incomplete failures are never retried).
-    progress:
-        Called with each :class:`RunRecord` as it completes (completion
-        order, which under parallelism differs from request order).
+        Every retried attempt surfaces as a ``retry`` event.
     chunk_size:
         Requests dispatched per pool task; defaults to an even split
         that gives each worker ~4 chunks (amortises IPC without
@@ -422,127 +624,234 @@ def run_requests(
     store:
         A results store — a :class:`repro.store.RunCache`, any
         :class:`repro.store.StoreBackend` (sqlite file or sharded JSONL
-        directory), or a path to one (backend selected by path
-        convention; see :func:`repro.store.open_store`).  Requests
-        whose content address is already stored are served as hits
-        (``record.cached`` set, no execution); misses execute normally
-        and are written back *as they complete*, so an interrupted batch
-        is resumable — the rerun only executes the missing requests.
-        The address covers configuration, seed and the code fingerprints
-        of the subsystems the run exercises, so stale hits are
-        impossible while unrelated edits (say, under ``video/``) leave
-        a warm cache warm.  Only meaningful with the real simulator (a
-        custom ``run_fn`` is not part of the key).
+        directory), or a path to one (see
+        :func:`repro.store.resolve_store`).  Requests whose content
+        address is already stored are served as ``hit`` events (no
+        execution); misses execute and are written back *as they
+        complete*, so an interrupted sweep is resumable — the rerun
+        only executes the missing requests.  On the pool path the
+        workers write their records **directly** into the store (one
+        batched append per chunk) and only the payload-free events
+        reach the parent.
+    keep_records:
+        Attach the full :class:`RunRecord` to each terminal event (and
+        route store writes back through the parent).  This is the
+        compatibility mode :func:`run_requests` uses; leave it off to
+        keep record payloads out of the parent process entirely.
+    force_pool:
+        Start the process pool even where the auto-serial heuristics
+        (CPU-affinity clamp, ``MIN_PARALLEL``) would decline it — for
+        I/O-bound run functions and multi-writer store tests on small
+        machines.  ``REPRO_EXECUTOR_SERIAL`` and Windows still force
+        serial.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
-    requests = list(requests)
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    n_jobs = resolve_jobs(jobs)
+    return _iter_runs(list(requests), n_jobs, wall_timeout, retries,
+                      chunk_size, run_fn, store, keep_records, force_pool)
+
+
+def _iter_runs(requests: List[RunRequest], n_jobs: int,
+               wall_timeout: Optional[float], retries: int,
+               chunk_size: Optional[int], run_fn: Optional[RunFn],
+               store: Optional[Any], keep_records: bool,
+               force_pool: bool) -> Iterator[RunEvent]:
+    """The generator behind :func:`iter_runs` (knobs validated there)."""
+    run = run_fn if run_fn is not None else execute_request
     if not requests:
-        return []
+        return
+    cache = None
     if store is not None:
         from ..store.cache import RunCache  # lazy: store imports this module
 
         cache = RunCache.of(store)
-        results: List[Optional[RunRecord]] = []
-        miss_indices: List[int] = []
-        for index, request in enumerate(requests):
-            hit = cache.lookup(request)
-            results.append(hit)
-            if hit is None:
-                miss_indices.append(index)
-            elif progress is not None:
-                progress(hit)
-        if miss_indices:
-            # Cache-aware scheduling: execute the heaviest misses first
-            # (object count, then bytes, as the expected-cost proxy) so a
-            # long run never lands last on an otherwise-drained pool.
-            # The sort is stable and results are slotted back by index,
-            # so the returned order is untouched.
-            miss_indices.sort(
-                key=lambda i: (requests[i].page.object_count,
-                               requests[i].page.total_bytes),
+    misses: List[TaggedRequest] = []
+    for index, request in enumerate(requests):
+        if cache is None:
+            misses.append((index, request, None, None))
+            continue
+        key, fingerprint, hit = cache.lookup_with_key(request)
+        if hit is None:
+            misses.append((index, request, key, fingerprint))
+        else:
+            yield _terminal_event("hit", index, request, key, hit,
+                                  stored=True,
+                                  attach=hit if keep_records else None)
+    if not misses:
+        return
+    # Cache-aware scheduling: execute the heaviest misses first (object
+    # count, then bytes, as the expected-cost proxy) so a long run never
+    # lands last on an otherwise-drained pool.  The sort is stable and
+    # events carry their request index, so callers see no difference.
+    misses.sort(key=lambda tagged: (tagged[1].page.object_count,
+                                    tagged[1].page.total_bytes),
                 reverse=True)
-
-            def _write_back(record: RunRecord) -> None:
-                cache.offer(record)
-                if progress is not None:
-                    progress(record)
-
-            miss_records = _execute_requests(
-                [requests[i] for i in miss_indices], jobs=jobs,
-                wall_timeout=wall_timeout, retries=retries,
-                progress=_write_back, chunk_size=chunk_size, run_fn=run_fn)
-            for index, record in zip(miss_indices, miss_records):
-                results[index] = record
-        return results  # type: ignore[return-value]  # misses filled above
-    return _execute_requests(requests, jobs=jobs, wall_timeout=wall_timeout,
-                             retries=retries, progress=progress,
-                             chunk_size=chunk_size, run_fn=run_fn)
+    if not force_pool:
+        n_jobs = min(n_jobs, usable_cpu_count())
+    n_jobs = min(n_jobs, len(misses))
+    use_pool = (n_jobs > 1 and not _force_serial()
+                and (force_pool or len(misses) >= MIN_PARALLEL))
+    if not use_pool:
+        for tagged in misses:
+            yield from _stream_one(run, tagged, cache, wall_timeout, retries,
+                                   keep_records)
+        return
+    yield from _stream_pooled(run, misses, n_jobs, wall_timeout, retries,
+                              chunk_size, cache, keep_records)
 
 
-def _execute_requests(
-    requests: List[RunRequest],
-    *,
-    jobs: Optional[int],
-    wall_timeout: Optional[float],
-    retries: int,
-    progress: Optional[ProgressFn],
-    chunk_size: Optional[int],
-    run_fn: Optional[RunFn],
-) -> List[RunRecord]:
-    """The store-blind execution engine behind :func:`run_requests`."""
-    run = run_fn if run_fn is not None else execute_request
-    # Validate knobs before any serial-fallback decision: a bad argument
-    # is a bug regardless of which execution path would be taken.
-    if chunk_size is not None and chunk_size < 1:
-        raise ValueError("chunk_size must be >= 1")
-    # Auto-serial fallback: never more workers than usable CPUs (extra
-    # workers only context-switch), and never a pool for a request list
-    # too small to amortise worker start-up.
-    n_jobs = min(resolve_jobs(jobs), usable_cpu_count())
-    if (n_jobs <= 1 or len(requests) < MIN_PARALLEL or _force_serial()):
-        out = []
-        for request in requests:
-            record = _run_with_retries(run, request, wall_timeout, retries)
-            out.append(record)
-            if progress is not None:
-                progress(record)
-        return out
+def _stream_one(run: RunFn, tagged: TaggedRequest, cache: Optional[Any],
+                wall_timeout: Optional[float], retries: int,
+                keep_records: bool) -> Iterator[RunEvent]:
+    """In-process execution of one miss, store offer included."""
+    index, request, key, _fingerprint = tagged
+    yield _event("miss-start", index, request, key)
+    retried: List[RunRecord] = []
+    record = _run_with_retries(run, request, wall_timeout, retries,
+                               on_retry=retried.append)
+    for failed in retried:
+        if cache is not None:
+            cache.retries += 1
+        yield _retry_event(index, request, key, failed)
+    stored = cache.offer(record) if cache is not None else False
+    yield _terminal_event(_terminal_kind(record), index, request, key, record,
+                          stored=stored,
+                          attach=record if keep_records else None)
 
-    n_jobs = min(n_jobs, len(requests))
+
+def _stream_pooled(run: RunFn, misses: List[TaggedRequest], n_jobs: int,
+                   wall_timeout: Optional[float], retries: int,
+                   chunk_size: Optional[int], cache: Optional[Any],
+                   keep_records: bool) -> Iterator[RunEvent]:
+    """Pool execution: worker-direct write-back, events to the parent."""
     if chunk_size is None:
-        chunk_size = max(1, len(requests) // (n_jobs * 4))
-    chunks = _chunked(requests, chunk_size)
-    results: List[Optional[RunRecord]] = [None] * len(requests)
+        chunk_size = max(1, len(misses) // (n_jobs * 4))
+    chunks = [misses[start:start + chunk_size]
+              for start in range(0, len(misses), chunk_size)]
+    # Worker-direct write-back needs a store the workers can reopen by
+    # path; in keep_records mode the records cross the pipe anyway, so
+    # the parent writes them instead (one batched offer per chunk).
+    writeback: Optional[Tuple[str, str]] = None
+    if (cache is not None and not keep_records
+            and getattr(cache.store, "path", ":memory:") != ":memory:"):
+        writeback = (cache.store.path, cache.store.kind)
+    # Records must reach the parent when it is the one writing the store
+    # (keep_records mode, or an in-memory store workers cannot reopen).
+    attach = keep_records or (cache is not None and writeback is None)
+    done: set = set()
+    completed = True
     try:
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            future_to_start = {
-                pool.submit(_run_chunk, run, chunk, wall_timeout, retries): start
-                for start, chunk in chunks
+            pending = {
+                pool.submit(_run_chunk_events, run, chunk, wall_timeout,
+                            retries, writeback, attach)
+                for chunk in chunks
             }
-            pending = set(future_to_start)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    start = future_to_start[future]
-                    try:
-                        records = future.result()
-                    except Exception:  # noqa: BLE001 - broken pool/pickling
-                        continue  # slots stay None; serial fallback below
-                    for offset, record in enumerate(records):
-                        results[start + offset] = record
-                        if progress is not None:
-                            progress(record)
+            try:
+                for chunk in chunks:
+                    for tagged in chunk:
+                        yield _event("miss-start", tagged[0], tagged[1],
+                                     tagged[2])
+                while pending:
+                    finished, pending = wait(pending,
+                                             return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        try:
+                            events = future.result()
+                        except Exception:  # noqa: BLE001 - broken pool/pickle
+                            continue  # chunk lost; serial completion below
+                        yield from _relay_chunk(events, cache, writeback,
+                                                keep_records, done)
+            except GeneratorExit:
+                for future in pending:
+                    future.cancel()
+                raise
+    except GeneratorExit:
+        raise
     except Exception:  # pragma: no cover - pool setup failure
-        pass  # graceful fallback: finish everything serially below
-    for index, record in enumerate(results):
-        if record is None:
-            record = _run_with_retries(run, requests[index], wall_timeout,
-                                       retries)
-            results[index] = record
-            if progress is not None:
-                progress(record)
-    return results  # type: ignore[return-value]  # all slots filled above
+        completed = False  # graceful fallback: run everything serially
+    # Anything a lost chunk or failed pool left behind finishes serially.
+    # Those requests get a second miss-start — announcing the rerun —
+    # but still exactly one terminal event.
+    del completed
+    for tagged in misses:
+        if tagged[0] in done:
+            continue
+        yield from _stream_one(run, tagged, cache, wall_timeout, retries,
+                               keep_records)
+
+
+def _relay_chunk(events: List[RunEvent], cache: Optional[Any],
+                 writeback: Optional[Tuple[str, str]], keep_records: bool,
+                 done: set) -> Iterator[RunEvent]:
+    """Parent-side bookkeeping for one worker chunk's events."""
+    offered: set = set()
+    if cache is not None and writeback is None:
+        # The records crossed the pipe (keep_records mode or an
+        # in-memory store), so the parent persists them — one batched
+        # store write per chunk.
+        fresh = [event.record for event in events
+                 if event.terminal and event.record is not None
+                 and cache.cacheable(event.record)]
+        if fresh:
+            cache.offer_many(fresh)
+            offered = {id(record) for record in fresh}
+    for event in events:
+        if event.terminal:
+            done.add(event.index)
+            if cache is not None and writeback is not None and event.stored:
+                cache.writes += 1  # worker wrote it; count it this session
+            elif event.record is not None and id(event.record) in offered:
+                event = replace(event, stored=True)
+        elif event.kind == "retry" and cache is not None:
+            cache.retries += 1
+        if event.record is not None and not keep_records:
+            event = replace(event, record=None)
+        yield event
+
+
+def run_requests(
+    requests: Sequence[RunRequest],
+    *,
+    jobs: Optional[int] = 1,
+    wall_timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[ProgressFn] = None,
+    chunk_size: Optional[int] = None,
+    run_fn: Optional[RunFn] = None,
+    store: Optional[Any] = None,
+) -> List[RunRecord]:
+    """Execute ``requests`` and return records in *request order*.
+
+    Compatibility wrapper over :func:`iter_runs`: it materialises the
+    event stream into the classic list (so the whole batch is held in
+    memory — prefer :func:`iter_runs` for large sweeps).  All knobs are
+    forwarded unchanged; see :func:`iter_runs` for their semantics.
+
+    .. deprecated:: the ``progress`` callback.  Iterate
+       :func:`iter_runs` and consume its typed events instead — they
+       carry strictly more information (hits, retries, per-attempt
+       failures) at a fraction of the parent-pipe cost.
+    """
+    if progress is not None:
+        warnings.warn(
+            "run_requests(progress=...) is deprecated; iterate "
+            "iter_runs(...) and consume its typed RunEvents instead",
+            DeprecationWarning, stacklevel=2)
+    requests = list(requests)
+    results: List[Optional[RunRecord]] = [None] * len(requests)
+    for event in iter_runs(requests, jobs=jobs, wall_timeout=wall_timeout,
+                           retries=retries, chunk_size=chunk_size,
+                           run_fn=run_fn, store=store, keep_records=True):
+        if not event.terminal:
+            continue
+        results[event.index] = event.record
+        if progress is not None:
+            progress(event.record)
+    return results  # type: ignore[return-value]  # one terminal per request
 
 
 def failed_records(records: Sequence[RunRecord]) -> List[RunRecord]:

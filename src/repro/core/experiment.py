@@ -37,7 +37,7 @@ from ..http.objects import WebPage, page
 from ..netem.profiles import Scenario, emulated
 from ..quic.config import quic_config
 from .comparison import Comparison
-from .executor import ProtocolSpec, RunRequest, run_requests
+from .executor import ProtocolSpec, RunRequest, iter_runs
 from .heatmap import Heatmap
 from .stats import mean, sample_std
 
@@ -250,8 +250,9 @@ def run_experiment(spec: ExperimentSpec, *, seed_base: int = 0,
     ``jobs`` fans every seeded run of the whole grid out over the
     process-pool executor; because each run is a pure function of its
     request, the result (including ``to_json()``) is byte-identical for
-    any worker count.  ``progress(key, plts)`` fires once per completed
-    cell.
+    any worker count.  ``progress(key, plts)`` fires once per cell, as
+    soon as that cell's last run completes (completion order under
+    parallelism — every cell still fires exactly once).
 
     ``store`` (a :mod:`repro.store` store, cache, or path) makes the
     sweep cached *and resumable*: completed runs are persisted as they
@@ -260,14 +261,24 @@ def run_experiment(spec: ExperimentSpec, *, seed_base: int = 0,
     """
     result = ExperimentResult(spec=spec)
     cells = experiment_requests(spec, seed_base=seed_base)
-    flat = [request for _, requests in cells for request in requests]
-    records = run_requests(flat, jobs=jobs, store=store)
-    offset = 0
+    # Pre-insert every cell in grid order: samples arrive in completion
+    # order, but dict insertion order — and therefore to_json() — must
+    # not depend on scheduling.
+    flat: List[RunRequest] = []
+    slots: List[Tuple[Tuple[str, str, str], int]] = []
+    remaining: Dict[Tuple[str, str, str], int] = {}
     for key, requests in cells:
-        cell_records = records[offset:offset + len(requests)]
-        offset += len(requests)
-        plts = [record.require() for record in cell_records]
-        result.samples[key] = plts
-        if progress is not None:
-            progress(key, plts)
+        result.samples[key] = [None] * len(requests)  # type: ignore[list-item]
+        remaining[key] = len(requests)
+        for position, request in enumerate(requests):
+            flat.append(request)
+            slots.append((key, position))
+    for event in iter_runs(flat, jobs=jobs, store=store):
+        if not event.terminal:
+            continue
+        key, position = slots[event.index]
+        result.samples[key][position] = event.require()
+        remaining[key] -= 1
+        if remaining[key] == 0 and progress is not None:
+            progress(key, result.samples[key])
     return result

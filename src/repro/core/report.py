@@ -23,9 +23,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from .aggregate import (
-    aggregate_cells,
     render_cell_table,
-    select_records,
+    store_aggregator,
     write_store_results,
 )
 
@@ -134,25 +133,56 @@ def build_report(results_dir: Path, title: str = "Reproduction report") -> str:
 
 
 def build_store_report(store: object,
-                       title: str = "Reproduction report") -> str:
+                       title: str = "Reproduction report", *,
+                       live: bool = False) -> str:
     """Render the Markdown report straight from a results store.
 
-    The table body comes from :func:`~repro.core.aggregate
-    .store_result_text` — byte-identical to what
+    The table body comes from the same incremental aggregation
+    (:func:`~repro.core.aggregate.store_aggregator`) that
     :func:`~repro.core.aggregate.write_store_results` feeds the
-    results-file path for the same records.
+    results-file path, so the two paths stay byte-identical for the
+    same records — and the store is streamed, never materialised.
+
+    ``live`` renders a store a sweep is *still appending to*: the grid
+    is expected to be partial, so instead of presenting it as final the
+    report labels the cells that are still short of the deepest cell's
+    run count.  Without ``live`` the output is unchanged from the
+    classic path.
     """
-    records = select_records(store)
+    aggregator = store_aggregator(store)
+    cells = aggregator.aggregates()
+    total = aggregator.total_runs
     lines = [f"# {title}", ""]
     path = getattr(store, "path", "results store")
-    if not records:
+    if not cells:
         lines.append(f"*(store at `{path}` holds no decodable records — "
                      "run a sweep with `--cache` first)*")
+        if live:
+            lines.append("")
+            lines.append("*(live view: the sweep may not have produced "
+                         "its first record yet)*")
         return "\n".join(lines)
-    cells = aggregate_cells(records)
     lines.append(f"Collated from the results store at `{path}`: "
-                 f"{len(records)} cached run(s) across {len(cells)} "
+                 f"{total} cached run(s) across {len(cells)} "
                  f"cell(s), no re-execution.")
+    if live:
+        deepest = max(cell.runs for cell in cells)
+        partial = [cell for cell in cells if cell.runs < deepest]
+        lines.append("")
+        lines.append("**Live view** — rendered mid-sweep; cells may still "
+                     "be filling and medians will shift as runs land.")
+        if partial:
+            lines.append(f"Partial cells (below the deepest cell's "
+                         f"{deepest} run(s)): {len(partial)} of "
+                         f"{len(cells)}")
+            for cell in partial:
+                lines.append(f"  - {cell.scenario} / {cell.page} / "
+                             f"{cell.protocol}: {cell.runs}/{deepest} "
+                             f"run(s)")
+        else:
+            lines.append(f"All {len(cells)} cell(s) currently hold "
+                         f"{deepest} run(s) — the grid looks complete "
+                         "from here.")
     lines.append("")
     lines.append("## Store summary")
     lines.append("")

@@ -37,9 +37,9 @@ from ..quic.config import QuicConfig, quic_config
 from ..quic.connection import open_quic_pair
 from ..tcp.config import TcpConfig, tcp_config
 from ..tcp.connection import open_tcp_pair
-from .comparison import Comparison
-from .executor import ProtocolSpec, RunRecord, RunRequest, run_requests
-from .heatmap import Heatmap
+from .comparison import Comparison, SamplePair
+from .executor import ProtocolSpec, RunRecord, RunRequest, iter_runs
+from .heatmap import GridAccumulator, Heatmap
 from .instrumentation import Trace
 from .monitors import FlowThroughputMonitor
 
@@ -235,8 +235,33 @@ def measure_plts(
     spec = _coerce_protocol("measure_plts", protocol, quic_cfg, tcp_cfg)
     fields = _request_fields("measure_plts", kwargs)
     requests = _seeded_requests(scenario, page, spec, runs, seed_base, fields)
-    return [record.require()
-            for record in run_requests(requests, jobs=jobs, store=store)]
+    plts: List[Optional[float]] = [None] * len(requests)
+    for event in iter_runs(requests, jobs=jobs, store=store):
+        if event.terminal:
+            plts[event.index] = event.require()
+    return plts  # type: ignore[return-value]  # one terminal per request
+
+
+def _streamed_pair(requests: List[RunRequest], runs: int, *,
+                   jobs: Optional[int], store: Optional[Any],
+                   treatment_name: str = "QUIC",
+                   baseline_name: str = "TCP") -> SamplePair:
+    """Stream a treatment-half/baseline-half batch into a SamplePair.
+
+    ``requests`` holds the treatment side's ``runs`` rounds followed by
+    the baseline side's; events slot back by index, so completion order
+    (and cache-aware reordering) never changes the sample order.
+    """
+    pair = SamplePair(treatment_name=treatment_name,
+                      baseline_name=baseline_name)
+    for event in iter_runs(requests, jobs=jobs, store=store):
+        if not event.terminal:
+            continue
+        if event.index < runs:
+            pair.add("treatment", event.index, event.require())
+        else:
+            pair.add("baseline", event.index - runs, event.require())
+    return pair
 
 
 def compare_page_load(
@@ -287,12 +312,8 @@ def compare_page_load(
         _seeded_requests(scenario, page, quic_spec, runs, seed_base, fields)
         + _seeded_requests(scenario, page, tcp_spec, runs, seed_base, fields)
     )
-    records = run_requests(requests, jobs=jobs, store=store)
-    quic_plts = [record.require() for record in records[:runs]]
-    tcp_plts = [record.require() for record in records[runs:]]
-    return Comparison(
-        label or f"{scenario.name} / {page.name}", quic_plts, tcp_plts
-    )
+    pair = _streamed_pair(requests, runs, jobs=jobs, store=store)
+    return pair.comparison(label or f"{scenario.name} / {page.name}")
 
 
 def compare_quic_variants(
@@ -318,13 +339,10 @@ def compare_quic_variants(
         _seeded_requests(scenario, page, treatment, runs, seed_base, fields)
         + _seeded_requests(scenario, page, baseline, runs, seed_base, fields)
     )
-    records = run_requests(requests, jobs=jobs, store=store)
-    treat = [record.require() for record in records[:runs]]
-    base = [record.require() for record in records[runs:]]
-    return Comparison(
-        label or f"{scenario.name} / {page.name}", treat, base,
-        treatment_name=treatment_name, baseline_name=baseline_name,
-    )
+    pair = _streamed_pair(requests, runs, jobs=jobs, store=store,
+                          treatment_name=treatment_name,
+                          baseline_name=baseline_name)
+    return pair.comparison(label or f"{scenario.name} / {page.name}")
 
 
 def build_plt_heatmap(
@@ -346,14 +364,16 @@ def build_plt_heatmap(
     Without a custom ``compare`` callback the whole grid — every
     (scenario x page x protocol x round) — is fanned out over the
     executor in one batch, so ``jobs`` parallelises across cells, not
-    just within them.
+    just within them.  The samples stream into a
+    :class:`~repro.core.heatmap.GridAccumulator` as events complete,
+    so the grid's memory cost is its samples, never the record batch.
     """
-    heatmap = Heatmap(
-        title,
-        row_labels=[s.name for s in scenarios],
-        col_labels=[p.name for p in pages],
-    )
     if compare is not None:
+        heatmap = Heatmap(
+            title,
+            row_labels=[s.name for s in scenarios],
+            col_labels=[p.name for p in pages],
+        )
         for scenario in scenarios:
             for page in pages:
                 heatmap.put(scenario.name, page.name, compare(scenario, page))
@@ -372,14 +392,20 @@ def build_plt_heatmap(
         requests.extend(
             _seeded_requests(scenario, page, tcp_spec, runs, seed_base,
                              fields))
-    records = run_requests(requests, jobs=jobs, store=store)
-    for index, (scenario, page) in enumerate(cells):
-        start = index * 2 * runs
-        quic_plts = [r.require() for r in records[start:start + runs]]
-        tcp_plts = [r.require() for r in records[start + runs:start + 2 * runs]]
-        heatmap.put(scenario.name, page.name, Comparison(
-            f"{scenario.name} / {page.name}", quic_plts, tcp_plts))
-    return heatmap
+    grid = GridAccumulator(
+        title,
+        row_labels=[s.name for s in scenarios],
+        col_labels=[p.name for p in pages],
+    )
+    for event in iter_runs(requests, jobs=jobs, store=store):
+        if not event.terminal:
+            continue
+        cell_index, offset = divmod(event.index, 2 * runs)
+        scenario, page = cells[cell_index]
+        side = "treatment" if offset < runs else "baseline"
+        grid.add(scenario.name, page.name, side, offset % runs,
+                 event.require())
+    return grid.build()
 
 
 # ----------------------------------------------------------------------

@@ -38,9 +38,13 @@ from .backend import (
     ResultStore,
     SqliteStore,
     StoreBackend,
+    StoreNotFoundError,
     default_store_path,
     merge_into,
     open_store,
+    resolve_store,
+    resolve_store_path,
+    store_kind_at,
 )
 from .cache import RunCache, StoreLike
 from .keys import (
@@ -70,9 +74,13 @@ __all__ = [
     "SqliteStore",
     "ShardStore",
     "StoreBackend",
+    "StoreNotFoundError",
     "default_store_path",
     "merge_into",
     "open_store",
+    "resolve_store",
+    "resolve_store_path",
+    "store_kind_at",
     "RunCache",
     "StoreLike",
     "KEY_SCHEMA_VERSION",

@@ -79,6 +79,21 @@ class StoreBackend(abc.ABC):
             created: Optional[float] = None) -> None:
         """Insert or replace one row."""
 
+    def put_many(self, entries: List[Tuple[str, RunRecord, str]], *,
+                 created: Optional[float] = None) -> int:
+        """Insert or replace many ``(key, record, fingerprint)`` rows.
+
+        The default loops :meth:`put`; backends override it with a
+        batched implementation (one transaction, or one locked append
+        per shard) — this is the write path pool workers use for
+        worker-direct write-back, where per-row locking would dominate.
+        """
+        count = 0
+        for key, record, fingerprint in entries:
+            self.put(key, record, fingerprint=fingerprint, created=created)
+            count += 1
+        return count
+
     @abc.abstractmethod
     def __contains__(self, key: str) -> bool: ...
 
@@ -208,6 +223,18 @@ class SqliteStore(StoreBackend):
         )
         self._db.commit()
 
+    def put_many(self, entries: List[Tuple[str, RunRecord, str]], *,
+                 created: Optional[float] = None) -> int:
+        stamp = time.time() if created is None else created
+        rows = [(key, stamp, fingerprint, record.request.label,
+                 json.dumps(record_to_dict(record)))
+                for key, record, fingerprint in entries]
+        self._db.executemany(
+            "INSERT OR REPLACE INTO runs (key, created, fingerprint, label, "
+            "record) VALUES (?, ?, ?, ?, ?)", rows)
+        self._db.commit()
+        return len(rows)
+
     def __contains__(self, key: str) -> bool:
         row = self._db.execute(
             "SELECT 1 FROM runs WHERE key = ?", (key,)).fetchone()
@@ -309,6 +336,79 @@ def open_store(store: Union[StoreBackend, str, Path, None] = None, *,
     if target.suffix in (".sqlite", ".db"):
         return SqliteStore(target)
     return ShardStore(target)
+
+
+# ----------------------------------------------------------------------
+# the one resolution path
+# ----------------------------------------------------------------------
+class StoreNotFoundError(FileNotFoundError):
+    """:func:`resolve_store` with ``must_exist`` found nothing at the path."""
+
+
+def resolve_store_path(path: Union[str, Path, None] = None) -> str:
+    """The store location an argument resolves to, without opening it.
+
+    Precedence: an explicit non-empty ``path`` wins, then
+    ``$REPRO_STORE``, then :data:`DEFAULT_STORE_PATH`.  ``None`` and
+    ``""`` both mean "unset" (the CLI's bare ``--from-store``).
+    """
+    if path is None or str(path) == "":
+        return default_store_path()
+    return str(path)
+
+
+def store_kind_at(path: Union[str, Path]) -> Optional[str]:
+    """The backend kind of an existing store at ``path``, or None.
+
+    Follows the same convention :func:`open_store` applies: a directory
+    is a sharded store, a file is sqlite.  ``:memory:`` and missing
+    paths report None (nothing exists there yet).
+    """
+    if str(path) == ":memory:":
+        return None
+    target = Path(path)
+    if target.is_dir():
+        return "shards"
+    if target.is_file():
+        return "sqlite"
+    return None
+
+
+def resolve_store(store: Union[StoreBackend, str, Path, None] = None, *,
+                  backend: Optional[str] = None,
+                  must_exist: bool = False) -> StoreBackend:
+    """The single store-resolution path shared by the CLI and library.
+
+    Every entry point that accepts a store — ``--cache`` / ``--store``
+    flags, ``RunCache(...)``, the executor's ``store=`` argument —
+    funnels through here, so path precedence (explicit argument >
+    ``$REPRO_STORE`` > :data:`DEFAULT_STORE_PATH`) and backend
+    selection behave identically everywhere.
+
+    ``backend`` (the ``--backend`` flag; ``"auto"``/None infer from the
+    path) forces an implementation — and conflicts *loudly* when the
+    path already holds a store of the other kind, instead of failing
+    deep inside the backend.  ``must_exist`` raises
+    :class:`StoreNotFoundError` rather than creating an empty store —
+    the read-only paths (reports, ``repro store ls``) want a friendly
+    "nothing here yet", not a fresh empty directory.
+    """
+    forced = None if backend in (None, "auto") else backend
+    if forced is not None and forced not in BACKENDS:
+        raise ValueError(
+            f"unknown store backend {backend!r} (expected one of "
+            f"auto, {', '.join(BACKENDS)})")
+    if isinstance(store, StoreBackend):
+        return open_store(store, backend=forced)  # kind-mismatch check
+    path = resolve_store_path(store)
+    existing = store_kind_at(path)
+    if must_exist and existing is None and path != ":memory:":
+        raise StoreNotFoundError(f"no results store at {path}")
+    if forced is not None and existing is not None and existing != forced:
+        raise ValueError(
+            f"--backend {forced} conflicts with the existing {existing} "
+            f"store at {path}; drop the flag or point at another path")
+    return open_store(path, backend=forced)
 
 
 # ----------------------------------------------------------------------

@@ -27,10 +27,10 @@ from pathlib import Path
 from typing import Optional, Tuple, Union
 
 from ..core.executor import RunRecord, RunRequest
-from .backend import StoreBackend, open_store
+from .backend import StoreBackend, resolve_store
 from .keys import fingerprint_for, run_key
 
-#: What ``run_requests(store=...)`` accepts.
+#: What the executor's ``store=`` argument accepts.
 StoreLike = Union["RunCache", StoreBackend, str, Path]
 
 
@@ -40,7 +40,7 @@ class RunCache:
     def __init__(self, store: Union[StoreBackend, str, Path, None] = None,
                  *, fingerprint: Optional[str] = None,
                  backend: Optional[str] = None) -> None:
-        self.store = open_store(store, backend=backend)
+        self.store = resolve_store(store, backend=backend)
         #: A pinned fingerprint overriding the per-request subsystem
         #: composite — for tests and cross-machine stores that pin a
         #: release.  None (the default) derives it per request.
@@ -49,6 +49,10 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Retried attempts observed this session (one per ``retry``
+        #: event the executor emitted), so event streams and counters
+        #: reconcile exactly.
+        self.retries = 0
 
     @classmethod
     def of(cls, store: Optional[StoreLike]) -> Optional["RunCache"]:
@@ -67,17 +71,29 @@ class RunCache:
     def key_for(self, request: RunRequest) -> str:
         return run_key(request, fingerprint=self.fingerprint_of(request))
 
-    def lookup(self, request: RunRequest) -> Optional[RunRecord]:
-        """A fresh hit for ``request``, or None (counted either way)."""
-        record = self.store.get(self.key_for(request))
+    def lookup_with_key(self, request: RunRequest
+                        ) -> Tuple[str, str, Optional[RunRecord]]:
+        """``(key, fingerprint, hit-or-None)`` for one store probe.
+
+        The streaming executor uses this form: a miss keeps its
+        precomputed key and fingerprint so the pool worker that runs it
+        can write the record back without recomputing either.
+        """
+        fingerprint = self.fingerprint_of(request)
+        key = run_key(request, fingerprint=fingerprint)
+        record = self.store.get(key)
         if record is None:
             self.misses += 1
             self.store.bump_counter("misses")
-            return None
+            return key, fingerprint, None
         self.hits += 1
         self.store.bump_counter("hits")
         record.cached = True
-        return record
+        return key, fingerprint, record
+
+    def lookup(self, request: RunRequest) -> Optional[RunRecord]:
+        """A fresh hit for ``request``, or None (counted either way)."""
+        return self.lookup_with_key(request)[2]
 
     @staticmethod
     def cacheable(record: RunRecord) -> bool:
@@ -94,6 +110,18 @@ class RunCache:
         self.writes += 1
         self.store.bump_counter("writes")
         return True
+
+    def offer_many(self, records) -> int:
+        """Batch :meth:`offer`: one backend write for a whole chunk."""
+        batch = [(self.key_for(record.request), record,
+                  self.fingerprint_of(record.request))
+                 for record in records if self.cacheable(record)]
+        if not batch:
+            return 0
+        self.store.put_many(batch)
+        self.writes += len(batch)
+        self.store.bump_counter("writes", len(batch))
+        return len(batch)
 
     # ------------------------------------------------------------------
     @property

@@ -171,6 +171,29 @@ class ShardStore(StoreBackend):
                 handle.flush()
         self._cache.pop(shard, None)
 
+    def put_many(self, entries: List[Tuple[str, RunRecord, str]], *,
+                 created: Optional[float] = None) -> int:
+        """Batched append: group by shard, one lock + flush per shard.
+
+        This is what makes worker-direct write-back cheap — a pool
+        worker lands a whole chunk of records with at most one lock
+        acquisition per touched shard instead of one per record.
+        """
+        stamp = time.time() if created is None else created
+        by_shard: Dict[str, List[str]] = {}
+        count = 0
+        for key, record, fingerprint in entries:
+            line = _line(key, stamp, fingerprint, record_to_dict(record))
+            by_shard.setdefault(self.shard_of(key), []).append(line)
+            count += 1
+        for shard in sorted(by_shard):
+            with self._locked(shard):
+                with open(self._data_path(shard), "a") as handle:
+                    handle.writelines(by_shard[shard])
+                    handle.flush()
+            self._cache.pop(shard, None)
+        return count
+
     def __contains__(self, key: str) -> bool:
         return key in self._load(self.shard_of(key))
 

@@ -139,6 +139,25 @@ def store_payload(**overrides):
     return base
 
 
+def pipeline_payload(**overrides):
+    base = {
+        "benchmark": "pipeline",
+        "cells": 10_000,
+        "jobs": 4,
+        "roundtrip_seconds": 15.0,
+        "pipelined_seconds": 5.0,
+        "pipelined_speedup": 3.0,
+        "events_total": 20_000,
+        "events_per_sec": 4_000.0,
+        "max_event_bytes": 360,
+        "event_bound_bytes": 1024,
+        "parent_rss_peak_kb": 40_000,
+        "results_identical": True,
+    }
+    base.update(overrides)
+    return base
+
+
 class TestMultiPayloadGate:
     """Exit-code contract for the executor/store payload kinds:
     0 = shape + contract hold, 1 = contract violation, 2 = malformed
@@ -176,6 +195,48 @@ class TestMultiPayloadGate:
         proc = diff(tmp_path, store_payload(),
                     store_payload(results_identical=False))
         assert proc.returncode == 1
+
+    def test_pipeline_payload_passes(self, tmp_path):
+        proc = diff(tmp_path, pipeline_payload(), pipeline_payload())
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "pipeline" in proc.stdout
+
+    def test_pipeline_results_not_identical_fails(self, tmp_path):
+        proc = diff(tmp_path, pipeline_payload(),
+                    pipeline_payload(results_identical=False))
+        assert proc.returncode == 1
+        assert "CONTRACT FAIL" in proc.stdout
+
+    def test_pipeline_event_bound_breach_fails(self, tmp_path):
+        # A record payload leaking into the parent pipe is the exact
+        # regression the streaming API exists to prevent.
+        proc = diff(tmp_path, pipeline_payload(),
+                    pipeline_payload(max_event_bytes=9_000))
+        assert proc.returncode == 1
+        assert "parent pipe" in proc.stdout
+
+    def test_pipeline_speedup_is_informational(self, tmp_path):
+        proc = diff(tmp_path, pipeline_payload(),
+                    pipeline_payload(pipelined_speedup=1.1,
+                                     pipelined_seconds=13.0))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "informational" in proc.stdout
+
+    def test_pipeline_missing_key_is_malformed(self, tmp_path):
+        broken = pipeline_payload()
+        del broken["max_event_bytes"]
+        proc = diff(tmp_path, pipeline_payload(), broken)
+        assert proc.returncode == 2
+        assert "missing required" in proc.stdout
+
+    def test_gates_committed_pipeline_payload(self):
+        committed = REPO / "BENCH_pipeline.json"
+        if not committed.exists():
+            pytest.skip("no committed BENCH_pipeline.json")
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), str(committed), str(committed)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
 
     def test_missing_required_key_is_malformed(self, tmp_path):
         broken = executor_payload()

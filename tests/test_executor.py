@@ -245,8 +245,10 @@ class TestKnobs:
 
     def test_progress_callback_sees_every_record(self):
         seen = []
-        run_requests([req(seed=s) for s in range(5)], jobs=2, chunk_size=2,
-                     run_fn=_instant_run, progress=seen.append)
+        with pytest.warns(DeprecationWarning, match="iter_runs"):
+            run_requests([req(seed=s) for s in range(5)], jobs=2,
+                         chunk_size=2, run_fn=_instant_run,
+                         progress=seen.append)
         assert sorted(r.request.seed for r in seen) == list(range(5))
 
     def test_empty_request_list(self):

@@ -1,0 +1,295 @@
+"""Tests for the streaming execution API (iter_runs + RunEvents).
+
+Covers the event-stream contract, worker-direct store write-back across
+a real 4-process pool, parent-pipe payload bounds, retry-counter
+reconciliation, and mid-sweep report parity (kill / live-render /
+resume / byte-identical final report).
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.executor import (
+    EVENT_KINDS,
+    EVENT_WIRE_BOUND,
+    TERMINAL_EVENTS,
+    ProtocolSpec,
+    RunEvent,
+    RunFailure,
+    RunRecord,
+    RunRequest,
+    iter_runs,
+    run_requests,
+)
+from repro.core.report import build_store_report
+from repro.http import single_object_page
+from repro.netem import emulated
+from repro.store import RunCache, ShardStore, open_store
+
+SCN = emulated(10.0)
+PAGE = single_object_page(20_000)
+
+
+def req(seed=0, **overrides):
+    kwargs = dict(scenario=SCN, page=PAGE, protocol=ProtocolSpec.quic(),
+                  seed=seed)
+    kwargs.update(overrides)
+    return RunRequest(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# injectable run functions (module-level: must be picklable for jobs > 1)
+# ----------------------------------------------------------------------
+def _instant_run(request):
+    return RunRecord(request=request, plt=float(request.seed) / 10.0 + 0.1,
+                     complete=True)
+
+
+def _failing_run(request):
+    return RunRecord(request=request, plt=None, complete=False,
+                     failure=RunFailure("error", "boom " * 200))
+
+
+def _flaky_once_run(request):
+    marker = os.environ["REPRO_TEST_EVENT_MARKER"] + f".{request.seed}"
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("transient failure")
+    return RunRecord(request=request, plt=1.0, complete=True)
+
+
+class TestEventStreamContract:
+    def test_one_terminal_event_per_request(self):
+        requests = [req(seed=s) for s in range(6)]
+        events = list(iter_runs(requests, run_fn=_instant_run))
+        terminal = [e for e in events if e.terminal]
+        assert sorted(e.index for e in terminal) == list(range(6))
+        assert len(terminal) == len(requests)
+        for event in events:
+            assert event.kind in EVENT_KINDS
+            assert (event.kind in TERMINAL_EVENTS) == event.terminal
+
+    def test_miss_start_precedes_terminal(self):
+        events = list(iter_runs([req(seed=s) for s in range(4)],
+                                run_fn=_instant_run))
+        started = set()
+        for event in events:
+            if event.kind == "miss-start":
+                started.add(event.index)
+            elif event.terminal:
+                assert event.index in started
+        assert started == set(range(4))
+
+    def test_require_matches_record_semantics(self):
+        ok = [e for e in iter_runs([req()], run_fn=_instant_run)
+              if e.terminal][0]
+        assert ok.ok and ok.require() == pytest.approx(0.1)
+        bad = [e for e in iter_runs([req()], run_fn=_failing_run)
+               if e.terminal][0]
+        assert not bad.ok
+        with pytest.raises(RuntimeError, match="failed"):
+            bad.require()
+
+    def test_failure_messages_are_clipped(self):
+        bad = [e for e in iter_runs([req()], run_fn=_failing_run)
+               if e.terminal][0]
+        assert bad.failure_kind == "error"
+        assert len(bad.failure_message) <= 300
+
+    def test_events_carry_no_records_by_default(self):
+        for event in iter_runs([req(seed=s) for s in range(3)],
+                               run_fn=_instant_run):
+            assert event.record is None
+
+    def test_keep_records_attaches_terminal_records(self):
+        events = list(iter_runs([req(seed=s) for s in range(3)],
+                                run_fn=_instant_run, keep_records=True))
+        for event in events:
+            if event.terminal:
+                assert event.record is not None
+                assert event.record.request.seed == event.index
+            else:
+                assert event.record is None
+
+    def test_hits_stream_first_in_request_order(self, tmp_path):
+        cache = RunCache(tmp_path / "store.sqlite")
+        list(iter_runs([req(seed=s) for s in (1, 3)], run_fn=_instant_run,
+                       store=cache))
+        events = list(iter_runs([req(seed=s) for s in range(4)],
+                                run_fn=_instant_run, store=cache))
+        hits = [e for e in events if e.kind == "hit"]
+        assert [e.index for e in hits] == [1, 3]
+        assert all(e.cached and e.stored for e in hits)
+        assert events[:2] == hits  # hits before any miss activity
+
+    def test_events_are_frozen_and_labelled(self):
+        event = next(iter(iter_runs([req()], run_fn=_instant_run)))
+        with pytest.raises(AttributeError):
+            event.kind = "hit"
+        assert "quic" in event.label and SCN.name in event.label
+
+
+class TestRetryAccounting:
+    def test_retry_event_per_attempt_reconciles_counters(self, tmp_path,
+                                                         monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_EVENT_MARKER",
+                           str(tmp_path / "marker"))
+        cache = RunCache(tmp_path / "store.sqlite")
+        events = list(iter_runs([req(seed=s) for s in range(3)],
+                                run_fn=_flaky_once_run, retries=2,
+                                store=cache))
+        retries = [e for e in events if e.kind == "retry"]
+        assert len(retries) == 3  # one failed first attempt per seed
+        assert cache.retries == len(retries)
+        terminal = [e for e in events if e.terminal]
+        assert all(e.ok and e.attempts == 2 for e in terminal)
+        assert cache.session_stats == (0, 3, 3)
+
+    def test_no_retry_events_without_retries(self):
+        events = list(iter_runs([req(), req(seed=1)], run_fn=_instant_run))
+        assert not [e for e in events if e.kind == "retry"]
+
+
+class TestWorkerDirectWriteBack:
+    def test_four_process_pool_writes_store_directly(self, tmp_path):
+        """jobs=4 pool: records land in the store from the workers; the
+        parent pipe carries only payload-free, size-bounded events."""
+        cache = RunCache(ShardStore(tmp_path / "shards"))
+        requests = [req(seed=s) for s in range(40)]
+        events = list(iter_runs(requests, jobs=4, chunk_size=2,
+                                run_fn=_instant_run, store=cache,
+                                force_pool=True))
+        terminal = [e for e in events if e.terminal]
+        assert sorted(e.index for e in terminal) == list(range(40))
+        # no payloads crossed the parent pipe...
+        assert all(e.record is None for e in events)
+        for event in events:
+            assert len(pickle.dumps(event)) <= EVENT_WIRE_BOUND
+        # ...yet every record is in the store, written by the workers.
+        assert all(e.stored for e in terminal)
+        assert len(cache.store) == 40
+        assert cache.writes == 40
+        assert cache.store.counters()["writes"] == 40
+        # no torn/lost records: every row decodes back to its seed
+        seeds = set()
+        for key in cache.store.keys():
+            record = cache.store.get(key)
+            assert record is not None
+            seeds.add(record.request.seed)
+        assert seeds == set(range(40))
+
+    def test_memory_store_pool_still_persists(self, tmp_path):
+        # an in-memory store cannot be reopened by workers: records must
+        # ride back to the parent, which writes them itself.
+        cache = RunCache(open_store(":memory:"))
+        events = list(iter_runs([req(seed=s) for s in range(8)], jobs=4,
+                                chunk_size=2, run_fn=_instant_run,
+                                store=cache, force_pool=True))
+        assert len(cache.store) == 8
+        assert all(e.record is None for e in events)
+        assert all(e.stored for e in events if e.terminal)
+
+    def test_pool_and_serial_stores_are_identical(self, tmp_path):
+        serial = RunCache(ShardStore(tmp_path / "serial"))
+        pooled = RunCache(ShardStore(tmp_path / "pooled"))
+        requests = [req(seed=s) for s in range(10)]
+        list(iter_runs(requests, run_fn=_instant_run, store=serial))
+        list(iter_runs(requests, jobs=4, chunk_size=3, run_fn=_instant_run,
+                       store=pooled, force_pool=True))
+        assert set(serial.store.keys()) == set(pooled.store.keys())
+
+
+class TestMidSweepReportParity:
+    def _requests(self):
+        return [req(seed=s, protocol=ProtocolSpec.of(p))
+                for s in range(100) for p in ("quic", "tcp")]
+
+    def test_kill_render_resume_is_byte_identical(self, tmp_path):
+        requests = self._requests()
+
+        # uninterrupted control sweep into its own store
+        control = RunCache(ShardStore(tmp_path / "control"))
+        list(iter_runs(requests, run_fn=_instant_run, store=control))
+        expected = build_store_report(control.store).replace(
+            str(control.store.path), "STORE")
+
+        # interrupted sweep: kill the generator at ~50%
+        cache = RunCache(ShardStore(tmp_path / "interrupted"))
+        stream = iter_runs(requests, run_fn=_instant_run, store=cache)
+        landed = 0
+        for event in stream:
+            if event.terminal:
+                landed += 1
+            if landed >= 100:
+                break
+        stream.close()
+        assert 0 < len(cache.store) < len(requests)
+
+        # a live report renders cleanly mid-sweep and says so
+        live = build_store_report(cache.store, live=True)
+        assert "Live view" in live
+        assert "## Store summary" in live
+
+        # resume: only the missing runs execute, the rest are hits
+        resumed = RunCache(cache.store)
+        events = list(iter_runs(requests, run_fn=_instant_run,
+                                store=resumed))
+        hits, misses, _ = resumed.session_stats
+        assert hits == landed and hits + misses == len(requests)
+        assert len([e for e in events if e.terminal]) == len(requests)
+
+        final = build_store_report(cache.store).replace(
+            str(cache.store.path), "STORE")
+        assert final == expected
+        assert "Live view" not in final
+
+    def test_live_report_labels_partial_cells(self, tmp_path):
+        cache = RunCache(ShardStore(tmp_path / "partial"))
+        # 3 runs of quic, 1 run of tcp: the tcp cell is partial
+        list(iter_runs([req(seed=s) for s in range(3)], run_fn=_instant_run,
+                       store=cache))
+        list(iter_runs([req(protocol=ProtocolSpec.of("tcp"))],
+                       run_fn=_instant_run, store=cache))
+        text = build_store_report(cache.store, live=True)
+        assert "Live view" in text
+        assert "1/3 run(s)" in text
+
+    def test_live_report_on_complete_grid(self, tmp_path):
+        cache = RunCache(ShardStore(tmp_path / "full"))
+        list(iter_runs([req(seed=s) for s in range(3)], run_fn=_instant_run,
+                       store=cache))
+        text = build_store_report(cache.store, live=True)
+        assert "looks complete" in text
+
+
+class TestRunRequestsCompatibility:
+    def test_wrapper_returns_records_in_request_order(self):
+        records = run_requests([req(seed=s) for s in range(5)],
+                               run_fn=_instant_run)
+        assert [r.request.seed for r in records] == list(range(5))
+
+    def test_progress_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="iter_runs"):
+            run_requests([req()], run_fn=_instant_run,
+                         progress=lambda record: None)
+
+    def test_no_warning_without_progress(self, recwarn):
+        run_requests([req()], run_fn=_instant_run)
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestValidation:
+    def test_rejects_bad_retries(self):
+        with pytest.raises(ValueError):
+            list(iter_runs([req()], retries=-1))
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_runs([req(), req(seed=1)], jobs=2, chunk_size=0))
+
+    def test_empty_request_list(self):
+        assert list(iter_runs([])) == []

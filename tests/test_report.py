@@ -153,3 +153,22 @@ class TestStoreReport:
         assert main(["report", "--from-store",
                      str(tmp_path / "nope.sqlite")]) == 0
         assert "no results store" in capsys.readouterr().out
+
+    def test_cli_from_store_live(self, store, capsys):
+        assert main(["report", "--from-store", store.path, "--live"]) == 0
+        out = capsys.readouterr().out
+        assert "Live view" in out
+        assert "## Store summary" in out
+
+    def test_cli_live_requires_from_store(self, results_dir):
+        with pytest.raises(SystemExit, match="--from-store"):
+            main(["report", "--results", str(results_dir), "--live"])
+
+    def test_live_report_differs_only_by_banner(self, store):
+        plain = build_store_report(store)
+        live = build_store_report(store, live=True)
+        assert "Live view" not in plain
+        assert "Live view" in live
+        # the table body is untouched by the live banner
+        assert plain.split("## Store summary")[1] == \
+            live.split("## Store summary")[1]

@@ -41,6 +41,7 @@ from repro.store import (
     ShardStore,
     SqliteStore,
     StoreBackend,
+    StoreNotFoundError,
     achievable_fingerprints,
     code_fingerprint,
     composite_fingerprint,
@@ -52,7 +53,10 @@ from repro.store import (
     request_from_dict,
     request_subsystems,
     request_to_dict,
+    resolve_store,
+    resolve_store_path,
     run_key,
+    store_kind_at,
     subsystem_fingerprints,
 )
 from repro.tcp import tcp_config
@@ -559,6 +563,72 @@ class TestOpenStore:
         assert isinstance(StoreBackend.open(tmp_path / "y-dir"), ShardStore)
 
 
+class TestResolveStore:
+    """The single store-resolution helper every entry point shares."""
+
+    def test_explicit_path_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        explicit = tmp_path / "mine.sqlite"
+        assert resolve_store_path(explicit) == str(explicit)
+        store = resolve_store(explicit)
+        assert store.path == str(explicit) and store.kind == "sqlite"
+
+    def test_env_var_beats_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        assert resolve_store_path(None) == str(tmp_path / "env-store")
+        assert resolve_store(None).kind == "shards"
+
+    def test_falls_back_to_default_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        from repro.store import default_store_path
+        assert resolve_store_path(None) == str(default_store_path())
+
+    def test_backend_auto_infers_from_path(self, tmp_path):
+        assert resolve_store(tmp_path / "a.sqlite",
+                             backend="auto").kind == "sqlite"
+        assert resolve_store(tmp_path / "b-dir",
+                             backend="auto").kind == "shards"
+
+    def test_forced_backend_conflicts_with_existing_store(self, tmp_path):
+        path = tmp_path / "existing.sqlite"
+        SqliteStore(path).close()
+        with pytest.raises(ValueError, match="conflicts"):
+            resolve_store(path, backend="shards")
+        # the matching backend (or auto) is fine
+        assert resolve_store(path, backend="sqlite").kind == "sqlite"
+        assert resolve_store(path, backend="auto").kind == "sqlite"
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="parquet"):
+            resolve_store(tmp_path / "x", backend="parquet")
+
+    def test_must_exist_raises_store_not_found(self, tmp_path):
+        missing = tmp_path / "nope.sqlite"
+        with pytest.raises(StoreNotFoundError, match="no results store"):
+            resolve_store(missing, must_exist=True)
+        # StoreNotFoundError is a FileNotFoundError for generic handlers
+        assert issubclass(StoreNotFoundError, FileNotFoundError)
+        SqliteStore(missing).close()
+        assert resolve_store(missing, must_exist=True).kind == "sqlite"
+
+    def test_memory_is_always_found(self):
+        assert resolve_store(":memory:", must_exist=True).kind == "sqlite"
+
+    def test_instance_passthrough(self):
+        store = SqliteStore(":memory:")
+        assert resolve_store(store) is store
+
+    def test_store_kind_at(self, tmp_path):
+        assert store_kind_at(":memory:") is None
+        assert store_kind_at(tmp_path / "absent") is None
+        sqlite_path = tmp_path / "a.sqlite"
+        SqliteStore(sqlite_path).close()
+        assert store_kind_at(sqlite_path) == "sqlite"
+        shard_dir = tmp_path / "b-dir"
+        ShardStore(shard_dir).close()
+        assert store_kind_at(shard_dir) == "shards"
+
+
 # ----------------------------------------------------------------------
 # cross-store sync and parity
 # ----------------------------------------------------------------------
@@ -755,8 +825,9 @@ class TestCacheAwareExecution:
         cache = RunCache(make_store())
         run_requests([req(seed=0)], store=cache)
         seen = []
-        run_requests([req(seed=s) for s in range(2)], store=cache,
-                     progress=seen.append)
+        with pytest.warns(DeprecationWarning, match="iter_runs"):
+            run_requests([req(seed=s) for s in range(2)], store=cache,
+                         progress=seen.append)
         assert sorted(r.request.seed for r in seen) == [0, 1]
         assert {r.request.seed: r.cached for r in seen} == {0: True, 1: False}
 
