@@ -50,9 +50,14 @@ perf-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/executor_pipeline.py --cells 2000
 	$(PYTHON) scripts/bench_diff.py /tmp/BENCH_pipeline.baseline.json \
 		BENCH_pipeline.json --history $(HISTORY)
+	cp BENCH_fabric.json /tmp/BENCH_fabric.baseline.json
+	PYTHONPATH=src $(PYTHON) benchmarks/fabric_sweep.py --cells 2000
+	$(PYTHON) scripts/bench_diff.py /tmp/BENCH_fabric.baseline.json \
+		BENCH_fabric.json --history $(HISTORY)
 	git checkout -- BENCH_executor.json 2>/dev/null || true
 	git checkout -- BENCH_store.json 2>/dev/null || true
 	git checkout -- BENCH_pipeline.json 2>/dev/null || true
+	git checkout -- BENCH_fabric.json 2>/dev/null || true
 
 # Paper-scale: >=10 rounds per cell and full workload grids.
 bench-full:
@@ -81,4 +86,4 @@ clean:
 # results directory (restorable with git checkout), local result stores
 # and the machine-readable benchmark outputs.
 distclean: clean
-	rm -rf benchmarks/results .repro-store.sqlite BENCH_executor.json BENCH_store.json BENCH_pipeline.json
+	rm -rf benchmarks/results .repro-store.sqlite BENCH_executor.json BENCH_store.json BENCH_pipeline.json BENCH_fabric.json

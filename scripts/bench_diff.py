@@ -31,6 +31,13 @@ Understands the three machine-readable payload shapes the repo commits:
   payload crossing the parent pipe is the exact regression the
   streaming API exists to prevent).  Throughput and parent RSS are
   informational trends.
+* ``BENCH_fabric.json`` (``fabric``) — the distributed-sweep gate:
+  shape-gated, ``results_identical`` must be true (the served store
+  renders the same report as the single-process baseline),
+  ``resume_missing`` must be 0 (a completed sweep leaves no holes for
+  a resume to find) and ``warm_hit_rate`` must be exactly 1.0 (a warm
+  fabric pass re-executing cells is a remote-cache bug).  Fabric
+  overhead and throughput are informational trends.
 
 Exit codes: 0 = gate passes; 1 = regression, behaviour change, or
 contract violation; 2 = malformed payload (missing required keys) or a
@@ -67,6 +74,9 @@ REQUIRED_KEYS = {
                  "pipelined_speedup", "events_per_sec", "max_event_bytes",
                  "event_bound_bytes", "parent_rss_peak_kb",
                  "results_identical"),
+    "fabric": ("cells", "workers", "single_seconds", "fabric_seconds",
+               "fabric_overhead", "cells_per_sec", "warm_hit_rate",
+               "resume_missing", "results_identical"),
 }
 
 #: What lands in the history line per payload kind.
@@ -78,6 +88,8 @@ HISTORY_METRICS = {
     "pipeline": ("pipelined_speedup", "events_per_sec",
                  "parent_rss_peak_kb", "pipelined_seconds",
                  "roundtrip_seconds"),
+    "fabric": ("fabric_overhead", "cells_per_sec", "warm_hit_rate",
+               "fabric_seconds", "single_seconds"),
 }
 
 
@@ -231,6 +243,46 @@ def gate_pipeline(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
     return failures
 
 
+def gate_fabric(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
+                threshold: float) -> List[str]:
+    failures: List[str] = []
+    if cand_payload.get("results_identical") is not True:
+        failures.append(
+            "fabric contract: the served store does not render the same "
+            "report as the single-process baseline (results_identical is "
+            f"{cand_payload.get('results_identical')!r})")
+        print("results_identical: "
+              f"{cand_payload.get('results_identical')!r} [CONTRACT FAIL]")
+    else:
+        print("results_identical: True [ok]")
+    missing = cand_payload.get("resume_missing")
+    if missing != 0:
+        failures.append(
+            f"fabric contract: a completed sweep left {missing!r} key(s) "
+            "unanswered by the server — records were lost in transit")
+        print(f"resume_missing: {missing!r} [CONTRACT FAIL]")
+    else:
+        print("resume_missing: 0 [ok]")
+    hit_rate = cand_payload.get("warm_hit_rate")
+    if hit_rate != 1.0:
+        failures.append(
+            f"fabric contract: warm pass hit rate is {hit_rate!r}, "
+            "expected 1.0 (a warm fabric sweep re-executed cells)")
+        print(f"warm_hit_rate: {hit_rate!r} [CONTRACT FAIL]")
+    else:
+        print("warm_hit_rate: 1.0 [ok]")
+    b = base_payload.get("fabric_overhead")
+    c = cand_payload.get("fabric_overhead")
+    if b and c:
+        print(f"fabric_overhead: {c:.2f}x vs baseline {b:.2f}x "
+              "[informational]")
+    b = base_payload.get("cells_per_sec")
+    c = cand_payload.get("cells_per_sec")
+    if b and c:
+        print(f"cells_per_sec: {c / b:.3f}x of baseline [informational]")
+    return failures
+
+
 # ----------------------------------------------------------------------
 # history
 # ----------------------------------------------------------------------
@@ -308,6 +360,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures = gate_executor(base_payload, cand_payload, args.threshold)
     elif base_kind == "pipeline":
         failures = gate_pipeline(base_payload, cand_payload, args.threshold)
+    elif base_kind == "fabric":
+        failures = gate_fabric(base_payload, cand_payload, args.threshold)
     else:
         failures = gate_store(base_payload, cand_payload, args.threshold)
 

@@ -7,6 +7,9 @@ Examples::
     python -m repro spec --file examples/specs/desktop_plt.json --jobs 4
     python -m repro spec --file examples/specs/desktop_plt.json --cache
     python -m repro store stats
+    python -m repro serve --store sweeps/ --port 8737
+    python -m repro worker --file grid.json --url http://lab:8737 --workers 8
+    python -m repro report --from-store http://lab:8737 --live
     python -m repro fairness --tcp-flows 2 --duration 30
     python -m repro bulk --protocol quic --size-mb 10 --rate 100 --loss 1
     python -m repro video --quality hd2160 --runs 3
@@ -65,20 +68,29 @@ def _workload(args: argparse.Namespace):
 
 
 def _cache(args: argparse.Namespace):
-    """Build the RunCache behind ``--cache [PATH]``, or None.
+    """Build the RunCache behind ``--cache [PATH]`` / ``--store-url``.
 
     Resolution goes through :func:`repro.store.resolve_store` — the
     same precedence (explicit path > ``$REPRO_STORE`` > default) every
     other entry point uses, with a clean error when ``--backend``
-    conflicts with an existing store.
+    conflicts with an existing store.  ``--store-url`` is the fabric
+    spelling: the same cache, served by a ``repro serve`` process.
     """
-    if getattr(args, "cache", None) is None:
+    location = getattr(args, "cache", None)
+    store_url = getattr(args, "store_url", None)
+    if store_url is not None:
+        if location is not None:
+            raise SystemExit(
+                "error: pass --cache or --store-url, not both (they name "
+                "the same results store)")
+        location = store_url
+    if location is None:
         return None
     from .store import RunCache, resolve_store
 
     try:
         # "" (bare --cache) means the default path.
-        store = resolve_store(args.cache or None,
+        store = resolve_store(location or None,
                               backend=getattr(args, "backend", None))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -360,6 +372,48 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .fabric import StoreServer
+    from .store import KEY_SCHEMA_VERSION, is_store_url, resolve_store
+
+    if is_store_url(args.store or ""):
+        raise SystemExit(
+            "error: repro serve exposes a *local* store over HTTP; point "
+            "--store at a file or directory, not another server's URL")
+    try:
+        store = resolve_store(args.store or None, backend=args.backend)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    server = StoreServer(store, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    print(f"serving {store.kind} store {store.path} at {server.url} "
+          f"(key schema v{KEY_SCHEMA_VERSION}, {len(store)} stored "
+          f"run(s)); Ctrl-C to stop", flush=True)
+    server.serve_forever()
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .core.experiment import ExperimentSpec, experiment_requests
+    from .fabric import run_fabric_sweep
+
+    with open(args.file) as handle:
+        spec = ExperimentSpec.from_json(handle.read())
+    requests = [request
+                for _key, cell in experiment_requests(spec,
+                                                      seed_base=args.seed)
+                for request in cell]
+    print(f"sweeping spec {spec.name!r}: {len(requests)} runs against "
+          f"{args.url} on {args.workers} worker process(es)", flush=True)
+    summary = run_fabric_sweep(
+        requests, args.url, workers=args.workers,
+        sync_every=args.sync_every, workdir=args.workdir)
+    print(f"done: {summary['hits']} already stored, "
+          f"{summary['completed']} executed, {summary['failed']} failed "
+          f"({summary['retries']} retries)")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .core.bench import profile_plt, run_benchmarks, write_payload
 
@@ -425,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="force the --cache store backend (default: "
                             "auto — infer from the path / what exists "
                             "there)")
+        p.add_argument("--store-url", default=None, metavar="URL",
+                       help="use a fabric store server (repro serve) as "
+                            "the results store — the remote equivalent of "
+                            "--cache")
 
     def common_network(p):
         p.add_argument("--rate", type=float, default=10.0,
@@ -543,6 +601,41 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub.add_parser("stats", help="row counts and hit/miss counters")
     p.set_defaults(func=cmd_store)
 
+    p = sub.add_parser(
+        "serve", help="serve a results store to fabric workers over HTTP")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="store to expose (default: $REPRO_STORE or "
+                        ".repro-store.sqlite)")
+    p.add_argument("--backend", choices=("auto", "sqlite", "shards"),
+                   default="auto",
+                   help="force the backing store's kind (default: auto)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1; use 0.0.0.0 to "
+                        "accept workers from other hosts)")
+    p.add_argument("--port", type=int, default=8737,
+                   help="TCP port (default 8737; 0 picks a free one)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request to stderr")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker", help="execute a spec's missing runs against a fabric "
+                       "server (repro serve)")
+    p.add_argument("--file", required=True, help="JSON ExperimentSpec")
+    p.add_argument("--url", required=True,
+                   help="the fabric server, e.g. http://lab-server:8737")
+    p.add_argument("--workers", type=int, default=2,
+                   help="local worker processes to shard the misses "
+                        "across (default 2)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sync-every", type=int, default=32,
+                   help="results a worker batches before uploading "
+                        "(default 32)")
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep the workers' local write-ahead stores here "
+                        "(default: a temporary directory)")
+    p.set_defaults(func=cmd_worker)
+
     p = sub.add_parser("bench", help="hot-path microbenchmarks / profiler")
     p.add_argument("--events", type=int, default=200_000,
                    help="events for the event-loop microbenchmark")
@@ -571,7 +664,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:
+        # Fabric failures (server down, key-schema mismatch) already
+        # carry an actionable message; print it instead of a traceback.
+        from .fabric.client import FabricError
+
+        if isinstance(exc, FabricError):
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -823,6 +823,7 @@ def run_requests(
     chunk_size: Optional[int] = None,
     run_fn: Optional[RunFn] = None,
     store: Optional[Any] = None,
+    force_pool: bool = False,
 ) -> List[RunRecord]:
     """Execute ``requests`` and return records in *request order*.
 
@@ -845,7 +846,8 @@ def run_requests(
     results: List[Optional[RunRecord]] = [None] * len(requests)
     for event in iter_runs(requests, jobs=jobs, wall_timeout=wall_timeout,
                            retries=retries, chunk_size=chunk_size,
-                           run_fn=run_fn, store=store, keep_records=True):
+                           run_fn=run_fn, store=store, keep_records=True,
+                           force_pool=force_pool):
         if not event.terminal:
             continue
         results[event.index] = event.record

@@ -1,0 +1,298 @@
+"""The remote store client: a served store as a ``StoreBackend``.
+
+:class:`RemoteStore` implements the full
+:class:`~repro.store.backend.StoreBackend` contract over the fabric
+wire protocol (see :mod:`repro.fabric.server`), so everything above the
+backend — ``RunCache``, the executor's ``store=`` argument,
+``merge_into``, ``repro store``/``repro report --from-store`` — works
+unchanged against ``http://host:port``.  :func:`~repro.store.backend.
+open_store` recognises URLs, so the usual entry points need no new
+spelling::
+
+    store = open_store("http://lab-server:8737")
+    run_experiment(spec, jobs=4, store=store)
+
+Beyond the contract, two batched calls exist for the fabric's sake:
+
+* :meth:`RemoteStore.missing` — one ``POST /missing`` round-trip maps a
+  whole sweep's key list to the subset the server lacks;
+* :meth:`RemoteStore.upload_rows` / :meth:`RemoteStore.fetch` — bulk
+  JSONL transfer in the store-sync dialect, preserving per-row
+  ``created`` stamps (a plain ``put_many`` restamps).
+
+Failure handling is deliberately loud and actionable:
+
+* an unreachable server raises :class:`FabricConnectionError` naming
+  the URL and how to start a server there;
+* a server speaking a different ``KEY_SCHEMA_VERSION`` raises
+  :class:`SchemaMismatchError` *before* any data moves — content
+  addresses from different schema generations must never mix.
+
+Transient transport errors on idempotent calls are retried with
+exponential backoff (uploads are content-addressed, so a replay is
+harmless); counter bumps are not idempotent and are never retried.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.executor import RunRecord
+from ..store.backend import StoreBackend
+from ..store.keys import (
+    KEY_SCHEMA_VERSION,
+    record_from_dict,
+    record_to_dict,
+)
+
+#: Rows per bulk request (uploads and fetches are chunked to this).
+BATCH_SIZE = 500
+
+
+class FabricError(RuntimeError):
+    """Base class for fabric transport failures."""
+
+
+class FabricConnectionError(FabricError):
+    """The fabric server could not be reached (or dropped mid-call)."""
+
+
+class SchemaMismatchError(FabricError):
+    """Client and server disagree on ``KEY_SCHEMA_VERSION``."""
+
+
+_Row = Tuple[str, Optional[float], str, Dict[str, Any]]
+
+
+def _parse_rows(text: str) -> List[_Row]:
+    rows: List[_Row] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        rows.append((raw["key"], raw.get("created"),
+                     raw.get("fingerprint", ""), raw["record"]))
+    return rows
+
+
+def _chunked(items: List[Any], size: int) -> Iterator[List[Any]]:
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+class RemoteStore(StoreBackend):
+    """A results store served by ``repro serve`` on another process/host."""
+
+    kind = "http"
+
+    def __init__(self, url: str, *, timeout: float = 30.0, retries: int = 2,
+                 backoff: float = 0.25, check_schema: bool = True) -> None:
+        if not url.startswith(("http://", "https://")):
+            raise ValueError(
+                f"RemoteStore needs an http(s):// URL, got {url!r}")
+        self.path = url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._check_schema = check_schema
+        self._schema_checked = False
+
+    # -- transport ---------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[bytes] = None,
+                 *, retry: bool = True) -> bytes:
+        """One HTTP round-trip; transport failures become fabric errors."""
+        attempts = (self.retries + 1) if retry else 1
+        last: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            request = urllib.request.Request(
+                self.path + path, data=body, method=method,
+                headers={"Content-Type": "application/json"} if body else {})
+            try:
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as reply:
+                    return reply.read()
+            except urllib.error.HTTPError as exc:
+                # The server answered: not a transport failure.  4xx/5xx
+                # surface to the caller, which maps 404s to None/False.
+                raise
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                last = exc
+        reason = getattr(last, "reason", last)
+        raise FabricConnectionError(
+            f"cannot reach the fabric store server at {self.path} "
+            f"({reason}); start one with "
+            f"'repro serve --store PATH --port {_port_of(self.path)}' "
+            f"on that host, or check the URL")
+
+    def _json(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]] = None, *,
+              retry: bool = True) -> Dict[str, Any]:
+        body = (json.dumps(payload).encode()
+                if payload is not None else None)
+        return json.loads(self._request(method, path, body,
+                                        retry=retry).decode())
+
+    def _ensure_schema(self) -> None:
+        """One-time handshake: refuse to mix key-schema generations."""
+        if self._schema_checked or not self._check_schema:
+            return
+        info = self.healthz()
+        theirs = info.get("key_schema_version")
+        if theirs != KEY_SCHEMA_VERSION:
+            raise SchemaMismatchError(
+                f"the fabric server at {self.path} speaks key schema "
+                f"v{theirs} but this client speaks v{KEY_SCHEMA_VERSION}; "
+                f"run keys from different schema generations never match, "
+                f"so syncing would only exchange dead rows — upgrade the "
+                f"older side (or re-serve the store with matching code)")
+        self._schema_checked = True
+
+    # -- fabric extras -----------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """The server's liveness/handshake document (no schema gate)."""
+        return self._json("GET", "/healthz")
+
+    def missing(self, keys: Iterable[str]) -> List[str]:
+        """The subset of ``keys`` the *server* lacks, in one batched call.
+
+        This is the coordinator's one-round-trip miss-list probe: post
+        the sweep's whole key list, get back exactly what still needs
+        executing.  Chunked at :data:`BATCH_SIZE` keys per request.
+        """
+        self._ensure_schema()
+        out: List[str] = []
+        for chunk in _chunked(list(keys), BATCH_SIZE):
+            out.extend(self._json("POST", "/missing",
+                                  {"keys": chunk})["missing"])
+        return out
+
+    def fetch(self, keys: Iterable[str]) -> List[_Row]:
+        """Bulk download: full rows for the present subset of ``keys``."""
+        self._ensure_schema()
+        rows: List[_Row] = []
+        for chunk in _chunked(list(keys), BATCH_SIZE):
+            body = json.dumps({"keys": chunk}).encode()
+            rows.extend(_parse_rows(
+                self._request("POST", "/fetch", body).decode()))
+        return rows
+
+    def upload_rows(self, rows: Iterable[_Row]) -> int:
+        """Bulk upload rows in the sync dialect, preserving ``created``.
+
+        Content-addressed rows make replays harmless, so transport
+        retries (with backoff) are safe here — this is the write path
+        fabric workers sync through.
+        """
+        self._ensure_schema()
+        uploaded = 0
+        for chunk in _chunked(list(rows), BATCH_SIZE):
+            body = "".join(
+                json.dumps({"key": key, "created": created,
+                            "fingerprint": fingerprint, "record": record},
+                           sort_keys=True) + "\n"
+                for key, created, fingerprint, record in chunk).encode()
+            reply = json.loads(self._request("POST", "/records",
+                                             body).decode())
+            uploaded += int(reply.get("imported", len(chunk)))
+        return uploaded
+
+    # -- core map operations ----------------------------------------------
+    def get(self, key: str) -> Optional[RunRecord]:
+        self._ensure_schema()
+        try:
+            raw = json.loads(self._request("GET", f"/records/{key}").decode())
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise
+        return record_from_dict(raw["record"])
+
+    def put(self, key: str, record: RunRecord, *, fingerprint: str = "",
+            created: Optional[float] = None) -> None:
+        self._ensure_schema()
+        body = json.dumps({
+            "created": created, "fingerprint": fingerprint,
+            "record": record_to_dict(record),
+        }).encode()
+        self._request("PUT", f"/records/{key}", body)
+
+    def put_many(self, entries: List[Tuple[str, RunRecord, str]], *,
+                 created: Optional[float] = None) -> int:
+        return self.upload_rows(
+            [(key, created, fingerprint, record_to_dict(record))
+             for key, record, fingerprint in entries])
+
+    def __contains__(self, key: str) -> bool:
+        self._ensure_schema()
+        return not self._json("POST", "/missing", {"keys": [key]})["missing"]
+
+    def __len__(self) -> int:
+        self._ensure_schema()
+        return int(self._json("GET", "/stats")["runs"])
+
+    def keys(self) -> List[str]:
+        self._ensure_schema()
+        return list(self._json("GET", "/keys")["keys"])
+
+    def rows(self) -> Iterator[Tuple[str, float, str, str]]:
+        for key, created, fingerprint, record in self.items():
+            try:
+                label = record_from_dict(record).request.label
+            except Exception:  # noqa: BLE001 - keep listings best-effort
+                label = ""
+            yield key, created, fingerprint, label
+
+    def items(self) -> Iterator[Tuple[str, float, str, Dict[str, Any]]]:
+        self._ensure_schema()
+        yield from _parse_rows(self._request("GET", "/records").decode())
+
+    def delete(self, key: str) -> bool:
+        self._ensure_schema()
+        try:
+            reply = json.loads(
+                self._request("DELETE", f"/records/{key}").decode())
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return False
+            raise
+        return bool(reply.get("deleted"))
+
+    # -- maintenance -------------------------------------------------------
+    def gc(self, older_than_seconds: float, now: Optional[float] = None,
+           *, dry_run: bool = False) -> int:
+        self._ensure_schema()
+        return int(self._json("POST", "/gc", {
+            "older_than_seconds": older_than_seconds,
+            "now": now, "dry_run": dry_run})["dropped"])
+
+    def fingerprints(self) -> Dict[str, int]:
+        self._ensure_schema()
+        return dict(self._json("GET", "/stats")["fingerprints"])
+
+    # -- persistent counters ----------------------------------------------
+    def bump_counter(self, name: str, delta: int = 1) -> None:
+        self._ensure_schema()
+        # Not idempotent: a replayed bump double-counts, so no retry.
+        self._json("POST", "/counters", {"name": name, "delta": delta},
+                   retry=False)
+
+    def counters(self) -> Dict[str, int]:
+        self._ensure_schema()
+        return {name: int(value) for name, value in
+                self._json("GET", "/counters")["counters"].items()}
+
+    def close(self) -> None:
+        pass  # connections are per-request; nothing is held open
+
+
+def _port_of(url: str) -> str:
+    from urllib.parse import urlsplit
+
+    return str(urlsplit(url).port or 80)

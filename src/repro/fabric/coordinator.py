@@ -1,0 +1,355 @@
+"""The work-sharing coordinator: one sweep, N processes, one store.
+
+:func:`iter_fabric_runs` turns a sweep's ``RunRequest`` list into a
+distributed, resumable job queue over a fabric store server:
+
+1. every request is content-addressed (:func:`~repro.store.keys.run_key`
+   over the canonical request plus the per-subsystem code fingerprint);
+2. **one** batched ``POST /missing`` call maps the whole key list to the
+   miss-list — everything else is served as ``hit`` events from one bulk
+   ``POST /fetch``;
+3. the misses are sharded round-robin across N worker processes, each
+   executing through the ordinary :func:`~repro.core.executor.iter_runs`
+   into a *private local shard store* and bulk-uploading completed rows
+   to the server every ``sync_every`` results (with the client's
+   retry/backoff underneath; a down server just defers the batch to the
+   next sync);
+4. the workers' typed :class:`~repro.core.executor.RunEvent` streams are
+   merged, re-indexed to sweep order, and yielded to the caller —
+   exactly one terminal event per request, same contract as
+   ``iter_runs``.
+
+Crash safety falls out of content addressing.  A worker's local shard
+store is its write-ahead log: a killed worker is respawned over the
+*same* local directory with its unfinished assignment, so anything it
+executed-but-had-not-uploaded replays as instant local hits and still
+reaches the server; anything it never ran simply runs.  Killing the
+whole coordinator loses nothing either — a rerun's ``/missing`` probe
+shrinks to the absent cells.  Nothing is ever lost, re-measured, or
+double-counted.
+
+``repro worker`` is the CLI front-end::
+
+    repro worker --file grid.json --url http://lab-server:8737 --workers 8
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import shutil
+import tempfile
+import time
+import traceback
+from dataclasses import replace
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.executor import (
+    RunEvent,
+    RunFn,
+    RunRequest,
+    _terminal_event,
+    iter_runs,
+)
+from ..store.keys import fingerprint_for, record_from_dict, run_key
+from .client import FabricConnectionError, RemoteStore
+
+#: Completed results a worker accumulates before bulk-uploading.
+DEFAULT_SYNC_EVERY = 32
+#: Attempts a worker makes to flush its final batch before giving up
+#: (each attempt already carries the client's own transport retries).
+_FLUSH_ATTEMPTS = 4
+
+
+class FabricWorkerError(RuntimeError):
+    """A fabric worker failed unrecoverably (or too many were lost)."""
+
+
+#: One sharded unit of work: ``(sweep index, request)``.
+_Assigned = Tuple[int, RunRequest]
+
+
+def _hit_event(index: int, request: RunRequest, key: str,
+               record_dict: Dict[str, Any]) -> RunEvent:
+    record = record_from_dict(record_dict)
+    record.cached = True
+    return _terminal_event("hit", index, request, key, record, stored=True)
+
+
+def _sync_new_rows(local: Any, remote: RemoteStore,
+                   uploaded: set) -> int:
+    """Upload every local row the server hasn't been sent yet."""
+    rows = [row for row in local.items() if row[0] not in uploaded]
+    if not rows:
+        return 0
+    count = remote.upload_rows(rows)
+    uploaded.update(row[0] for row in rows)
+    return count
+
+
+def _worker_main(worker_id: int, assignment: Sequence[_Assigned], url: str,
+                 local_path: str, sync_every: int, retries: int,
+                 wall_timeout: Optional[float], run_fn: Optional[RunFn],
+                 events: Any) -> None:
+    """One fabric worker process: execute a shard, sync, report events.
+
+    The local shard store doubles as the write-ahead log — rows land
+    there first (via the executor's ordinary store write-back) and are
+    bulk-uploaded in batches.  A sync that cannot reach the server is
+    simply deferred; only the *final* flush escalates to a failure,
+    because exiting with unsent rows would stall the sweep until a
+    respawn replays them.
+    """
+    local = None
+    try:
+        remote = RemoteStore(url)
+        uploaded: set = set()
+        from ..store.backend import open_store
+
+        local = open_store(local_path, backend="shards")
+        requests = [request for _, request in assignment]
+        indices = [index for index, _ in assignment]
+        since_sync = 0
+        for event in iter_runs(requests, jobs=1, wall_timeout=wall_timeout,
+                               retries=retries, run_fn=run_fn, store=local):
+            events.put(("event", worker_id,
+                        replace(event, index=indices[event.index])))
+            if event.terminal:
+                since_sync += 1
+                if since_sync >= sync_every:
+                    since_sync = 0
+                    try:
+                        _sync_new_rows(local, remote, uploaded)
+                    except FabricConnectionError:
+                        pass  # deferred: rows stay local, next sync retries
+        for attempt in range(_FLUSH_ATTEMPTS):
+            try:
+                _sync_new_rows(local, remote, uploaded)
+                break
+            except FabricConnectionError:
+                if attempt == _FLUSH_ATTEMPTS - 1:
+                    raise
+                time.sleep(0.5 * (2 ** attempt))
+        events.put(("done", worker_id, len(assignment)))
+    except BaseException:  # noqa: BLE001 - report, then die
+        events.put(("failed", worker_id, traceback.format_exc()))
+    finally:
+        if local is not None:
+            local.close()
+
+
+def iter_fabric_runs(
+    requests: Sequence[RunRequest],
+    url: str,
+    *,
+    workers: int = 2,
+    sync_every: int = DEFAULT_SYNC_EVERY,
+    retries: int = 1,
+    wall_timeout: Optional[float] = None,
+    run_fn: Optional[RunFn] = None,
+    workdir: Optional[str] = None,
+    max_restarts: Optional[int] = None,
+    on_worker_start: Optional[Callable[[int, int], None]] = None,
+) -> Iterator[RunEvent]:
+    """Execute a sweep against a fabric server, streaming merged events.
+
+    The distributed analogue of :func:`~repro.core.executor.iter_runs`:
+    same typed event stream, same exactly-one-terminal-per-request
+    contract, but the misses execute in ``workers`` separate processes
+    and the results land in the server's store.
+
+    Parameters
+    ----------
+    url:
+        The fabric server (``repro serve``).  Reachability and
+        ``KEY_SCHEMA_VERSION`` agreement are checked up front — a
+        mismatched or absent server fails loudly before any work starts.
+    workers:
+        Worker processes to shard the miss-list across (round-robin).
+    sync_every:
+        Completed results a worker batches before bulk-uploading.
+        Smaller = less loss-window after a crash (a respawn replays
+        unsynced rows from the worker's local store anyway); larger =
+        fewer round trips.
+    run_fn:
+        Per-request run function (default: the real simulator).  Must
+        be importable in a child process.
+    workdir:
+        Directory for the workers' local shard stores
+        (``workdir/worker-<i>``).  Defaults to a temporary directory
+        cleaned up on success.  Pass an explicit one to keep the local
+        write-ahead stores around (or to resume into them).
+    max_restarts:
+        Respawn budget for killed workers (default ``2 * workers``);
+        exceeding it raises :class:`FabricWorkerError`.
+    on_worker_start:
+        ``callback(worker_id, pid)`` after every (re)spawn — the hook
+        the kill/resume tests use to aim their signals.
+    """
+    requests = list(requests)
+    if not requests:
+        return
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    remote = RemoteStore(url)
+    remote.healthz()  # fail fast if unreachable
+    tagged: List[Tuple[int, RunRequest, str]] = []
+    for index, request in enumerate(requests):
+        fingerprint = fingerprint_for(request)
+        tagged.append((index, request,
+                       run_key(request, fingerprint=fingerprint)))
+    missing = set(remote.missing([key for _, _, key in tagged]))
+    hits = [(index, request, key) for index, request, key in tagged
+            if key not in missing]
+    misses = [(index, request, key) for index, request, key in tagged
+              if key in missing]
+    if hits:
+        rows = {key: record for key, _, _, record
+                in remote.fetch([key for _, _, key in hits])}
+        for index, request, key in hits:
+            yield _hit_event(index, request, key, rows[key])
+    if not misses:
+        return
+
+    own_workdir = workdir is None
+    base = Path(tempfile.mkdtemp(prefix="repro-fabric-")
+                if own_workdir else workdir)
+    base.mkdir(parents=True, exist_ok=True)
+    workers = min(workers, len(misses))
+    assignments: List[List[_Assigned]] = [[] for _ in range(workers)]
+    for position, (index, request, _key) in enumerate(misses):
+        assignments[position % workers].append((index, request))
+    key_of = {index: key for index, _, key in misses}
+
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else None)
+    events: Any = ctx.Queue()
+    if max_restarts is None:
+        max_restarts = 2 * workers
+
+    def _spawn(worker_id: int) -> Any:
+        remaining = [(index, request)
+                     for index, request in assignments[worker_id]
+                     if index not in terminal_seen]
+        process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, remaining, url,
+                  str(base / f"worker-{worker_id}"), sync_every, retries,
+                  wall_timeout, run_fn, events),
+            name=f"repro-fabric-worker-{worker_id}", daemon=True)
+        process.start()
+        if on_worker_start is not None:
+            on_worker_start(worker_id, process.pid)
+        return process
+
+    terminal_seen: set = set()
+    finished: set = set()
+    restarts = 0
+    alive = {worker_id: _spawn(worker_id) for worker_id in range(workers)}
+    try:
+        while alive:
+            try:
+                message = events.get(timeout=0.1)
+            except queue_mod.Empty:
+                message = None
+            if message is not None:
+                kind, worker_id = message[0], message[1]
+                if kind == "event":
+                    event = message[2]
+                    if event.terminal:
+                        if event.index in terminal_seen:
+                            continue  # a respawn replayed it as a local hit
+                        terminal_seen.add(event.index)
+                    yield event
+                elif kind == "done":
+                    finished.add(worker_id)
+                elif kind == "failed":
+                    raise FabricWorkerError(
+                        f"fabric worker {worker_id} failed:\n{message[2]}")
+                continue  # drain queued events before liveness checks
+            for worker_id, process in list(alive.items()):
+                if process.is_alive():
+                    continue
+                process.join()
+                del alive[worker_id]
+                if worker_id in finished:
+                    continue
+                # Killed without a word: its local shard store is the
+                # write-ahead log, so a respawn over the same directory
+                # replays executed-but-unsent rows as instant hits and
+                # only the genuinely unrun cells execute.
+                restarts += 1
+                if restarts > max_restarts:
+                    raise FabricWorkerError(
+                        f"fabric worker {worker_id} died and the restart "
+                        f"budget ({max_restarts}) is spent")
+                alive[worker_id] = _spawn(worker_id)
+    finally:
+        for process in alive.values():
+            process.terminate()
+        for process in alive.values():
+            process.join(timeout=5.0)
+        events.close()
+
+    leftover = [(index, request) for worker_assignment in assignments
+                for index, request in worker_assignment
+                if index not in terminal_seen]
+    if leftover:
+        # A worker exited cleanly but its last queued events were lost
+        # (possible if it was killed mid-queue-flush).  The rows may
+        # still have been uploaded — serve those as hits; anything truly
+        # absent is a real loss.
+        rows = {key: record for key, _, _, record in remote.fetch(
+            [key_of[index] for index, _ in leftover])}
+        for index, request in leftover:
+            key = key_of[index]
+            if key in rows:
+                yield _hit_event(index, request, key, rows[key])
+            else:
+                raise FabricWorkerError(
+                    f"no terminal event and no stored record for request "
+                    f"{index} ({request.label}); the sweep is incomplete")
+    if own_workdir:
+        shutil.rmtree(base, ignore_errors=True)
+
+
+def run_fabric_sweep(
+    requests: Sequence[RunRequest],
+    url: str,
+    **kwargs: Any,
+) -> Dict[str, int]:
+    """Run a sweep to completion against a fabric server; count outcomes.
+
+    Convenience wrapper over :func:`iter_fabric_runs` for callers that
+    only want the summary: ``{"requests", "hits", "completed",
+    "failed", "retries"}``.
+    """
+    counts = {"requests": 0, "hits": 0, "completed": 0, "failed": 0,
+              "retries": 0}
+    for event in iter_fabric_runs(requests, url, **kwargs):
+        if event.kind == "retry":
+            counts["retries"] += 1
+        if not event.terminal:
+            continue
+        counts["requests"] += 1
+        if event.kind == "hit":
+            counts["hits"] += 1
+        elif event.kind == "complete" and event.ok:
+            counts["completed"] += 1
+        elif event.kind == "complete":
+            counts["completed"] += 1
+            counts["failed"] += 1
+        else:
+            counts["failed"] += 1
+    return counts

@@ -1,0 +1,310 @@
+"""The HTTP store server: any local store, served to the fabric.
+
+:class:`StoreServer` wraps a :class:`~repro.store.backend.StoreBackend`
+in a stdlib :class:`~http.server.ThreadingHTTPServer` — zero third-party
+dependencies — speaking the content-addressed key protocol:
+
+==========================  ============================================
+``GET  /healthz``           liveness + ``key_schema_version`` handshake
+``GET  /stats``             row count, lifetime counters, fingerprints
+``GET  /keys``              every stored key
+``GET  /counters``          the persistent counter map
+``GET  /records``           every row, streamed as JSONL (bulk download)
+``GET  /records/<key>``     one row, or 404
+``PUT  /records/<key>``     insert/replace one row
+``POST /records``           bulk upload: JSONL body -> ``put_many``
+``POST /missing``           ``{"keys": [...]}`` -> the subset the server
+                            *lacks* (the one-round-trip miss-list probe)
+``POST /fetch``             ``{"keys": [...]}`` -> the present subset's
+                            rows as JSONL (bulk download by key)
+``POST /gc``                drop rows older than a horizon
+``POST /counters``          bump one persistent counter
+``DELETE /records/<key>``   drop one row
+==========================  ============================================
+
+Rows travel in the store's portable JSONL dialect — ``{"key":,
+"created":, "fingerprint":, "record":}`` — exactly what
+``export_jsonl``/``import_jsonl`` read and write, so the wire format is
+the sync format.  Every handler runs under one server-wide lock: the
+handler threads serialise on the backing store (which is what a sqlite
+backing needs, and what keeps a shard compaction from interleaving a
+bulk download), while the sharded backend's own per-shard flocks keep
+*other processes* appending to the same directory safe as ever.
+
+``repro serve`` is the CLI front-end::
+
+    repro serve --store sweeps/ --port 8737
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..store.backend import StoreBackend, open_store
+from ..store.keys import KEY_SCHEMA_VERSION
+
+#: Version of the fabric wire protocol itself (paths + payload shapes).
+PROTOCOL_VERSION = 1
+#: Default TCP port (`"QC"` on a phone keypad was taken; this is free).
+DEFAULT_PORT = 8737
+
+_JSON = "application/json"
+_JSONL = "application/x-ndjson"
+
+
+def _row_line(key: str, created: float, fingerprint: str,
+              record: Dict[str, Any]) -> bytes:
+    return (json.dumps({"key": key, "created": created,
+                        "fingerprint": fingerprint, "record": record},
+                       sort_keys=True) + "\n").encode()
+
+
+def _parse_rows(body: bytes) -> List[Tuple[str, Optional[float], str,
+                                           Dict[str, Any]]]:
+    """Decode a JSONL (or JSON-array) body of rows in the sync dialect."""
+    text = body.decode()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        raws = json.loads(text)
+    else:
+        raws = [json.loads(line) for line in text.splitlines()
+                if line.strip()]
+    return [(raw["key"], raw.get("created"), raw.get("fingerprint", ""),
+             raw["record"]) for raw in raws]
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """One fabric request; the backing store hangs off ``self.server``."""
+
+    server_version = f"repro-fabric/{PROTOCOL_VERSION}"
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _reply(self, status: int, payload: bytes,
+               content_type: str = _JSON) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._reply(status, (json.dumps(payload, sort_keys=True)
+                             + "\n").encode())
+
+    def _error(self, status: int, message: str) -> None:
+        self._json(status, {"error": message})
+
+    @property
+    def store(self) -> StoreBackend:
+        return self.server.store  # type: ignore[attr-defined]
+
+    @property
+    def lock(self) -> threading.Lock:
+        return self.server.store_lock  # type: ignore[attr-defined]
+
+    def _route(self) -> Tuple[str, Optional[str]]:
+        """``(collection, key-or-None)`` for the request path."""
+        path = urlsplit(self.path).path.rstrip("/")
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 1:
+            return parts[0], None
+        if len(parts) == 2:
+            return parts[0], parts[1]
+        return path or "/", None
+
+    # -- verbs -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        collection, key = self._route()
+        try:
+            with self.lock:
+                if collection == "healthz" and key is None:
+                    self._json(200, {
+                        "ok": True,
+                        "protocol_version": PROTOCOL_VERSION,
+                        "key_schema_version": KEY_SCHEMA_VERSION,
+                        "kind": self.store.kind,
+                        "runs": len(self.store),
+                    })
+                elif collection == "stats" and key is None:
+                    self._json(200, {
+                        "kind": self.store.kind,
+                        "path": self.store.path,
+                        "runs": len(self.store),
+                        "counters": self.store.counters(),
+                        "fingerprints": self.store.fingerprints(),
+                        "key_schema_version": KEY_SCHEMA_VERSION,
+                    })
+                elif collection == "keys" and key is None:
+                    self._json(200, {"keys": self.store.keys()})
+                elif collection == "counters" and key is None:
+                    self._json(200, {"counters": self.store.counters()})
+                elif collection == "records" and key is None:
+                    lines = [_row_line(*row) for row in self.store.items()]
+                    self._reply(200, b"".join(lines), _JSONL)
+                elif collection == "records":
+                    # row() keeps the created/fingerprint envelope the
+                    # sync dialect carries; get() alone would lose it.
+                    row = self.store.row(key)
+                    if row is None:
+                        self._error(404, f"no record for key {key!r}")
+                    else:
+                        self._reply(200, _row_line(*row), _JSON)
+                else:
+                    self._error(404, f"unknown path {self.path!r}")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        collection, key = self._route()
+        body = self._body()
+        try:
+            if collection == "missing" and key is None:
+                keys = json.loads(body.decode())["keys"]
+                with self.lock:
+                    missing = [k for k in keys if k not in self.store]
+                self._json(200, {"missing": missing})
+            elif collection == "fetch" and key is None:
+                wanted = set(json.loads(body.decode())["keys"])
+                with self.lock:
+                    lines = [_row_line(*row) for row in self.store.items()
+                             if row[0] in wanted]
+                self._reply(200, b"".join(lines), _JSONL)
+            elif collection == "records" and key is None:
+                rows = _parse_rows(body)
+                from ..store.keys import record_from_dict
+
+                with self.lock:
+                    for row_key, created, fingerprint, record in rows:
+                        self.store.put(row_key, record_from_dict(record),
+                                       fingerprint=fingerprint,
+                                       created=created)
+                self._json(200, {"imported": len(rows)})
+            elif collection == "gc" and key is None:
+                spec = json.loads(body.decode())
+                with self.lock:
+                    dropped = self.store.gc(
+                        float(spec["older_than_seconds"]),
+                        now=spec.get("now"),
+                        dry_run=bool(spec.get("dry_run", False)))
+                self._json(200, {"dropped": dropped})
+            elif collection == "counters" and key is None:
+                spec = json.loads(body.decode())
+                with self.lock:
+                    self.store.bump_counter(spec["name"],
+                                            int(spec.get("delta", 1)))
+                self._json(200, {"ok": True})
+            else:
+                self._error(404, f"unknown path {self.path!r}")
+        except (KeyError, ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"malformed request body: {exc}")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server contract
+        collection, key = self._route()
+        if collection != "records" or key is None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            raw = json.loads(self._body().decode())
+            from ..store.keys import record_from_dict
+
+            record = record_from_dict(raw["record"])
+            with self.lock:
+                self.store.put(key, record,
+                               fingerprint=raw.get("fingerprint", ""),
+                               created=raw.get("created"))
+            self._json(200, {"ok": True})
+        except (KeyError, ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"malformed record body: {exc}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server contract
+        collection, key = self._route()
+        if collection != "records" or key is None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        with self.lock:
+            deleted = self.store.delete(key)
+        self._json(200 if deleted else 404, {"deleted": deleted})
+
+
+class StoreServer:
+    """A fabric server bound to one backing store.
+
+    Blocking use (``repro serve``)::
+
+        StoreServer("sweeps/", port=8737).serve_forever()
+
+    Background use (tests, in-process fabrics)::
+
+        with StoreServer(store, port=0) as server:
+            RemoteStore(server.url).put(...)
+
+    ``port=0`` binds an ephemeral port; read it back from :attr:`url`.
+    """
+
+    def __init__(self, store: Any, *, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT, verbose: bool = False) -> None:
+        self.store = open_store(store)
+        self._httpd = ThreadingHTTPServer((host, port), StoreRequestHandler)
+        self._httpd.store = self.store  # type: ignore[attr-defined]
+        self._httpd.store_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self._httpd.server_close()
+
+    def start(self) -> str:
+        """Serve on a daemon thread; returns the server URL."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="repro-fabric-server",
+                daemon=True)
+            self._thread.start()
+        return self.url
+
+    def shutdown(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.store.close()
+
+    def __enter__(self) -> "StoreServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -40,6 +40,7 @@ from .backend import (
     StoreBackend,
     StoreNotFoundError,
     default_store_path,
+    is_store_url,
     merge_into,
     open_store,
     resolve_store,
@@ -76,6 +77,7 @@ __all__ = [
     "StoreBackend",
     "StoreNotFoundError",
     "default_store_path",
+    "is_store_url",
     "merge_into",
     "open_store",
     "resolve_store",

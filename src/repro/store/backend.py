@@ -13,11 +13,12 @@ is :class:`StoreBackend`; two implementations ship:
   paper-scale sweeps on many-core hosts need.
 
 :func:`open_store` selects a backend by path convention (``.sqlite`` /
-``.db`` file vs directory), honours ``$REPRO_STORE`` for the default
-location, and takes an explicit ``backend=`` override.  Everything
-above the backend — :class:`~repro.store.cache.RunCache`, the executor's
-``store=`` argument, the ``repro store`` CLI group — works identically
-against both.
+``.db`` file vs directory; ``http(s)://`` URLs open the fabric's
+:class:`~repro.fabric.client.RemoteStore`), honours ``$REPRO_STORE``
+for the default location, and takes an explicit ``backend=`` override.
+Everything above the backend — :class:`~repro.store.cache.RunCache`,
+the executor's ``store=`` argument, the ``repro store`` CLI group —
+works identically against all of them.
 
 A store is deliberately dumb: it never computes keys, never decides
 what is cacheable, and never invalidates.  Key semantics live in
@@ -43,7 +44,7 @@ STORE_ENV_VAR = "REPRO_STORE"
 #: Default on-disk location when none is given (repo/cwd-local).
 DEFAULT_STORE_PATH = ".repro-store.sqlite"
 #: ``backend=`` values :func:`open_store` understands.
-BACKENDS = ("sqlite", "shards")
+BACKENDS = ("sqlite", "shards", "http")
 
 #: First bytes of every sqlite database file (format sniffing).
 _SQLITE_MAGIC = b"SQLite format 3\x00"
@@ -52,6 +53,11 @@ _SQLITE_MAGIC = b"SQLite format 3\x00"
 def default_store_path() -> str:
     """Where ``--cache`` puts the store unless told otherwise."""
     return os.environ.get(STORE_ENV_VAR) or DEFAULT_STORE_PATH
+
+
+def is_store_url(path: Union[str, Path]) -> bool:
+    """Whether a store location names a fabric server rather than a file."""
+    return str(path).startswith(("http://", "https://"))
 
 
 class StoreBackend(abc.ABC):
@@ -111,6 +117,19 @@ class StoreBackend(abc.ABC):
     @abc.abstractmethod
     def items(self) -> Iterator[Tuple[str, float, str, Dict[str, Any]]]:
         """(key, created, fingerprint, record-dict), oldest row first."""
+
+    def row(self, key: str) -> Optional[Tuple[str, float, str,
+                                              Dict[str, Any]]]:
+        """One full row — ``(key, created, fingerprint, record-dict)``.
+
+        Unlike :meth:`get` this keeps the sync-dialect envelope, which
+        is what the fabric server's point lookups serve.  The default
+        scans :meth:`items`; backends override it with an indexed read.
+        """
+        for candidate in self.items():
+            if candidate[0] == key:
+                return candidate
+        return None
 
     @abc.abstractmethod
     def delete(self, key: str) -> bool: ...
@@ -201,7 +220,12 @@ class SqliteStore(StoreBackend):
             parent.mkdir(parents=True, exist_ok=True)
         # A generous busy timeout: concurrent writers (benchmarks, a lab
         # of machines syncing into one file) queue instead of erroring.
-        self._db = sqlite3.connect(self.path, timeout=30.0)
+        # check_same_thread=False lets the fabric server's handler
+        # threads share this connection; the server serialises every
+        # access under one lock, so the connection is never used
+        # concurrently.
+        self._db = sqlite3.connect(self.path, timeout=30.0,
+                                   check_same_thread=False)
         self._db.executescript(_SCHEMA)
         self._db.commit()
 
@@ -258,6 +282,15 @@ class SqliteStore(StoreBackend):
                 "ORDER BY created, key"):
             yield key, created, fingerprint, json.loads(record)
 
+    def row(self, key: str) -> Optional[Tuple[str, float, str,
+                                              Dict[str, Any]]]:
+        raw = self._db.execute(
+            "SELECT key, created, fingerprint, record FROM runs "
+            "WHERE key = ?", (key,)).fetchone()
+        if raw is None:
+            return None
+        return raw[0], raw[1], raw[2], json.loads(raw[3])
+
     def delete(self, key: str) -> bool:
         cursor = self._db.execute("DELETE FROM runs WHERE key = ?", (key,))
         self._db.commit()
@@ -305,9 +338,11 @@ def open_store(store: Union[StoreBackend, str, Path, None] = None, *,
                backend: Optional[str] = None) -> StoreBackend:
     """Open a results store, selecting the backend by convention.
 
-    ``store`` may be an existing backend (returned as-is), a path, or
+    ``store`` may be an existing backend (returned as-is), a path, an
+    ``http(s)://`` URL naming a fabric server (``repro serve``), or
     None (``$REPRO_STORE`` / ``.repro-store.sqlite``).  ``backend``
-    forces ``"sqlite"`` or ``"shards"``; otherwise the path decides:
+    forces ``"sqlite"``, ``"shards"`` or ``"http"``; otherwise the path
+    decides: URLs open a :class:`~repro.fabric.client.RemoteStore`,
     ``:memory:`` and existing files (or ``.sqlite``/``.db`` suffixes)
     open sqlite, existing directories (or any other new path) open the
     sharded JSONL store.
@@ -320,11 +355,22 @@ def open_store(store: Union[StoreBackend, str, Path, None] = None, *,
     from .shards import ShardStore  # local: shards imports this module
 
     path = default_store_path() if store is None else str(store)
-    if backend is not None:
-        if backend not in BACKENDS:
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            f"unknown store backend {backend!r} (expected one of "
+            f"{', '.join(BACKENDS)})")
+    if is_store_url(path) or backend == "http":
+        if not is_store_url(path):
             raise ValueError(
-                f"unknown store backend {backend!r} (expected one of "
-                f"{', '.join(BACKENDS)})")
+                f"backend 'http' needs an http(s):// URL, got {path!r}")
+        if backend not in (None, "http"):
+            raise ValueError(
+                f"backend {backend!r} cannot open the fabric server at "
+                f"{path}; drop the flag (URLs are always 'http')")
+        from ..fabric.client import RemoteStore  # local: fabric imports this
+
+        return RemoteStore(path)
+    if backend is not None:
         return SqliteStore(path) if backend == "sqlite" else ShardStore(path)
     if path == ":memory:":
         return SqliteStore(path)
@@ -361,9 +407,12 @@ def store_kind_at(path: Union[str, Path]) -> Optional[str]:
     """The backend kind of an existing store at ``path``, or None.
 
     Follows the same convention :func:`open_store` applies: a directory
-    is a sharded store, a file is sqlite.  ``:memory:`` and missing
-    paths report None (nothing exists there yet).
+    is a sharded store, a file is sqlite, a URL is a fabric server
+    (reported without probing it).  ``:memory:`` and missing paths
+    report None (nothing exists there yet).
     """
+    if is_store_url(path):
+        return "http"
     if str(path) == ":memory:":
         return None
     target = Path(path)
@@ -408,7 +457,10 @@ def resolve_store(store: Union[StoreBackend, str, Path, None] = None, *,
         raise ValueError(
             f"--backend {forced} conflicts with the existing {existing} "
             f"store at {path}; drop the flag or point at another path")
-    return open_store(path, backend=forced)
+    opened = open_store(path, backend=forced)
+    if must_exist and existing == "http":
+        opened.healthz()  # "exists" for a URL means the server answers
+    return opened
 
 
 # ----------------------------------------------------------------------
@@ -430,10 +482,14 @@ def _iter_jsonl(path: Union[str, Path]
 def iter_source(source: Union[StoreBackend, str, Path]
                 ) -> Iterator[Tuple[str, Optional[float], str,
                                     Dict[str, Any]]]:
-    """Rows of any syncable source: a backend, a store path, or a JSONL
-    export (sqlite files are sniffed by their magic bytes)."""
+    """Rows of any syncable source: a backend, a store path, a fabric
+    server URL, or a JSONL export (sqlite files are sniffed by their
+    magic bytes)."""
     if isinstance(source, StoreBackend):
         yield from source.items()
+        return
+    if is_store_url(source):
+        yield from open_store(source).items()
         return
     path = Path(source)
     if path.is_dir():
@@ -456,9 +512,36 @@ def merge_into(dst: StoreBackend, source: Union[StoreBackend, str, Path]
     """Merge ``source`` into ``dst``, skipping keys already present.
 
     Returns ``(imported, skipped)`` — the lab-wide warm-cache path:
-    pull a peer's store (sqlite file, shard directory, or JSONL export)
-    and only the rows you were missing land.
+    pull a peer's store (sqlite file, shard directory, fabric server
+    URL, or JSONL export) and only the rows you were missing land.
+
+    A remote destination gets the batched fast path: chunks of rows are
+    probed with one ``/missing`` call each and uploaded in bulk, so a
+    sync costs O(rows / batch) round trips instead of two per row.
     """
+    probe = getattr(dst, "missing", None)
+    upload = getattr(dst, "upload_rows", None)
+    if probe is not None and upload is not None:
+        imported = skipped = 0
+        batch: List[Tuple[str, Optional[float], str, Dict[str, Any]]] = []
+
+        def _flush() -> Tuple[int, int]:
+            absent = set(probe(row[0] for row in batch))
+            fresh = [row for row in batch if row[0] in absent]
+            if fresh:
+                upload(fresh)
+            return len(fresh), len(batch) - len(fresh)
+
+        for row in iter_source(source):
+            batch.append(row)
+            if len(batch) >= 500:
+                done, skip = _flush()
+                imported, skipped = imported + done, skipped + skip
+                batch = []
+        if batch:
+            done, skip = _flush()
+            imported, skipped = imported + done, skipped + skip
+        return imported, skipped
     imported = skipped = 0
     for key, created, fingerprint, record in iter_source(source):
         if key in dst:

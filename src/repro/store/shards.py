@@ -19,7 +19,12 @@ Durability/concurrency contract:
   skipped, and duplicate keys resolve last-write-wins;
 * counters are their own append-only ``counters.jsonl`` ledger of
   ``{"name": …, "delta": …}`` lines, summed on read and compacted
-  opportunistically.
+  opportunistically;
+* data shards compact themselves: when a shard's append ledger carries
+  more than ``compact_ratio`` dead lines (overwrites of existing keys —
+  the steady state of a long-lived fabric server that keeps absorbing
+  re-uploads), the next read rewrites it under the shard lock, so the
+  directory's size tracks its *live* rows, not its write history.
 
 On platforms without :mod:`fcntl` (Windows) locking degrades to plain
 O_APPEND writes, which POSIX-atomically append whole small lines on
@@ -50,6 +55,11 @@ MANIFEST_NAME = "store.json"
 _HEX = set("0123456789abcdef")
 #: Compact the counters ledger when it grows past this many lines.
 _COUNTER_COMPACT_LINES = 4096
+#: Default dead-line ratio beyond which a data shard auto-compacts.
+DEFAULT_COMPACT_RATIO = 0.5
+#: Shards with fewer ledger lines than this never auto-compact (the
+#: rewrite would cost more than the dead lines do).
+DEFAULT_COMPACT_MIN_LINES = 512
 
 _Entry = Tuple[float, str, Dict[str, Any]]  # created, fingerprint, record
 
@@ -59,8 +69,17 @@ class ShardStore(StoreBackend):
 
     kind = "shards"
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], *,
+                 compact_ratio: Optional[float] = DEFAULT_COMPACT_RATIO,
+                 compact_min_lines: int = DEFAULT_COMPACT_MIN_LINES) -> None:
         self.path = str(path)
+        #: Auto-compact a shard whose ledger is more than this fraction
+        #: dead lines (None disables auto-compaction entirely).
+        self.compact_ratio = compact_ratio
+        self.compact_min_lines = compact_min_lines
+        #: Auto-compactions performed by *this* instance (session
+        #: counter; the persistent "compactions" counter is lifetime).
+        self.compactions = 0
         self._dir = Path(path)
         self._dir.mkdir(parents=True, exist_ok=True)
         manifest = self._dir / MANIFEST_NAME
@@ -100,8 +119,15 @@ class ShardStore(StoreBackend):
                     fcntl.flock(handle, fcntl.LOCK_UN)
 
     @staticmethod
-    def _parse_lines(text: str) -> Dict[str, _Entry]:
+    def _parse_counted(text: str) -> Tuple[Dict[str, _Entry], int]:
+        """Parse a shard ledger; also count the valid lines it holds.
+
+        ``lines - len(entries)`` is the shard's dead weight: overwrites
+        of keys that appear again later (last-write-wins), exactly what
+        auto-compaction reclaims.
+        """
         entries: Dict[str, _Entry] = {}
+        lines = 0
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -110,10 +136,20 @@ class ShardStore(StoreBackend):
                 raw = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn trailing line from a crashed append
+            lines += 1
             entries[raw["key"]] = (raw["created"],
                                    raw.get("fingerprint", ""),
                                    raw["record"])
-        return entries
+        return entries, lines
+
+    @classmethod
+    def _parse_lines(cls, text: str) -> Dict[str, _Entry]:
+        return cls._parse_counted(text)[0]
+
+    def _should_compact(self, lines: int, live: int) -> bool:
+        if self.compact_ratio is None or lines < self.compact_min_lines:
+            return False
+        return (lines - live) / lines > self.compact_ratio
 
     def _load(self, shard: str) -> Dict[str, _Entry]:
         """Parse one shard, served from the mtime/size cache when clean."""
@@ -127,8 +163,28 @@ class ShardStore(StoreBackend):
         cached = self._cache.get(shard)
         if cached is not None and cached[0] == signature:
             return cached[1]
-        entries = self._parse_lines(path.read_text())
+        entries, lines = self._parse_counted(path.read_text())
+        if self._should_compact(lines, len(entries)):
+            return self._auto_compact(shard)
         self._cache[shard] = (signature, entries)
+        return entries
+
+    def _auto_compact(self, shard: str) -> Dict[str, _Entry]:
+        """Rewrite a dead-heavy shard in place; returns its live entries."""
+        with self._locked(shard):
+            # Re-read under the lock: another process may have appended
+            # (or already compacted) since the triggering read.
+            path = self._data_path(shard)
+            entries = self._parse_lines(
+                path.read_text()) if path.exists() else {}
+            self._rewrite(shard, entries)
+        self.compactions += 1
+        self.bump_counter("compactions")
+        try:
+            stat = self._data_path(shard).stat()
+            self._cache[shard] = ((stat.st_mtime_ns, stat.st_size), entries)
+        except FileNotFoundError:
+            pass  # every entry was dead; _rewrite removed the file
         return entries
 
     def _shards(self) -> List[str]:
@@ -222,6 +278,13 @@ class ShardStore(StoreBackend):
     def items(self) -> Iterator[Tuple[str, float, str, Dict[str, Any]]]:
         for key, (created, fingerprint, record) in self._all_entries():
             yield key, created, fingerprint, record
+
+    def row(self, key: str) -> Optional[Tuple[str, float, str,
+                                              Dict[str, Any]]]:
+        entry = self._load(self.shard_of(key)).get(key)
+        if entry is None:
+            return None
+        return key, entry[0], entry[1], entry[2]
 
     def delete(self, key: str) -> bool:
         shard = self.shard_of(key)

@@ -158,6 +158,25 @@ def pipeline_payload(**overrides):
     return base
 
 
+def fabric_payload(**overrides):
+    base = {
+        "benchmark": "fabric",
+        "cells": 10_000,
+        "workers": 4,
+        "sync_every": 256,
+        "single_seconds": 4.0,
+        "fabric_seconds": 10.0,
+        "fabric_overhead": 2.5,
+        "cells_per_sec": 1_000.0,
+        "warm_seconds": 2.0,
+        "warm_hit_rate": 1.0,
+        "resume_missing": 0,
+        "results_identical": True,
+    }
+    base.update(overrides)
+    return base
+
+
 class TestMultiPayloadGate:
     """Exit-code contract for the executor/store payload kinds:
     0 = shape + contract hold, 1 = contract violation, 2 = malformed
@@ -233,6 +252,55 @@ class TestMultiPayloadGate:
         committed = REPO / "BENCH_pipeline.json"
         if not committed.exists():
             pytest.skip("no committed BENCH_pipeline.json")
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), str(committed), str(committed)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_fabric_payload_passes(self, tmp_path):
+        proc = diff(tmp_path, fabric_payload(), fabric_payload())
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "fabric" in proc.stdout
+
+    def test_fabric_results_not_identical_fails(self, tmp_path):
+        proc = diff(tmp_path, fabric_payload(),
+                    fabric_payload(results_identical=False))
+        assert proc.returncode == 1
+        assert "CONTRACT FAIL" in proc.stdout
+
+    def test_fabric_lost_records_fail(self, tmp_path):
+        # A non-empty post-sweep /missing probe means uploads were lost.
+        proc = diff(tmp_path, fabric_payload(),
+                    fabric_payload(resume_missing=3))
+        assert proc.returncode == 1
+        assert "resume_missing" in proc.stdout
+
+    def test_fabric_cold_warm_pass_fails(self, tmp_path):
+        proc = diff(tmp_path, fabric_payload(),
+                    fabric_payload(warm_hit_rate=0.98))
+        assert proc.returncode == 1
+        assert "warm_hit_rate" in proc.stdout
+
+    def test_fabric_overhead_is_informational(self, tmp_path):
+        # Localhost HTTP overhead is the host's business, not a gate.
+        proc = diff(tmp_path, fabric_payload(),
+                    fabric_payload(fabric_overhead=4.0,
+                                   fabric_seconds=16.0,
+                                   cells_per_sec=625.0))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "informational" in proc.stdout
+
+    def test_fabric_missing_key_is_malformed(self, tmp_path):
+        broken = fabric_payload()
+        del broken["resume_missing"]
+        proc = diff(tmp_path, fabric_payload(), broken)
+        assert proc.returncode == 2
+        assert "missing required" in proc.stdout
+
+    def test_gates_committed_fabric_payload(self):
+        committed = REPO / "BENCH_fabric.json"
+        if not committed.exists():
+            pytest.skip("no committed BENCH_fabric.json")
         proc = subprocess.run(
             [sys.executable, str(SCRIPT), str(committed), str(committed)],
             capture_output=True, text=True)

@@ -281,6 +281,28 @@ class TestRunRequestsCompatibility:
         assert not [w for w in recwarn
                     if issubclass(w.category, DeprecationWarning)]
 
+    @pytest.mark.parametrize("force_pool", [False, True])
+    def test_progress_path_reconciles_retry_events(self, tmp_path,
+                                                   monkeypatch, force_pool):
+        """Regression guard: the deprecated progress= path must account
+        retries identically to the event stream — per failed attempt,
+        on both the serial and the pool code path."""
+        monkeypatch.setenv("REPRO_TEST_EVENT_MARKER",
+                           str(tmp_path / f"marker-{force_pool}"))
+        cache = RunCache(tmp_path / "store.sqlite")
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            records = run_requests([req(seed=s) for s in range(3)],
+                                   run_fn=_flaky_once_run, retries=2,
+                                   jobs=2 if force_pool else 1,
+                                   force_pool=force_pool, store=cache,
+                                   progress=seen.append)
+        assert len(seen) == len(records) == 3
+        assert all(r.complete and r.attempts == 2 for r in records)
+        # counter == sum of failed attempts == what retry events report
+        assert cache.retries == sum(r.attempts - 1 for r in records) == 3
+        assert cache.session_stats == (0, 3, 3)
+
 
 class TestValidation:
     def test_rejects_bad_retries(self):

@@ -447,6 +447,76 @@ class TestShardLayout:
         assert not shard.exists()  # empty shard files are removed
 
 
+class TestShardAutoCompaction:
+    def _dup_heavy(self, tmp_path, overwrites=16):
+        """A shard whose ledger is one live key under many overwrites."""
+        writer = ShardStore(tmp_path / "shards", compact_ratio=None)
+        for i in range(overwrites):
+            writer.put("aa11", RunRecord(request=req(), plt=float(i),
+                                         complete=True))
+        return tmp_path / "shards" / "a.jsonl"
+
+    @staticmethod
+    def _lines(shard):
+        return len(shard.read_text().splitlines())
+
+    def test_dead_heavy_shard_compacts_on_read(self, tmp_path):
+        shard = self._dup_heavy(tmp_path)
+        assert self._lines(shard) == 16
+        store = ShardStore(tmp_path / "shards", compact_min_lines=8)
+        assert store.get("aa11").plt == 15.0  # last write wins
+        assert self._lines(shard) == 1  # 15 dead lines reclaimed
+        assert store.compactions == 1
+        assert store.counters()["compactions"] == 1
+        # steady state: a compact shard is never rewritten again
+        assert store.get("aa11").plt == 15.0
+        assert store.compactions == 1
+
+    def test_compact_ratio_none_disables(self, tmp_path):
+        shard = self._dup_heavy(tmp_path)
+        store = ShardStore(tmp_path / "shards", compact_ratio=None,
+                           compact_min_lines=8)
+        assert store.get("aa11").plt == 15.0
+        assert self._lines(shard) == 16
+        assert store.compactions == 0
+
+    def test_small_shards_never_compact(self, tmp_path):
+        # 16 lines is dead-heavy but below the default min-lines floor,
+        # so the rewrite cost is not worth the reclaimed bytes.
+        shard = self._dup_heavy(tmp_path)
+        store = ShardStore(tmp_path / "shards")
+        assert store.get("aa11").plt == 15.0
+        assert self._lines(shard) == 16
+        assert store.compactions == 0
+
+    def test_ratio_at_threshold_does_not_trigger(self, tmp_path):
+        # exactly half dead is not *more than* the 0.5 default ratio
+        writer = ShardStore(tmp_path / "shards", compact_ratio=None)
+        for i in range(4):
+            writer.put("aa11", RunRecord(request=req(), plt=float(i),
+                                         complete=True))
+        for key in ("ab22", "ac33", "ad44", "ae55"):
+            writer.put(key, RunRecord(request=req(), plt=1.0,
+                                      complete=True))
+        shard = tmp_path / "shards" / "a.jsonl"
+        store = ShardStore(tmp_path / "shards", compact_min_lines=4)
+        assert len(store.keys()) == 5
+        assert self._lines(shard) == 8  # 4 dead / 8 lines == ratio
+        assert store.compactions == 0
+
+    def test_compaction_preserves_envelope(self, tmp_path):
+        writer = ShardStore(tmp_path / "shards", compact_ratio=None)
+        for i in range(16):
+            writer.put("aa11", RunRecord(request=req(), plt=float(i),
+                                         complete=True),
+                       fingerprint="fp-final", created=123.5)
+        store = ShardStore(tmp_path / "shards", compact_min_lines=8)
+        store.get("aa11")
+        assert store.compactions == 1
+        ((key, created, fingerprint, _record),) = list(store.items())
+        assert (key, created, fingerprint) == ("aa11", 123.5, "fp-final")
+
+
 # ----------------------------------------------------------------------
 # concurrent writers (the reason the sharded backend exists)
 # ----------------------------------------------------------------------
