@@ -54,6 +54,10 @@ perf-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/fabric_sweep.py --cells 2000
 	$(PYTHON) scripts/bench_diff.py /tmp/BENCH_fabric.baseline.json \
 		BENCH_fabric.json --history $(HISTORY)
+	PYTHONPATH=src $(PYTHON) benchmarks/sim_manyflow.py \
+		--out /tmp/BENCH_manyflow.candidate.json
+	$(PYTHON) scripts/bench_diff.py BENCH_manyflow.json \
+		/tmp/BENCH_manyflow.candidate.json --history $(HISTORY)
 	git checkout -- BENCH_executor.json 2>/dev/null || true
 	git checkout -- BENCH_store.json 2>/dev/null || true
 	git checkout -- BENCH_pipeline.json 2>/dev/null || true

@@ -31,6 +31,13 @@ Understands the three machine-readable payload shapes the repo commits:
   payload crossing the parent pipe is the exact regression the
   streaming API exists to prevent).  Throughput and parent RSS are
   informational trends.
+* ``BENCH_manyflow.json`` (``manyflow``) — the thousand-flow fast
+  path: shape-gated, ``results_identical`` must be true (batched link
+  delivery produced the same simulated outcome as per-packet
+  scheduling), ``speedup_vs_per_packet`` must stay >= 3.0 (the
+  fast-path acceptance floor), the host-normalised ``events_per_sec``
+  is gated on ``--threshold`` like the sim rates, and on an identical
+  workload the fixed-seed ``outcome`` block must match exactly.
 * ``BENCH_fabric.json`` (``fabric``) — the distributed-sweep gate:
   shape-gated, ``results_identical`` must be true (the served store
   renders the same report as the single-process baseline),
@@ -77,6 +84,9 @@ REQUIRED_KEYS = {
     "fabric": ("cells", "workers", "single_seconds", "fabric_seconds",
                "fabric_overhead", "cells_per_sec", "warm_hit_rate",
                "resume_missing", "results_identical"),
+    "manyflow": ("flows", "batched_seconds", "per_packet_seconds",
+                 "speedup_vs_per_packet", "events_per_sec",
+                 "results_identical", "outcome"),
 }
 
 #: What lands in the history line per payload kind.
@@ -90,6 +100,8 @@ HISTORY_METRICS = {
                  "roundtrip_seconds"),
     "fabric": ("fabric_overhead", "cells_per_sec", "warm_hit_rate",
                "fabric_seconds", "single_seconds"),
+    "manyflow": ("speedup_vs_per_packet", "events_per_sec",
+                 "batched_seconds", "per_packet_seconds"),
 }
 
 
@@ -283,6 +295,78 @@ def gate_fabric(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
     return failures
 
 
+#: The fast-path acceptance floor: batched delivery must beat
+#: per-packet scheduling by at least this factor at the gated cell.
+MANYFLOW_MIN_SPEEDUP = 3.0
+
+
+def _same_manyflow_workload(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    wa, wb = a.get("workload"), b.get("workload")
+    return bool(wa) and wa == wb
+
+
+def gate_manyflow(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
+                  threshold: float) -> List[str]:
+    failures: List[str] = []
+    if cand_payload.get("results_identical") is not True:
+        failures.append(
+            "manyflow contract: batched delivery and per-packet "
+            "scheduling produced different simulated outcomes "
+            f"(results_identical is "
+            f"{cand_payload.get('results_identical')!r})")
+        print("results_identical: "
+              f"{cand_payload.get('results_identical')!r} [CONTRACT FAIL]")
+    else:
+        print("results_identical: True [ok]")
+
+    speedup = cand_payload.get("speedup_vs_per_packet")
+    if not isinstance(speedup, (int, float)) \
+            or speedup < MANYFLOW_MIN_SPEEDUP:
+        failures.append(
+            f"manyflow contract: speedup_vs_per_packet is {speedup!r}, "
+            f"the fast path must stay >= {MANYFLOW_MIN_SPEEDUP:g}x")
+        print(f"speedup_vs_per_packet: {speedup!r} [CONTRACT FAIL]")
+    else:
+        print(f"speedup_vs_per_packet: {speedup:.2f}x "
+              f"(floor {MANYFLOW_MIN_SPEEDUP:g}x) [ok]")
+
+    base_cal = base_payload.get("calibration_ops_per_sec")
+    cand_cal = cand_payload.get("calibration_ops_per_sec")
+    b = base_payload.get("events_per_sec")
+    c = cand_payload.get("events_per_sec")
+    if b and c:
+        if base_cal and cand_cal:
+            ratio = (c / cand_cal) / (b / base_cal)
+            note = "host-normalised"
+        else:
+            ratio = c / b
+            note = "raw"
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"events_per_sec regressed {100 * (1 - ratio):.1f}% "
+                f"({note}; limit {100 * threshold:.0f}%)")
+            print(f"events_per_sec: {ratio:.3f}x of baseline ({note}) "
+                  "[REGRESSION]")
+        else:
+            print(f"events_per_sec: {ratio:.3f}x of baseline ({note}) [ok]")
+
+    if _same_manyflow_workload(base_payload, cand_payload):
+        bo = base_payload.get("outcome")
+        co = cand_payload.get("outcome")
+        if bo != co:
+            changed = sorted(
+                k for k in set(bo or {}) | set(co or {})
+                if (bo or {}).get(k) != (co or {}).get(k))
+            failures.append(
+                "behaviour change: fixed-seed manyflow outcome differs "
+                f"on an identical workload ({', '.join(changed)})")
+            print(f"outcome: differs in {', '.join(changed)} "
+                  "[BEHAVIOUR CHANGE]")
+        else:
+            print("outcome: identical on identical workload [ok]")
+    return failures
+
+
 # ----------------------------------------------------------------------
 # history
 # ----------------------------------------------------------------------
@@ -362,6 +446,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures = gate_pipeline(base_payload, cand_payload, args.threshold)
     elif base_kind == "fabric":
         failures = gate_fabric(base_payload, cand_payload, args.threshold)
+    elif base_kind == "manyflow":
+        failures = gate_manyflow(base_payload, cand_payload, args.threshold)
     else:
         failures = gate_store(base_payload, cand_payload, args.threshold)
 

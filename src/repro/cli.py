@@ -39,7 +39,7 @@ from .core.runner import (
 from .core.statemachine import infer
 from .devices import DEVICE_PROFILES
 from .http import page, single_object_page
-from .netem import emulated
+from .netem import AQM_NAMES, emulated
 from .quic import KNOWN_VERSIONS, quic_config
 from .video import QUALITIES, measure_video_qoe
 
@@ -414,11 +414,50 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_manyflow(args: argparse.Namespace) -> int:
+    from .core.executor import run_requests
+    from .core.manyflow import (ManyflowConfig, manyflow_requests,
+                                manyflow_scenario)
+
+    config = ManyflowConfig(flows=args.flows, arrival_rate=args.arrival_rate,
+                            tcp_share=args.tcp_share, aqm=args.aqm,
+                            duration=args.duration)
+    scenario = manyflow_scenario(rate_mbps=args.rate,
+                                 rtt=args.rtt_ms / 1000.0,
+                                 loss_rate=args.loss / 100.0)
+    seeds = tuple(range(args.seed, args.seed + args.runs))
+    requests = manyflow_requests(config, scenario=scenario, seeds=seeds)
+    cache = _cache(args)
+    print(f"{config.label}: {len(seeds)} run(s) x {config.flows} flows "
+          f"over {scenario.name}")
+    records = run_requests(requests, jobs=args.jobs, store=cache)
+    for record in records:
+        seed = record.request.seed
+        if not record.complete and record.failure is not None:
+            print(f"  seed {seed}: {record.failure}")
+            continue
+        m = record.metrics
+        flag = " (cached)" if record.cached else ""
+        print(f"  seed {seed}: "
+              f"{int(m['flows_completed'])}/{int(m['flows'])} flows, "
+              f"jain={m['jain_index']:.3f} "
+              f"quic_share={m['quic_share']:.3f} "
+              f"plt_p50={m['plt_p50']:.3f}s "
+              f"p99={m['plt_p99']:.3f}s{flag}")
+    if cache is not None:
+        print(cache.describe_session())
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .core.bench import profile_plt, run_benchmarks, write_payload
+    from .core.bench import (profile_manyflow, profile_plt, run_benchmarks,
+                             write_payload)
 
     if args.profile is not None:
-        profile_plt(top=args.profile)
+        if args.profile_workload == "manyflow":
+            profile_manyflow(top=args.profile)
+        else:
+            profile_plt(top=args.profile)
         return 0
 
     if args.quick:
@@ -636,6 +675,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: a temporary directory)")
     p.set_defaults(func=cmd_worker)
 
+    p = sub.add_parser(
+        "manyflow",
+        help="thousand-flow fair-share sweep (Tab. 4 generalised)")
+    p.add_argument("--flows", type=int, default=1000,
+                   help="concurrent flows at the bottleneck (default 1000)")
+    p.add_argument("--arrival-rate", type=float, default=50.0,
+                   help="mean flow arrivals per second (Poisson)")
+    p.add_argument("--tcp-share", type=float, default=0.5,
+                   help="fraction of flows using TCP (rest QUIC)")
+    p.add_argument("--aqm", choices=AQM_NAMES, default="droptail",
+                   help="bottleneck queue discipline")
+    p.add_argument("--duration", type=float, default=300.0,
+                   help="simulated seconds (cap; runs end at completion)")
+    p.add_argument("--rate", type=float, default=100.0,
+                   help="bottleneck rate, Mbps (default 100)")
+    p.add_argument("--rtt-ms", type=float, default=40.0,
+                   help="base round-trip time, ms")
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="random loss, percent")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first seed; --runs consecutive seeds execute")
+    p.add_argument("--runs", type=int, default=1)
+    jobs_arg(p)
+    cache_arg(p)
+    p.set_defaults(func=cmd_manyflow)
+
     p = sub.add_parser("bench", help="hot-path microbenchmarks / profiler")
     p.add_argument("--events", type=int, default=200_000,
                    help="events for the event-loop microbenchmark")
@@ -651,8 +716,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="JSON",
                    help="write the payload here (default: print only)")
     p.add_argument("--profile", type=int, default=None, metavar="N",
-                   help="cProfile the canonical PLT pair instead and print "
-                        "the top N cumulative rows")
+                   help="cProfile instead of benchmarking: print a "
+                        "subsystem-partition summary and the top N "
+                        "cumulative rows")
+    p.add_argument("--profile-workload", choices=("plt", "manyflow"),
+                   default="plt",
+                   help="what --profile runs: the canonical PLT pair or "
+                        "a 300-flow manyflow engine (default: plt)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("versions", help="Sec. 5.4: version configurations")

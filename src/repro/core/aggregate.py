@@ -105,17 +105,101 @@ class CellAccumulator:
         )
 
 
+@dataclass
+class FairnessAccumulator:
+    """Incremental Jain-fairness aggregation for one manyflow cell.
+
+    Fed from records whose ``metrics`` carry a ``jain_index`` (the
+    manyflow family — see :mod:`repro.core.manyflow`); keyed by
+    ``(scenario, config label)`` where the label encodes flow count and
+    AQM, so the rendered table is the Tab. 4 Jain-index artefact
+    generalised across queue disciplines.
+    """
+
+    scenario: str
+    config: str
+    aqm: str
+    flows: int
+    runs: int = 0
+    completed: int = 0
+    jains: List[float] = field(default_factory=list)
+    quic_shares: List[float] = field(default_factory=list)
+    plt_quic: List[float] = field(default_factory=list)
+    plt_tcp: List[float] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.scenario, self.config)
+
+    def add_record(self, record: RunRecord) -> None:
+        metrics = record.metrics
+        self.runs += 1
+        self.completed += int(metrics.get("flows_completed", 0))
+        self.jains.append(metrics["jain_index"])
+        if "quic_share" in metrics:
+            self.quic_shares.append(metrics["quic_share"])
+        if metrics.get("plt_quic_p50"):
+            self.plt_quic.append(metrics["plt_quic_p50"])
+        if metrics.get("plt_tcp_p50"):
+            self.plt_tcp.append(metrics["plt_tcp_p50"])
+
+    def merge(self, other: "FairnessAccumulator") -> None:
+        if other.key != self.key:
+            raise ValueError(
+                f"cannot merge fairness cell {other.key} into {self.key}")
+        self.runs += other.runs
+        self.completed += other.completed
+        self.jains.extend(other.jains)
+        self.quic_shares.extend(other.quic_shares)
+        self.plt_quic.extend(other.plt_quic)
+        self.plt_tcp.extend(other.plt_tcp)
+
+
+def render_fairness_table(cells: List[FairnessAccumulator]) -> str:
+    """The store-backed Jain-index table (Tab. 4, AQM-generalised)."""
+    if not cells:
+        return "(no fairness records)"
+    width_scn = max(len("scenario"), *(len(c.scenario) for c in cells))
+    width_cfg = max(len("config"), *(len(c.config) for c in cells))
+    lines = [
+        f"{'scenario':<{width_scn}}  {'config':<{width_cfg}}  "
+        f"{'aqm':<8}  {'runs':>4}  {'flows done':>10}  "
+        f"{'Jain':>6}  {'QUIC share':>10}  "
+        f"{'QUIC p50':>9}  {'TCP p50':>9}",
+    ]
+
+    def med(values: List[float]) -> Optional[float]:
+        return statistics.median(values) if values else None
+
+    def fmt(value: Optional[float], spec: str, suffix: str = "") -> str:
+        return f"{value:{spec}}{suffix}" if value is not None else "-"
+
+    for cell in sorted(cells, key=lambda c: c.key):
+        lines.append(
+            f"{cell.scenario:<{width_scn}}  {cell.config:<{width_cfg}}  "
+            f"{cell.aqm:<8}  {cell.runs:>4}  {cell.completed:>10}  "
+            f"{fmt(med(cell.jains), '.3f'):>6}  "
+            f"{fmt(med(cell.quic_shares), '.3f'):>10}  "
+            f"{fmt(med(cell.plt_quic), '.3f', 's'):>9}  "
+            f"{fmt(med(cell.plt_tcp), '.3f', 's'):>9}")
+    return "\n".join(lines)
+
+
 class StreamAggregator:
     """Per-cell accumulators fed one record/event at a time.
 
     The streaming counterpart of :func:`aggregate_cells`: identical
     output for identical inputs, but nothing is materialised and two
     aggregators (e.g. from two workers, or a live view plus a resumed
-    sweep) ``merge`` associatively.
+    sweep) ``merge`` associatively.  Records carrying fairness metrics
+    (the manyflow family) additionally feed per-cell
+    :class:`FairnessAccumulator`\\ s; events cannot (they carry no
+    metrics), so the fairness artefact is a record-path feature.
     """
 
     def __init__(self) -> None:
         self.cells: Dict[CellKey, CellAccumulator] = {}
+        self.fairness: Dict[Tuple[str, str], FairnessAccumulator] = {}
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -136,6 +220,15 @@ class StreamAggregator:
         request = record.request
         self._cell(request.scenario.name, request.page.name,
                    request.protocol.name).add_record(record)
+        config = getattr(request, "manyflow", None)
+        if config is not None and "jain_index" in record.metrics:
+            key = (request.scenario.name, config.label)
+            cell = self.fairness.get(key)
+            if cell is None:
+                cell = self.fairness[key] = FairnessAccumulator(
+                    scenario=request.scenario.name, config=config.label,
+                    aqm=config.aqm, flows=config.flows)
+            cell.add_record(record)
 
     def add_event(self, event: RunEvent) -> None:
         if not event.terminal:
@@ -146,12 +239,24 @@ class StreamAggregator:
     def merge(self, other: "StreamAggregator") -> None:
         for key, cell in other.cells.items():
             self._cell(*key).merge(cell)
+        for key, cell in other.fairness.items():
+            mine = self.fairness.get(key)
+            if mine is None:
+                self.fairness[key] = cell
+            else:
+                mine.merge(cell)
 
     def aggregates(self) -> List[CellAggregate]:
         return [self.cells[key].aggregate() for key in sorted(self.cells)]
 
     def render(self) -> str:
         return render_cell_table(self.aggregates())
+
+    def render_fairness(self) -> Optional[str]:
+        """The Jain-index table, or None when no fairness records seen."""
+        if not self.fairness:
+            return None
+        return render_fairness_table(list(self.fairness.values()))
 
 
 def iter_records(store: Any, *,

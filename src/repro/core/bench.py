@@ -246,17 +246,155 @@ def run_benchmarks(*, events: int = 200_000, packets: int = 30_000,
     return payload
 
 
-def profile_plt(top: int = 25, out: Any = None) -> None:
-    """cProfile the canonical PLT pair; print the top-N cumulative rows."""
+def bench_manyflow(flows: int = 1000, *, aqm: str = "droptail",
+                   seed: int = CANONICAL_SEED,
+                   duration: float = 300.0) -> Dict[str, Any]:
+    """The thousand-flow cell: batched vs per-packet scheduling.
+
+    Runs the same (config, seed) workload twice — once with the default
+    batch quantum and once with ``batch_quantum=0`` (one heap wakeup per
+    logical item, the pre-optimisation cost model) — and checks the two
+    produce identical simulated outcomes.  The speedup between them is
+    the number the fast path is judged by.
+    """
+    from .manyflow import ManyflowConfig, ManyflowEngine, manyflow_scenario
+
+    config = ManyflowConfig(flows=flows, aqm=aqm, duration=duration)
+    scenario = manyflow_scenario()
+
+    def timed(batch_quantum: float) -> Dict[str, Any]:
+        engine = ManyflowEngine(scenario, config, seed=seed,
+                                batch_quantum=batch_quantum)
+        start = time.perf_counter()
+        metrics = engine.run()
+        wall = time.perf_counter() - start
+        return {"wall": wall, "metrics": metrics}
+
+    from .manyflow import DEFAULT_BATCH_QUANTUM
+
+    batched = timed(DEFAULT_BATCH_QUANTUM)
+    per_packet = timed(0.0)
+
+    def outcome(sample: Dict[str, Any]) -> Dict[str, Any]:
+        # heap_events is the cost model, not an outcome: batching
+        # exists to change it.
+        return {k: v for k, v in sample["metrics"].items()
+                if k != "heap_events"}
+
+    identical = outcome(batched) == outcome(per_packet)
+    logical = batched["metrics"]["logical_events"]
+    return {
+        "flows": flows,
+        "batched_seconds": round(batched["wall"], 4),
+        "per_packet_seconds": round(per_packet["wall"], 4),
+        "speedup_vs_per_packet": round(
+            per_packet["wall"] / batched["wall"], 2),
+        "events_per_sec": round(logical / batched["wall"], 1),
+        "heap_events_batched": batched["metrics"]["heap_events"],
+        "heap_events_per_packet": per_packet["metrics"]["heap_events"],
+        "results_identical": identical,
+        "outcome": outcome(batched),
+    }
+
+
+def run_manyflow_benchmark(*, flows: int = 1000, repeat: int = 1,
+                           aqm: str = "droptail", seed: int = CANONICAL_SEED,
+                           duration: float = 300.0,
+                           baseline: Optional[Dict[str, Any]] = None
+                           ) -> Dict[str, Any]:
+    """Run the manyflow cell; return the ``BENCH_manyflow.json`` payload."""
+    cal = calibrate()
+    sample = _best_of(repeat,
+                      lambda: bench_manyflow(flows, aqm=aqm, seed=seed,
+                                             duration=duration),
+                      "speedup_vs_per_packet")
+    payload: Dict[str, Any] = {
+        "benchmark": "manyflow",
+        "python": platform.python_version(),
+        "calibration_ops_per_sec": round(cal, 1),
+        "workload": {
+            "flows": flows,
+            "aqm": aqm,
+            "seed": seed,
+            "duration": duration,
+            "scenario": "manyflow_scenario()",
+        },
+    }
+    payload.update(sample)
+    if baseline:
+        base_rate = baseline.get("events_per_sec")
+        if base_rate:
+            payload["speedup_vs_baseline"] = round(
+                sample["events_per_sec"] / base_rate, 3)
+    return payload
+
+
+def _subsystem_of(filename: str) -> str:
+    """Map a profiled frame's file onto the fingerprint partition.
+
+    Uses the same :data:`repro.store.keys.SUBSYSTEMS` table that stamps
+    store rows, so "which partition is hot" lines up with "which
+    partition's fingerprint would a fix invalidate".
+    """
+    from ..store.keys import SUBSYSTEMS  # avoid a package cycle
+
+    normalised = filename.replace("\\", "/")
+    if "/repro/" not in normalised:
+        return "(stdlib/other)"
+    rel = normalised.split("/repro/", 1)[1]
+    head = rel.split("/", 1)[0]
+    for name, entries in SUBSYSTEMS.items():
+        if head in entries or rel in entries:
+            return name
+    return "(stdlib/other)"
+
+
+def _print_subsystem_partition(stats: Any, out: Any) -> None:
+    """Aggregate a pstats table by subsystem fingerprint partition."""
+    totals: Dict[str, float] = {}
+    calls: Dict[str, int] = {}
+    for (filename, _line, _func), row in stats.stats.items():
+        cc, _nc, tottime, _cumtime, _callers = row
+        part = _subsystem_of(filename)
+        totals[part] = totals.get(part, 0.0) + tottime
+        calls[part] = calls.get(part, 0) + cc
+    grand = sum(totals.values()) or 1.0
+    print("By subsystem fingerprint partition (tottime):", file=out)
+    for part in sorted(totals, key=totals.get, reverse=True):
+        print(f"  {part:<16} {totals[part]:>9.4f}s  "
+              f"{100.0 * totals[part] / grand:>5.1f}%  "
+              f"{calls[part]:>10,} calls", file=out)
+    print("", file=out)
+
+
+def profile_run(workload: Any, top: int = 25, out: Any = None) -> None:
+    """cProfile ``workload()``: subsystem partition summary + top-N rows."""
     import cProfile
     import pstats
 
+    out = out or sys.stdout
     profiler = cProfile.Profile()
     profiler.enable()
-    bench_plt()
+    workload()
     profiler.disable()
-    stats = pstats.Stats(profiler, stream=out or sys.stdout)
+    stats = pstats.Stats(profiler, stream=out)
+    _print_subsystem_partition(stats, out)
     stats.sort_stats("cumulative").print_stats(top)
+
+
+def profile_plt(top: int = 25, out: Any = None) -> None:
+    """cProfile the canonical PLT pair; print the top-N cumulative rows."""
+    profile_run(bench_plt, top=top, out=out)
+
+
+def profile_manyflow(top: int = 25, out: Any = None,
+                     flows: int = 300) -> None:
+    """cProfile a mid-size manyflow run (the fan-out hot path)."""
+    from .manyflow import ManyflowConfig, ManyflowEngine, manyflow_scenario
+
+    config = ManyflowConfig(flows=flows, duration=120.0)
+    engine = ManyflowEngine(manyflow_scenario(), config, seed=CANONICAL_SEED)
+    profile_run(engine.run, top=top, out=out)
 
 
 def write_payload(payload: Dict[str, Any], path: str) -> None:

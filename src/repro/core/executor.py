@@ -60,6 +60,7 @@ from typing import (
 from ..devices import DESKTOP, DeviceProfile
 from ..http.objects import WebPage
 from ..netem.profiles import Scenario
+from .manyflow import ManyflowConfig
 from ..quic.config import QuicConfig, quic_config
 from ..tcp.config import TcpConfig, tcp_config
 
@@ -169,6 +170,10 @@ class RunRequest:
     cwnd_interval: float = 0.0
     proxied: bool = False
     timeout: float = DEFAULT_SIM_TIMEOUT
+    #: When set, this request is a many-flow aggregate run: the engine in
+    #: :mod:`repro.core.manyflow` executes it instead of a page load, and
+    #: ``page``/``protocol`` serve only as cell-addressing labels.
+    manyflow: Optional[ManyflowConfig] = None
 
     @property
     def label(self) -> str:
@@ -378,6 +383,10 @@ def _terminal_event(kind: str, index: int, request: RunRequest,
 
 def execute_request(request: RunRequest) -> RunRecord:
     """Execute one request with the real simulator (the default RunFn)."""
+    if request.manyflow is not None:
+        from .manyflow import execute_manyflow
+        return execute_manyflow(request)
+
     from .runner import run_page_load  # runner sits above this module
 
     output = run_page_load(

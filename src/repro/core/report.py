@@ -190,6 +190,19 @@ def build_store_report(store: object,
     lines.append(render_cell_table(cells))
     lines.append("```")
     lines.append("")
+    fairness = aggregator.render_fairness()
+    if fairness is not None:
+        lines.append("## Fairness (Jain index, Tab. 4 generalised "
+                     "across AQM)")
+        lines.append("")
+        lines.append("Per-run Jain index over completed flows' mean "
+                     "rates; QUIC share is the QUIC fraction of acked "
+                     "bytes (manyflow records only).")
+        lines.append("")
+        lines.append("```")
+        lines.append(fairness)
+        lines.append("```")
+        lines.append("")
     return "\n".join(lines)
 
 

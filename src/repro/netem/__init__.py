@@ -14,7 +14,15 @@ from .capture import (
 from .link import BandwidthSchedule, Link, LinkStats, mbps
 from .node import Network, Node
 from .packet import DEFAULT_MSS, HEADER_BYTES, Packet
-from .queues import CoDel, DropTail, QueueDiscipline, RED
+from .queues import (
+    AQM_NAMES,
+    CoDel,
+    DropTail,
+    FQCoDel,
+    QueueDiscipline,
+    RED,
+    make_queue,
+)
 from .profiles import (
     CELLULAR_PROFILES,
     BASE_RTT,
@@ -54,10 +62,13 @@ __all__ = [
     "DEFAULT_MSS",
     "HEADER_BYTES",
     "Packet",
+    "AQM_NAMES",
     "CoDel",
     "DropTail",
+    "FQCoDel",
     "QueueDiscipline",
     "RED",
+    "make_queue",
     "CELLULAR_PROFILES",
     "BASE_RTT",
     "CellularProfile",

@@ -11,19 +11,29 @@ follow-on question — so the link's queue is pluggable:
 * :class:`CoDel` — controlled delay: drop at *dequeue* when packets'
   sojourn times stay above ``target`` for longer than ``interval``,
   with the square-root drop-spacing schedule.
+* :class:`FQCoDel` — fair queuing + CoDel: packets are hashed into
+  per-flow sub-queues served by deficit round robin with the standard
+  sparse-flow (new-flow) priority list, and each sub-queue runs its own
+  CoDel drop state.
 
-All three expose the same tiny interface consumed by
+All four expose the same tiny interface consumed by
 :class:`~repro.netem.link.Link`: ``enqueue(now, packet) -> bool``,
 ``dequeue(now) -> Optional[Packet]``, ``backlog_bytes``.  Drops made at
-dequeue time (CoDel) are reported through ``on_drop``.
+dequeue time (CoDel/FQCoDel) are reported through ``on_drop``.
+
+Drop-accounting invariant (relied on by link stats and tested across
+all disciplines): at the moment ``on_drop`` fires, ``backlog_bytes``
+no longer includes the dropped packet, and every dropped packet is
+reported through the hook exactly once.
 """
 
 from __future__ import annotations
 
 import math
 import random
+import zlib
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from .packet import Packet
 
@@ -225,3 +235,195 @@ class CoDel(QueueDiscipline):
     @property
     def backlog_bytes(self) -> int:
         return self._bytes
+
+
+class _FlowQueue:
+    """One FQ-CoDel sub-queue: a FIFO plus its own CoDel drop state."""
+
+    __slots__ = ("queue", "bytes", "deficit", "active",
+                 "first_above", "dropping", "drop_next", "drop_count")
+
+    def __init__(self) -> None:
+        self.queue: Deque[Tuple[float, Packet]] = deque()
+        self.bytes = 0
+        self.deficit = 0
+        self.active = False
+        self.first_above: Optional[float] = None
+        self.dropping = False
+        self.drop_next = 0.0
+        self.drop_count = 0
+
+
+class FQCoDel(QueueDiscipline):
+    """Fair queuing with per-flow CoDel (RFC 8290, simplified).
+
+    Packets are hashed by ``flow_id`` (stable crc32, never Python's
+    randomised ``hash``) into one of ``flows`` sub-queues.  Sub-queues
+    are served by deficit round robin: a flow that becomes active
+    joins the *new* (sparse-flow) list and is served ahead of the *old*
+    list until it uses up one quantum, which is what gives short flows
+    their latency advantage.  Each sub-queue runs the CoDel control law
+    of :class:`CoDel` independently.  On overflow the head packet of
+    the fattest sub-queue is dropped (not the arriving packet), as in
+    the Linux qdisc.
+    """
+
+    __slots__ = ("target", "interval", "quantum", "limit_bytes", "flows",
+                 "_queues", "_new", "_old", "_bytes",
+                 "codel_drops", "overflow_drops")
+
+    def __init__(self, target: float = 0.005, interval: float = 0.100,
+                 quantum: int = 1514, limit_bytes: Optional[int] = 10_000_000,
+                 flows: int = 1024) -> None:
+        super().__init__()
+        if target <= 0 or interval <= 0:
+            raise ValueError("target and interval must be positive")
+        if quantum <= 0 or flows <= 0:
+            raise ValueError("quantum and flows must be positive")
+        self.target = target
+        self.interval = interval
+        self.quantum = quantum
+        self.limit_bytes = limit_bytes
+        self.flows = flows
+        self._queues: Dict[int, _FlowQueue] = {}
+        self._new: Deque[_FlowQueue] = deque()
+        self._old: Deque[_FlowQueue] = deque()
+        self._bytes = 0
+        self.codel_drops = 0
+        self.overflow_drops = 0
+
+    def _bucket(self, packet: Packet) -> _FlowQueue:
+        key = str(packet.flow_id).encode("utf-8", "replace")
+        idx = zlib.crc32(key) % self.flows
+        fq = self._queues.get(idx)
+        if fq is None:
+            fq = _FlowQueue()
+            self._queues[idx] = fq
+        return fq
+
+    def _drop_from_fattest(self) -> bool:
+        """Head-drop one packet from the longest sub-queue."""
+        fattest: Optional[_FlowQueue] = None
+        for fq in self._queues.values():
+            if fq.bytes > 0 and (fattest is None or fq.bytes > fattest.bytes):
+                fattest = fq
+        if fattest is None:
+            return False
+        _, victim = fattest.queue.popleft()
+        fattest.bytes -= victim.size_bytes
+        self._bytes -= victim.size_bytes
+        self.overflow_drops += 1
+        self._drop(victim)
+        return True
+
+    def enqueue(self, now: float, packet: Packet) -> bool:
+        if self.limit_bytes is not None:
+            while self._bytes + packet.size_bytes > self.limit_bytes:
+                if not self._drop_from_fattest():
+                    # Nothing queued and the packet alone exceeds the
+                    # limit: reject the arrival itself.
+                    self._drop(packet)
+                    return False
+        fq = self._bucket(packet)
+        fq.queue.append((now, packet))
+        fq.bytes += packet.size_bytes
+        self._bytes += packet.size_bytes
+        if not fq.active:
+            fq.active = True
+            fq.deficit = self.quantum
+            self._new.append(fq)
+        return True
+
+    def _codel_pop(self, fq: _FlowQueue, now: float) -> Optional[Packet]:
+        """CoDel control law on one sub-queue (mirrors CoDel.dequeue)."""
+        while fq.queue:
+            entered, packet = fq.queue.popleft()
+            fq.bytes -= packet.size_bytes
+            self._bytes -= packet.size_bytes
+            sojourn = now - entered
+            if sojourn < self.target or not fq.queue:
+                fq.first_above = None
+                if sojourn < self.target:
+                    fq.dropping = False
+                return packet
+            if fq.first_above is None:
+                fq.first_above = now + self.interval
+                return packet
+            if not fq.dropping:
+                if now >= fq.first_above:
+                    fq.dropping = True
+                    fq.drop_count = max(fq.drop_count - 2, 1)
+                    fq.drop_next = now + self.interval / math.sqrt(
+                        fq.drop_count)
+                    self.codel_drops += 1
+                    self._drop(packet)
+                    continue
+                return packet
+            if now >= fq.drop_next:
+                fq.drop_count += 1
+                fq.drop_next = now + self.interval / math.sqrt(
+                    fq.drop_count)
+                self.codel_drops += 1
+                self._drop(packet)
+                continue
+            return packet
+        return None
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        while True:
+            if self._new:
+                head_list, is_new = self._new, True
+            elif self._old:
+                head_list, is_new = self._old, False
+            else:
+                return None
+            fq = head_list[0]
+            if fq.deficit <= 0:
+                fq.deficit += self.quantum
+                head_list.popleft()
+                self._old.append(fq)
+                continue
+            packet = self._codel_pop(fq, now)
+            if packet is None:
+                # Sub-queue ran dry: a new flow gets one more round on
+                # the old list; an old flow goes inactive.
+                head_list.popleft()
+                if is_new:
+                    self._old.append(fq)
+                else:
+                    fq.active = False
+                continue
+            fq.deficit -= packet.size_bytes
+            return packet
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self._bytes
+
+
+#: AQM labels accepted by :func:`make_queue` (and ``Scenario``-level
+#: configuration that funnels into it).
+AQM_NAMES = ("droptail", "red", "codel", "fq_codel")
+
+
+def make_queue(aqm: str, queue_bytes: Optional[int], *,
+               rng: Optional[random.Random] = None) -> QueueDiscipline:
+    """Build the queue discipline named by an AQM label.
+
+    ``queue_bytes`` becomes the discipline's hard byte limit; ``rng``
+    only matters for RED's probabilistic early drops (defaults to a
+    fixed seed for determinism).
+    """
+    name = (aqm or "droptail").lower().replace("-", "_")
+    if name in ("droptail", "fifo", "tail"):
+        return DropTail(queue_bytes)
+    if name == "red":
+        if queue_bytes is None:
+            raise ValueError("RED needs a finite queue_bytes limit")
+        return RED(queue_bytes, rng=rng)
+    if name == "codel":
+        return CoDel(limit_bytes=queue_bytes)
+    if name in ("fq_codel", "fqcodel"):
+        return FQCoDel(limit_bytes=queue_bytes)
+    raise ValueError(
+        f"unknown AQM {aqm!r}; expected one of {', '.join(AQM_NAMES)}")

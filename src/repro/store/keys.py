@@ -44,6 +44,7 @@ from ..quic.config import QuicConfig
 from ..tcp.config import TcpConfig
 from ..transport.cc.cubic import CubicConfig
 from ..core.executor import ProtocolSpec, RunFailure, RunRecord, RunRequest
+from ..core.manyflow import ManyflowConfig
 
 #: Bump when the canonical form itself changes shape, so stores written
 #: by older code are invalidated wholesale instead of mis-read.
@@ -282,6 +283,10 @@ def request_to_dict(request: RunRequest) -> Dict[str, Any]:
         "cwnd_interval": request.cwnd_interval,
         "proxied": request.proxied,
         "timeout": request.timeout,
+        # None for ordinary page loads; a plain dict for manyflow runs.
+        # Readers use .get, so rows written before the field existed
+        # still decode.
+        "manyflow": _config_to_dict(request.manyflow),
     }
 
 
@@ -305,6 +310,7 @@ def request_from_dict(raw: Mapping[str, Any]) -> RunRequest:
         seed=raw["seed"], device=device, trace=raw["trace"],
         cwnd_interval=raw["cwnd_interval"], proxied=raw["proxied"],
         timeout=raw["timeout"],
+        manyflow=_config_from_dict(ManyflowConfig, raw.get("manyflow")),
     )
 
 

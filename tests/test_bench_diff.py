@@ -369,3 +369,97 @@ class TestHistory:
     def test_no_history_flag_writes_nothing(self, tmp_path):
         diff(tmp_path, payload(), payload())
         assert not list(tmp_path.glob("*.jsonl"))
+
+
+def manyflow_payload(**overrides):
+    base = {
+        "benchmark": "manyflow",
+        "calibration_ops_per_sec": 30_000_000.0,
+        "workload": {
+            "flows": 1000,
+            "aqm": "droptail",
+            "seed": 0,
+            "duration": 300.0,
+            "scenario": "manyflow_scenario()",
+        },
+        "flows": 1000,
+        "batched_seconds": 0.9,
+        "per_packet_seconds": 13.5,
+        "speedup_vs_per_packet": 15.0,
+        "events_per_sec": 500_000.0,
+        "heap_events_batched": 15_000,
+        "heap_events_per_packet": 1_950_000,
+        "results_identical": True,
+        "outcome": {"flows_completed": 1000, "jain_index": 0.41,
+                    "plt_p50": 0.173, "bytes_acked": 123_456_789},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestManyflowGate:
+    """Exit-code contract for the thousand-flow fast-path payload."""
+
+    def test_payload_passes(self, tmp_path):
+        proc = diff(tmp_path, manyflow_payload(), manyflow_payload())
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "manyflow" in proc.stdout
+
+    def test_results_not_identical_fails(self, tmp_path):
+        proc = diff(tmp_path, manyflow_payload(),
+                    manyflow_payload(results_identical=False))
+        assert proc.returncode == 1
+        assert "CONTRACT FAIL" in proc.stdout
+
+    def test_speedup_below_floor_fails(self, tmp_path):
+        proc = diff(tmp_path, manyflow_payload(),
+                    manyflow_payload(speedup_vs_per_packet=2.4))
+        assert proc.returncode == 1
+        assert "speedup_vs_per_packet" in proc.stdout
+
+    def test_rate_regression_fails(self, tmp_path):
+        proc = diff(tmp_path, manyflow_payload(),
+                    manyflow_payload(events_per_sec=300_000.0))
+        assert proc.returncode == 1
+        assert "events_per_sec" in proc.stdout
+
+    def test_rate_is_host_normalised(self, tmp_path):
+        # Half the rate on a half-speed host is not a regression.
+        proc = diff(tmp_path, manyflow_payload(),
+                    manyflow_payload(events_per_sec=250_000.0,
+                                     calibration_ops_per_sec=15_000_000.0))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "host-normalised" in proc.stdout
+
+    def test_outcome_change_fails_on_same_workload(self, tmp_path):
+        changed = manyflow_payload()
+        changed["outcome"] = dict(changed["outcome"], jain_index=0.55)
+        proc = diff(tmp_path, manyflow_payload(), changed)
+        assert proc.returncode == 1
+        assert "BEHAVIOUR CHANGE" in proc.stdout
+        assert "jain_index" in proc.stdout
+
+    def test_outcome_not_compared_across_workloads(self, tmp_path):
+        changed = manyflow_payload(
+            workload={"flows": 200, "aqm": "droptail", "seed": 0,
+                      "duration": 300.0, "scenario": "manyflow_scenario()"},
+            flows=200)
+        changed["outcome"] = dict(changed["outcome"], flows_completed=200)
+        proc = diff(tmp_path, manyflow_payload(), changed)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_missing_key_is_malformed(self, tmp_path):
+        broken = manyflow_payload()
+        del broken["outcome"]
+        proc = diff(tmp_path, manyflow_payload(), broken)
+        assert proc.returncode == 2
+        assert "missing required" in proc.stdout
+
+    def test_gates_committed_manyflow_payload(self):
+        committed = REPO / "BENCH_manyflow.json"
+        if not committed.exists():
+            pytest.skip("no committed BENCH_manyflow.json")
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), str(committed), str(committed)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

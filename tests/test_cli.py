@@ -111,3 +111,29 @@ class TestSpecCommand:
 
         restored = ExperimentResult.from_json(out_file.read_text())
         assert len(restored.samples) == 2
+
+
+class TestManyflowCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["manyflow"])
+        assert args.flows == 1000
+        assert args.aqm == "droptail"
+        assert args.arrival_rate == 50.0
+        assert args.jobs == 1
+
+    def test_profile_workload_choice(self):
+        args = build_parser().parse_args(
+            ["bench", "--profile", "5", "--profile-workload", "manyflow"])
+        assert args.profile == 5
+        assert args.profile_workload == "manyflow"
+
+    def test_small_run_and_cache_replay(self, capsys, tmp_path):
+        argv = ["manyflow", "--flows", "20", "--duration", "120",
+                "--cache", str(tmp_path / "store")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "manyflow-20f-droptail" in out
+        assert "jain=" in out
+        assert "20/20 flows" in out
+        assert main(argv) == 0
+        assert "(cached)" in capsys.readouterr().out

@@ -101,3 +101,50 @@ class TestCanonicalBenchCell:
         assert first["plt_tcp"] == second["plt_tcp"]
         assert first["events_quic"] == second["events_quic"]
         assert first["events_tcp"] == second["events_tcp"]
+
+
+class TestManyflowDeterminism:
+    """The thousand-flow fast path honours the same contract: a fixed
+    (config, seed) pair yields identical arrival schedules and metrics
+    whether runs execute serially, in a worker pool, or against a
+    fabric store server."""
+
+    def _requests(self):
+        from repro.core.manyflow import ManyflowConfig, manyflow_requests
+
+        config = ManyflowConfig(flows=30, duration=120.0)
+        return manyflow_requests(config, seeds=(0, 1, 2, 3))
+
+    def test_build_flows_is_pure(self):
+        from repro.core.manyflow import ManyflowConfig, build_flows
+
+        config = ManyflowConfig(flows=50)
+        first = build_flows(config, 5)
+        second = build_flows(config, 5)
+        assert first == second
+        arrivals, sizes, protos = first
+        assert len(arrivals) == len(sizes) == len(protos) == 50
+
+    def test_serial_matches_pool(self):
+        from repro.core.executor import run_requests
+
+        requests = self._requests()
+        serial = run_requests(requests, jobs=1)
+        pooled = run_requests(requests, jobs=2, force_pool=True)
+        assert [r.metrics for r in serial] == [r.metrics for r in pooled]
+        assert [r.plt for r in serial] == [r.plt for r in pooled]
+
+    def test_fabric_store_matches_serial(self, tmp_path):
+        from repro.core.executor import run_requests
+        from repro.fabric import RemoteStore, StoreServer
+        from repro.store import ShardStore
+
+        requests = self._requests()
+        serial = run_requests(requests, jobs=1)
+        with StoreServer(ShardStore(tmp_path / "central"), port=0) as srv:
+            remote = run_requests(requests, store=RemoteStore(srv.url))
+            # Warm-cache pass replays the same records from the server.
+            cached = run_requests(requests, store=RemoteStore(srv.url))
+        assert [r.metrics for r in remote] == [r.metrics for r in serial]
+        assert all(r.cached for r in cached)
+        assert [r.metrics for r in cached] == [r.metrics for r in serial]

@@ -1,0 +1,141 @@
+"""Tests for the thousand-flow fast path (``repro.core.manyflow``).
+
+Covers the batching contract (batched delivery is bit-identical to
+per-packet scheduling), end-to-end completion, AQM fairness ordering,
+the executor/store integration, and the config codec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import run_requests
+from repro.core.manyflow import (
+    DEFAULT_BATCH_QUANTUM,
+    ManyflowConfig,
+    ManyflowEngine,
+    build_flows,
+    manyflow_requests,
+    manyflow_scenario,
+)
+from repro.core.report import build_store_report
+from repro.store import ResultStore, request_from_dict, request_to_dict
+
+
+def small_config(**overrides):
+    base = dict(flows=40, duration=120.0)
+    base.update(overrides)
+    return ManyflowConfig(**base)
+
+
+def run_metrics(config, seed=0, batch_quantum=DEFAULT_BATCH_QUANTUM):
+    engine = ManyflowEngine(manyflow_scenario(), config, seed=seed,
+                            batch_quantum=batch_quantum)
+    return engine.run()
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ManyflowConfig(flows=0)
+        with pytest.raises(ValueError):
+            ManyflowConfig(tcp_share=1.5)
+        with pytest.raises(ValueError):
+            ManyflowConfig(aqm="wred")
+
+    def test_label_names_flows_and_aqm(self):
+        assert ManyflowConfig(flows=64, aqm="fq_codel").label == \
+            "manyflow-64f-fq_codel"
+
+    def test_with_overrides(self):
+        cfg = small_config().with_(aqm="codel")
+        assert cfg.aqm == "codel"
+        assert cfg.flows == 40
+
+
+class TestBuildFlows:
+    def test_deterministic_per_seed(self):
+        cfg = small_config()
+        assert build_flows(cfg, 7) == build_flows(cfg, 7)
+        assert build_flows(cfg, 7) != build_flows(cfg, 8)
+
+    def test_protocol_mix_is_exact(self):
+        _arrivals, _sizes, protos = build_flows(small_config(), 0)
+        # Bresenham striping: a 50 % share of 40 flows is exactly 20.
+        assert sum(protos) == 20
+
+    def test_arrivals_sorted_sizes_positive(self):
+        arrivals, sizes, _protos = build_flows(small_config(), 3)
+        assert list(arrivals) == sorted(arrivals)
+        assert all(s >= 1400 for s in sizes)
+
+
+class TestEngine:
+    def test_all_flows_complete(self):
+        metrics = run_metrics(small_config())
+        assert metrics["flows_completed"] == 40
+        assert metrics["plt_p50"] > 0
+
+    def test_batched_identical_to_per_packet(self):
+        """The tentpole contract: batch_quantum only changes how many
+        heap wakeups the run costs, never any simulated outcome."""
+        cfg = small_config(flows=60)
+        batched = run_metrics(cfg, seed=1)
+        per_packet = run_metrics(cfg, seed=1, batch_quantum=0.0)
+        assert batched["heap_events"] < per_packet["heap_events"]
+        for key in batched:
+            if key == "heap_events":
+                continue
+            assert batched[key] == per_packet[key], key
+
+    def test_fq_codel_improves_fairness_over_droptail(self):
+        droptail = run_metrics(small_config(flows=80, arrival_rate=400.0))
+        fq = run_metrics(small_config(flows=80, arrival_rate=400.0,
+                                      aqm="fq_codel"))
+        assert fq["jain_index"] > droptail["jain_index"]
+
+    def test_engine_rejects_jitter(self):
+        scenario = manyflow_scenario()
+        scenario = scenario.with_(jitter=0.005)
+        with pytest.raises(ValueError):
+            ManyflowEngine(scenario, small_config())
+
+    def test_run_is_once_only(self):
+        engine = ManyflowEngine(manyflow_scenario(), small_config())
+        engine.run()
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+
+class TestExecutorIntegration:
+    def test_requests_and_store_round_trip(self, tmp_path):
+        cfg = small_config()
+        requests = manyflow_requests(cfg, seeds=(0, 1))
+        store = ResultStore(tmp_path / "store")
+        records = run_requests(requests, store=store)
+        assert len(records) == 2
+        assert all(r.complete for r in records)
+        assert all("jain_index" in r.metrics for r in records)
+        # Second pass is served from the store.
+        again = run_requests(requests, store=store)
+        assert all(r.cached for r in again)
+        assert [r.plt for r in again] == [r.plt for r in records]
+
+    def test_store_report_renders_fairness_table(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_requests(manyflow_requests(small_config()), store=store)
+        report = build_store_report(store)
+        assert "Fairness (Jain index" in report
+        assert "manyflow-40f-droptail" in report
+
+    def test_request_codec_round_trips_manyflow(self):
+        request = manyflow_requests(small_config(aqm="codel"))[0]
+        decoded = request_from_dict(request_to_dict(request))
+        assert decoded.manyflow == request.manyflow
+        assert request_to_dict(decoded) == request_to_dict(request)
+
+    def test_plain_request_still_decodes(self):
+        request = manyflow_requests(small_config())[0]
+        raw = request_to_dict(request)
+        raw.pop("manyflow")
+        assert request_from_dict(raw).manyflow is None

@@ -135,3 +135,188 @@ class TestLinkIntegration:
         assert codel_q.codel_drops > 0
         assert len(codel_got) + link.stats.dropped_packets == 600
         assert link.stats.dropped_packets == codel_q.codel_drops
+
+
+# ----------------------------------------------------------------------
+# FQ-CoDel
+# ----------------------------------------------------------------------
+
+from repro.netem.queues import AQM_NAMES, FQCoDel, make_queue
+
+
+def flow_pkt(flow, size=1000):
+    return Packet("a", "b", size, flow_id=flow)
+
+
+class TestFQCoDel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FQCoDel(target=0)
+        with pytest.raises(ValueError):
+            FQCoDel(quantum=0)
+        with pytest.raises(ValueError):
+            FQCoDel(flows=0)
+
+    def test_fifo_within_flow(self):
+        q = FQCoDel()
+        a, b = flow_pkt("x"), flow_pkt("x")
+        q.enqueue(0.0, a)
+        q.enqueue(0.0, b)
+        assert q.dequeue(0.0) is a
+        assert q.dequeue(0.0) is b
+        assert q.dequeue(0.0) is None
+        assert q.backlog_bytes == 0
+
+    def test_new_flow_served_ahead_of_exhausted_old_flow(self):
+        """The sparse-flow advantage: a freshly active flow is served
+        as soon as the bulk flow exhausts its quantum."""
+        q = FQCoDel()
+        for _ in range(6):
+            q.enqueue(0.0, flow_pkt("bulk"))
+        # Two 1000 B dequeues exhaust bulk's 1514 B quantum.
+        assert q.dequeue(0.0).flow_id == "bulk"
+        assert q.dequeue(0.0).flow_id == "bulk"
+        q.enqueue(0.0, flow_pkt("sparse"))
+        assert q.dequeue(0.0).flow_id == "sparse"
+
+    def test_drr_interleaves_competing_flows(self):
+        q = FQCoDel()
+        for _ in range(20):
+            q.enqueue(0.0, flow_pkt("a"))
+            q.enqueue(0.0, flow_pkt("b"))
+        served = [q.dequeue(0.0).flow_id for _ in range(40)]
+        assert q.dequeue(0.0) is None
+        # Both flows appear early and get equal total service.
+        assert {"a", "b"} <= set(served[:6])
+        assert served.count("a") == served.count("b") == 20
+
+    def test_overflow_head_drops_from_fattest_flow(self):
+        q = FQCoDel(limit_bytes=10_000)
+        dropped = []
+        q.on_drop = dropped.append
+        for _ in range(9):
+            q.enqueue(0.0, flow_pkt("fat"))
+        q.enqueue(0.0, flow_pkt("thin"))
+        assert not dropped
+        # One byte over the limit: the victim is fat's head packet,
+        # not the arriving thin packet.
+        assert q.enqueue(0.0, flow_pkt("thin"))
+        assert [p.flow_id for p in dropped] == ["fat"]
+        assert q.overflow_drops == 1
+        assert q.backlog_bytes == 10_000
+
+    def test_per_flow_codel_sheds_standing_queue(self):
+        q = FQCoDel(target=0.005, interval=0.05)
+        for i in range(400):
+            q.enqueue(i * 0.0001, flow_pkt(str(i % 4)))
+        t, out = 1.0, 0
+        while q.dequeue(t) is not None:
+            out += 1
+            t += 0.01
+        assert q.codel_drops > 0
+        assert out + q.codel_drops == 400
+        assert q.backlog_bytes == 0
+
+
+class TestMakeQueue:
+    def test_names_round_trip(self):
+        assert isinstance(make_queue("droptail", 50_000), DropTail)
+        assert isinstance(make_queue("red", 50_000), RED)
+        assert isinstance(make_queue("codel", 50_000), CoDel)
+        assert isinstance(make_queue("fq_codel", 50_000), FQCoDel)
+        assert isinstance(make_queue("fq-codel", 50_000), FQCoDel)
+
+    def test_every_advertised_name_builds(self):
+        for name in AQM_NAMES:
+            assert make_queue(name, 100_000) is not None
+
+    def test_red_requires_limit(self):
+        with pytest.raises(ValueError):
+            make_queue("red", None)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_queue("wred", 50_000)
+
+
+# ----------------------------------------------------------------------
+# Drop accounting invariant (all disciplines)
+# ----------------------------------------------------------------------
+
+class DropLedger:
+    """Shadow byte ledger that checks the drop-accounting contract.
+
+    At ``on_drop`` time the discipline must have already removed the
+    victim from ``backlog_bytes`` (post-accept drops) or never counted
+    it (rejected arrivals) — and each drop fires the hook exactly once.
+    """
+
+    def __init__(self, queue):
+        self.queue = queue
+        self.bytes = 0
+        self.drops = []
+        self.delivered = []
+        self.accepted = []
+        queue.on_drop = self._on_drop
+
+    def _on_drop(self, packet):
+        assert all(d is not packet for d in self.drops), "drop fired twice"
+        backlog = self.queue.backlog_bytes
+        assert backlog in (self.bytes, self.bytes - packet.size_bytes), (
+            "backlog still counts the dropped packet at on_drop time")
+        self.bytes = backlog
+        self.drops.append(packet)
+
+    def enqueue(self, now, packet):
+        accepted = self.queue.enqueue(now, packet)
+        if accepted:
+            self.bytes += packet.size_bytes
+            self.accepted.append(packet)
+        assert self.queue.backlog_bytes == self.bytes
+        return accepted
+
+    def dequeue(self, now):
+        packet = self.queue.dequeue(now)
+        if packet is not None:
+            assert all(d is not packet for d in self.drops), (
+                "dropped packet later dequeued")
+            self.bytes -= packet.size_bytes
+            self.delivered.append(packet)
+        assert self.queue.backlog_bytes == self.bytes
+        return packet
+
+
+def _pressured_queues():
+    return [
+        pytest.param(lambda: DropTail(5_000), id="droptail"),
+        pytest.param(lambda: RED(20_000, rng=random.Random(3)), id="red"),
+        pytest.param(lambda: CoDel(target=0.005, interval=0.05,
+                                   limit_bytes=50_000), id="codel"),
+        pytest.param(lambda: FQCoDel(target=0.005, interval=0.05,
+                                     limit_bytes=20_000), id="fq_codel"),
+    ]
+
+
+class TestDropAccounting:
+    @pytest.mark.parametrize("factory", _pressured_queues())
+    def test_backlog_excludes_drops_exactly_once(self, factory):
+        """Flood then drain slowly: every discipline drops somewhere
+        (arrival rejection, early drop, sojourn drop, or overflow
+        head-drop) and the ledger must balance throughout."""
+        ledger = DropLedger(factory())
+        for i in range(500):
+            ledger.enqueue(i * 0.0001, flow_pkt(str(i % 7)))
+        t = 1.0
+        while ledger.dequeue(t) is not None:
+            t += 0.01
+        assert ledger.drops, "workload produced no drops"
+        assert ledger.queue.backlog_bytes == 0
+        # Conservation: every accepted packet came out exactly once,
+        # as a delivery or as a post-accept drop.
+        accepted_ids = {id(p) for p in ledger.accepted}
+        delivered_ids = {id(p) for p in ledger.delivered}
+        dropped_ids = {id(p) for p in ledger.drops}
+        assert len(delivered_ids) == len(ledger.delivered)
+        assert len(dropped_ids) == len(ledger.drops)
+        assert not (delivered_ids & dropped_ids)
+        assert accepted_ids == delivered_ids | (dropped_ids & accepted_ids)
