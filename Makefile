@@ -58,10 +58,15 @@ perf-gate:
 		--out /tmp/BENCH_manyflow.candidate.json
 	$(PYTHON) scripts/bench_diff.py BENCH_manyflow.json \
 		/tmp/BENCH_manyflow.candidate.json --history $(HISTORY)
+	cp BENCH_chaos.json /tmp/BENCH_chaos.baseline.json
+	PYTHONPATH=src $(PYTHON) scripts/chaos_sweep.py --cells 600
+	$(PYTHON) scripts/bench_diff.py /tmp/BENCH_chaos.baseline.json \
+		BENCH_chaos.json --history $(HISTORY)
 	git checkout -- BENCH_executor.json 2>/dev/null || true
 	git checkout -- BENCH_store.json 2>/dev/null || true
 	git checkout -- BENCH_pipeline.json 2>/dev/null || true
 	git checkout -- BENCH_fabric.json 2>/dev/null || true
+	git checkout -- BENCH_chaos.json 2>/dev/null || true
 
 # Paper-scale: >=10 rounds per cell and full workload grids.
 bench-full:
@@ -90,4 +95,4 @@ clean:
 # results directory (restorable with git checkout), local result stores
 # and the machine-readable benchmark outputs.
 distclean: clean
-	rm -rf benchmarks/results .repro-store.sqlite BENCH_executor.json BENCH_store.json BENCH_pipeline.json BENCH_fabric.json
+	rm -rf benchmarks/results .repro-store.sqlite BENCH_executor.json BENCH_store.json BENCH_pipeline.json BENCH_fabric.json BENCH_chaos.json

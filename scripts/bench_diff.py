@@ -38,6 +38,17 @@ Understands the three machine-readable payload shapes the repo commits:
   fast-path acceptance floor), the host-normalised ``events_per_sec``
   is gated on ``--threshold`` like the sim rates, and on an identical
   workload the fixed-seed ``outcome`` block must match exactly.
+* ``BENCH_chaos.json`` (``chaos``) — the fault-injection gate:
+  shape-gated, ``results_identical`` must be true (a seeded fault
+  schedule — 5xx replies, torn shard writes, a worker SIGKILL, a
+  stalled request — must leave the final store byte-identical to the
+  fault-free run), ``fsck_clean`` must be true (``fsck --repair``
+  leaves zero residual corruption), ``fsck_detect_rate`` must be
+  exactly 1.0 (every separately injected silent corruption is caught),
+  ``plan_deterministic`` must be true (same seed, same schedule) and
+  every scheduled fault must actually fire (``faults_fired ==
+  faults_scheduled`` — a fault that never lands gates nothing).  The
+  chaos/baseline wall-clock ratio is informational.
 * ``BENCH_fabric.json`` (``fabric``) — the distributed-sweep gate:
   shape-gated, ``results_identical`` must be true (the served store
   renders the same report as the single-process baseline),
@@ -87,6 +98,11 @@ REQUIRED_KEYS = {
     "manyflow": ("flows", "batched_seconds", "per_packet_seconds",
                  "speedup_vs_per_packet", "events_per_sec",
                  "results_identical", "outcome"),
+    "chaos": ("cells", "workers", "seed", "baseline_seconds",
+              "chaos_seconds", "faults_scheduled", "faults_fired",
+              "quarantined", "residual_issues", "corruptions_injected",
+              "corruptions_detected", "fsck_detect_rate",
+              "results_identical", "fsck_clean", "plan_deterministic"),
 }
 
 #: What lands in the history line per payload kind.
@@ -102,6 +118,8 @@ HISTORY_METRICS = {
                "fabric_seconds", "single_seconds"),
     "manyflow": ("speedup_vs_per_packet", "events_per_sec",
                  "batched_seconds", "per_packet_seconds"),
+    "chaos": ("chaos_seconds", "baseline_seconds", "faults_fired",
+              "quarantined", "fsck_detect_rate"),
 }
 
 
@@ -295,6 +313,60 @@ def gate_fabric(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
     return failures
 
 
+def gate_chaos(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
+               threshold: float) -> List[str]:
+    failures: List[str] = []
+    if cand_payload.get("results_identical") is not True:
+        failures.append(
+            "chaos contract: the fault-injected sweep did not converge "
+            "to the fault-free store (results_identical is "
+            f"{cand_payload.get('results_identical')!r})")
+        print("results_identical: "
+              f"{cand_payload.get('results_identical')!r} [CONTRACT FAIL]")
+    else:
+        print("results_identical: True [ok]")
+    if cand_payload.get("fsck_clean") is not True:
+        failures.append(
+            "chaos contract: fsck found residual corruption after "
+            f"--repair ({cand_payload.get('residual_issues')!r} issue(s))")
+        print(f"fsck_clean: {cand_payload.get('fsck_clean')!r} "
+              "[CONTRACT FAIL]")
+    else:
+        print("fsck_clean: True [ok]")
+    rate = cand_payload.get("fsck_detect_rate")
+    if rate != 1.0:
+        failures.append(
+            f"chaos contract: fsck detected only {rate!r} of the "
+            "injected corruptions; the checksum layer is leaking")
+        print(f"fsck_detect_rate: {rate!r} [CONTRACT FAIL]")
+    else:
+        print("fsck_detect_rate: 1.0 [ok]")
+    if cand_payload.get("plan_deterministic") is not True:
+        failures.append(
+            "chaos contract: the same seed built two different fault "
+            "schedules; chaos runs are no longer replayable")
+        print("plan_deterministic: "
+              f"{cand_payload.get('plan_deterministic')!r} [CONTRACT FAIL]")
+    else:
+        print("plan_deterministic: True [ok]")
+    fired = cand_payload.get("faults_fired")
+    scheduled = cand_payload.get("faults_scheduled")
+    if fired != scheduled:
+        failures.append(
+            f"chaos contract: only {fired!r} of {scheduled!r} scheduled "
+            "fault(s) fired — an unfired fault gates nothing")
+        print(f"faults_fired: {fired!r}/{scheduled!r} [CONTRACT FAIL]")
+    else:
+        print(f"faults_fired: {fired}/{scheduled} [ok]")
+    b = base_payload.get("baseline_seconds")
+    c = cand_payload.get("chaos_seconds")
+    bb = base_payload.get("chaos_seconds")
+    if b and c and bb:
+        print(f"chaos_seconds: {c:.2f}s vs baseline run's {bb:.2f}s "
+              "[informational]")
+    return failures
+
+
 #: The fast-path acceptance floor: batched delivery must beat
 #: per-packet scheduling by at least this factor at the gated cell.
 MANYFLOW_MIN_SPEEDUP = 3.0
@@ -448,6 +520,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures = gate_fabric(base_payload, cand_payload, args.threshold)
     elif base_kind == "manyflow":
         failures = gate_manyflow(base_payload, cand_payload, args.threshold)
+    elif base_kind == "chaos":
+        failures = gate_chaos(base_payload, cand_payload, args.threshold)
     else:
         failures = gate_store(base_payload, cand_payload, args.threshold)
 

@@ -287,7 +287,8 @@ def cmd_store(args: argparse.Namespace) -> int:
 
     # Read-only commands on a store that was never created get a
     # friendly note instead of a traceback (or a spurious empty store).
-    read_only = args.store_command in ("ls", "show", "stats", "gc", "export")
+    read_only = args.store_command in ("ls", "show", "stats", "gc", "export",
+                                       "fsck")
     try:
         opened = resolve_store(args.store, backend=args.backend,
                                must_exist=read_only)
@@ -343,6 +344,20 @@ def cmd_store(args: argparse.Namespace) -> int:
             else:
                 print(f"dropped {dropped} run(s) older than "
                       f"{args.older_than:g} day(s); {len(store)} remain")
+        elif args.store_command == "fsck":
+            from .store.fsck import fsck
+            try:
+                report = fsck(store, repair=args.repair)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}")
+            print(report.summary())
+            for issue in report.checksum_failures + report.key_mismatches:
+                shown = issue.key[:16] if issue.key else "(unreadable)"
+                print(f"  {issue.kind}: {shown} in {issue.location}"
+                      + (f" — {issue.detail}" if issue.detail else ""))
+            if not report.clean and not args.repair:
+                print("re-run with --repair to quarantine corrupt rows")
+            return 0 if report.clean else 1
         elif args.store_command == "stats":
             counters = store.counters()
             fresh_prints = achievable_fingerprints()
@@ -365,6 +380,20 @@ def cmd_store(args: argparse.Namespace) -> int:
                 print(f"stale:   {sum(stale.values())} run(s) from "
                       f"{len(stale)} older code fingerprint(s) "
                       f"(reclaim with 'repro store gc')")
+            shard_stats = getattr(store, "stats", None)
+            if callable(shard_stats):
+                info = shard_stats()
+                print(f"shards:  {info['shards']} shard(s), "
+                      f"{info['ledger_lines']} ledger line(s) "
+                      f"({info['dead_lines']} dead)")
+                if info["torn_lines"]:
+                    print(f"torn:    {info['torn_lines']} torn line(s) "
+                          f"across {len(info['torn_by_shard'])} shard(s) — "
+                          f"run 'repro store fsck --repair' to quarantine")
+            quarantined = counters.get("quarantined", 0)
+            if quarantined:
+                print(f"quarantined: {quarantined} row(s) moved aside by "
+                      f"'store fsck --repair'")
             subsystems = subsystem_fingerprints()
             print("code:    " + ", ".join(
                 f"{name}={subsystems[name][:8]}"
@@ -384,8 +413,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store = resolve_store(args.store or None, backend=args.backend)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
-    server = StoreServer(store, host=args.host, port=args.port,
-                         verbose=args.verbose)
+    try:
+        server = StoreServer(store, host=args.host, port=args.port,
+                             verbose=args.verbose)
+    except OSError as exc:
+        # Most commonly EADDRINUSE: another server (or an old one) is
+        # already bound there — one line, not a traceback.
+        raise SystemExit(
+            f"error: cannot serve on {args.host}:{args.port} "
+            f"({getattr(exc, 'strerror', None) or exc}); is another "
+            f"'repro serve' already running there? pick a different "
+            f"--port (0 = any free port)")
     print(f"serving {store.kind} store {store.path} at {server.url} "
           f"(key schema v{KEY_SCHEMA_VERSION}, {len(store)} stored "
           f"run(s)); Ctrl-C to stop", flush=True)
@@ -638,6 +676,12 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--dry-run", action="store_true",
                     help="only report what would be dropped")
     store_sub.add_parser("stats", help="row counts and hit/miss counters")
+    sp = store_sub.add_parser(
+        "fsck", help="verify row checksums and re-derive run keys "
+                     "(exit 1 when anything is wrong)")
+    sp.add_argument("--repair", action="store_true",
+                    help="quarantine corrupt rows to a sidecar file and "
+                         "reconcile the counter ledger")
     p.set_defaults(func=cmd_store)
 
     p = sub.add_parser(

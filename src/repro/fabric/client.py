@@ -30,12 +30,30 @@ Failure handling is deliberately loud and actionable:
 
 Transient transport errors on idempotent calls are retried with
 exponential backoff (uploads are content-addressed, so a replay is
-harmless); counter bumps are not idempotent and are never retried.
+harmless) and deterministic-seeded jitter (N workers recovering from
+the same server blip must not thunder-herd on the same schedule);
+counter bumps are not idempotent and are never retried.  Server-side
+5xx replies and truncated/garbled bodies count as transient too — a
+faulting server is indistinguishable from a flaky network.
+
+Graceful degradation: constructed with ``spill_path=``, the client
+runs a circuit breaker over its *write* path.  After
+``breaker_threshold`` consecutive failed write calls the circuit
+opens: writes land in a local write-ahead
+:class:`~repro.store.shards.ShardStore` at ``spill_path`` instead of
+erroring, the sweep keeps moving, and after ``breaker_cooldown``
+seconds the next write probes the server again (half-open).  The first
+successful write resyncs everything spilled — content addressing makes
+the replay harmless — so the served store converges to exactly what a
+fault-free run would have produced.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import os
+import random
 import time
 import urllib.error
 import urllib.request
@@ -91,7 +109,9 @@ class RemoteStore(StoreBackend):
     kind = "http"
 
     def __init__(self, url: str, *, timeout: float = 30.0, retries: int = 2,
-                 backoff: float = 0.25, check_schema: bool = True) -> None:
+                 backoff: float = 0.25, check_schema: bool = True,
+                 spill_path: Optional[str] = None, breaker_threshold: int = 3,
+                 breaker_cooldown: float = 2.0) -> None:
         if not url.startswith(("http://", "https://")):
             raise ValueError(
                 f"RemoteStore needs an http(s):// URL, got {url!r}")
@@ -101,6 +121,21 @@ class RemoteStore(StoreBackend):
         self.backoff = backoff
         self._check_schema = check_schema
         self._schema_checked = False
+        # Deterministic-seeded jitter: stable within one process (runs
+        # replay), decorrelated across workers (no thundering herd).
+        self._jitter = random.Random(f"repro-fabric:{os.getpid()}:{self.path}")
+        # -- circuit breaker (write path; enabled by spill_path) -----------
+        self.spill_path = None if spill_path is None else str(spill_path)
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._spill: Optional[StoreBackend] = None
+        self._write_failures = 0
+        self._open_until = 0.0
+        #: Times the circuit opened / rows spilled locally / rows
+        #: resynced to the server after recovery (session counters).
+        self.circuit_opens = 0
+        self.spilled_rows = 0
+        self.resynced_rows = 0
 
     # -- transport ---------------------------------------------------------
     def _request(self, method: str, path: str, body: Optional[bytes] = None,
@@ -110,7 +145,11 @@ class RemoteStore(StoreBackend):
         last: Optional[Exception] = None
         for attempt in range(attempts):
             if attempt:
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                # Exponential backoff with seeded jitter (0.5x-1.5x):
+                # workers retrying after one server blip spread out
+                # instead of re-colliding in lockstep.
+                time.sleep(self.backoff * (2 ** (attempt - 1))
+                           * (0.5 + self._jitter.random()))
             request = urllib.request.Request(
                 self.path + path, data=body, method=method,
                 headers={"Content-Type": "application/json"} if body else {})
@@ -119,11 +158,23 @@ class RemoteStore(StoreBackend):
                                             timeout=self.timeout) as reply:
                     return reply.read()
             except urllib.error.HTTPError as exc:
-                # The server answered: not a transport failure.  4xx/5xx
+                if exc.code >= 500 and retry:
+                    last = exc  # server-side fault: transient on
+                    continue    # idempotent calls, same as a lost packet
+                # The server answered: not a transport failure.  4xx
                 # surface to the caller, which maps 404s to None/False.
                 raise
+            except http.client.HTTPException as exc:
+                # Truncated or garbled reply (IncompleteRead,
+                # BadStatusLine, RemoteDisconnected): transient.
+                last = exc
             except (urllib.error.URLError, ConnectionError, OSError) as exc:
                 last = exc
+        if isinstance(last, urllib.error.HTTPError):
+            raise FabricConnectionError(
+                f"the fabric store server at {self.path} keeps failing "
+                f"(HTTP {last.code} after {attempts} attempt(s)); check its "
+                f"logs, or re-serve the store with 'repro serve'")
         reason = getattr(last, "reason", last)
         raise FabricConnectionError(
             f"cannot reach the fabric store server at {self.path} "
@@ -153,6 +204,65 @@ class RemoteStore(StoreBackend):
                 f"so syncing would only exchange dead rows — upgrade the "
                 f"older side (or re-serve the store with matching code)")
         self._schema_checked = True
+
+    # -- circuit breaker (write path) --------------------------------------
+    def _breaker_enabled(self) -> bool:
+        return self.spill_path is not None and self.breaker_threshold > 0
+
+    def _circuit_open(self) -> bool:
+        return time.monotonic() < self._open_until
+
+    def _spill_store(self) -> StoreBackend:
+        if self._spill is None:
+            from ..store.shards import ShardStore  # local: import cycle
+
+            self._spill = ShardStore(self.spill_path)
+        return self._spill
+
+    def _spill_writes(self, rows: List[_Row]) -> None:
+        store = self._spill_store()
+        for key, created, fingerprint, record in rows:
+            store.put(key, record_from_dict(record), fingerprint=fingerprint,
+                      created=created)
+        self.spilled_rows += len(rows)
+
+    def _note_write_failure(self) -> None:
+        self._write_failures += 1
+        if self._write_failures >= self.breaker_threshold:
+            if not self._circuit_open():
+                self.circuit_opens += 1
+            self._open_until = time.monotonic() + self.breaker_cooldown
+
+    def _note_write_success(self) -> None:
+        self._write_failures = 0
+        self._open_until = 0.0
+        try:
+            self.resync()
+        except FabricConnectionError:
+            # The server vanished again between the probe and the
+            # resync; the spill is intact, the next success retries it.
+            self._note_write_failure()
+
+    def resync(self) -> int:
+        """Upload everything spilled while the circuit was open.
+
+        Called automatically by the first successful write after a
+        recovery (the half-open probe), and callable explicitly as an
+        end-of-run flush.  Returns rows resynced.  Content addressing
+        makes the replay idempotent — re-uploading a row the server
+        already absorbed is a no-op on its state.
+        """
+        if self.spill_path is None or not os.path.isdir(self.spill_path):
+            return 0
+        store = self._spill_store()
+        rows = list(store.items())
+        if not rows:
+            return 0
+        self._upload_now(rows)
+        # Drop everything from the spill (created < now + 1s horizon).
+        store.gc(older_than_seconds=-1.0)
+        self.resynced_rows += len(rows)
+        return len(rows)
 
     # -- fabric extras -----------------------------------------------------
     def healthz(self) -> Dict[str, Any]:
@@ -188,11 +298,30 @@ class RemoteStore(StoreBackend):
 
         Content-addressed rows make replays harmless, so transport
         retries (with backoff) are safe here — this is the write path
-        fabric workers sync through.
+        fabric workers sync through.  With the circuit breaker enabled
+        (``spill_path=``) a down server degrades to local spilling
+        instead of an exception; see the class docstring.
         """
+        rows = list(rows)
+        if self._breaker_enabled():
+            if self._circuit_open():
+                self._spill_writes(rows)
+                return len(rows)
+            try:
+                uploaded = self._upload_now(rows)
+            except FabricConnectionError:
+                self._note_write_failure()
+                self._spill_writes(rows)
+                return len(rows)
+            self._note_write_success()
+            return uploaded
+        return self._upload_now(rows)
+
+    def _upload_now(self, rows: List[_Row]) -> int:
+        """The raw bulk-upload path (no breaker)."""
         self._ensure_schema()
         uploaded = 0
-        for chunk in _chunked(list(rows), BATCH_SIZE):
+        for chunk in _chunked(rows, BATCH_SIZE):
             body = "".join(
                 json.dumps({"key": key, "created": created,
                             "fingerprint": fingerprint, "record": record},
@@ -216,6 +345,12 @@ class RemoteStore(StoreBackend):
 
     def put(self, key: str, record: RunRecord, *, fingerprint: str = "",
             created: Optional[float] = None) -> None:
+        if self._breaker_enabled():
+            # Route through the breaker-guarded bulk path so single-row
+            # writes degrade (spill + resync) exactly like batches.
+            self.upload_rows(
+                [(key, created, fingerprint, record_to_dict(record))])
+            return
         self._ensure_schema()
         body = json.dumps({
             "created": created, "fingerprint": fingerprint,

@@ -160,6 +160,8 @@ def iter_fabric_runs(
     workdir: Optional[str] = None,
     max_restarts: Optional[int] = None,
     on_worker_start: Optional[Callable[[int, int], None]] = None,
+    progress_timeout: Optional[float] = None,
+    fault_plan: Optional[Any] = None,
 ) -> Iterator[RunEvent]:
     """Execute a sweep against a fabric server, streaming merged events.
 
@@ -195,6 +197,19 @@ def iter_fabric_runs(
     on_worker_start:
         ``callback(worker_id, pid)`` after every (re)spawn — the hook
         the kill/resume tests use to aim their signals.
+    progress_timeout:
+        Hung-worker watchdog: a live worker that has produced no event
+        for this many seconds is SIGKILLed and respawned (within the
+        same ``max_restarts`` budget) — a stuck run function or a
+        deadlocked child no longer stalls the whole sweep.  None (the
+        default) disables the watchdog; per-*run* timeouts are
+        ``wall_timeout``'s job, this deadline is per *worker process*.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` supplying the
+        ``worker`` fault surface: every event from worker *N* counts
+        one ``take("worker", str(N))`` operation, and a scheduled
+        ``kill`` SIGKILLs that worker mid-sweep (the respawn/replay
+        machinery then has to earn its keep — chaos testing).
     """
     requests = list(requests)
     if not requests:
@@ -249,12 +264,14 @@ def iter_fabric_runs(
                   wall_timeout, run_fn, events),
             name=f"repro-fabric-worker-{worker_id}", daemon=True)
         process.start()
+        last_progress[worker_id] = time.monotonic()
         if on_worker_start is not None:
             on_worker_start(worker_id, process.pid)
         return process
 
     terminal_seen: set = set()
     finished: set = set()
+    last_progress: Dict[int, float] = {}
     restarts = 0
     alive = {worker_id: _spawn(worker_id) for worker_id in range(workers)}
     try:
@@ -265,8 +282,15 @@ def iter_fabric_runs(
                 message = None
             if message is not None:
                 kind, worker_id = message[0], message[1]
+                last_progress[worker_id] = time.monotonic()
                 if kind == "event":
                     event = message[2]
+                    if fault_plan is not None:
+                        fault = fault_plan.take("worker", str(worker_id))
+                        if fault is not None and fault.spec.kind == "kill":
+                            victim = alive.get(worker_id)
+                            if victim is not None and victim.is_alive():
+                                victim.kill()  # scheduled chaos: SIGKILL
                     if event.terminal:
                         if event.index in terminal_seen:
                             continue  # a respawn replayed it as a local hit
@@ -280,8 +304,20 @@ def iter_fabric_runs(
                 continue  # drain queued events before liveness checks
             for worker_id, process in list(alive.items()):
                 if process.is_alive():
-                    continue
-                process.join()
+                    hung = (progress_timeout is not None
+                            and worker_id not in finished
+                            and (time.monotonic()
+                                 - last_progress.get(worker_id, 0.0)
+                                 > progress_timeout))
+                    if not hung:
+                        continue
+                    # Hung-worker watchdog: alive but mute past the
+                    # deadline — kill it and fall through to the
+                    # ordinary respawn path below.
+                    process.kill()
+                    process.join(timeout=5.0)
+                else:
+                    process.join()
                 del alive[worker_id]
                 if worker_id in finished:
                     continue

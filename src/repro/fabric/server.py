@@ -38,8 +38,11 @@ bulk download), while the sharded backend's own per-shard flocks keep
 
 from __future__ import annotations
 
+import contextlib
 import json
+import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
@@ -97,6 +100,13 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
+        if getattr(self, "_truncate_reply", False):
+            # Injected fault: promise the full body, deliver half, hang
+            # up — the client sees http.client.IncompleteRead.
+            self._truncate_reply = False
+            self.close_connection = True
+            self.wfile.write(payload[:len(payload) // 2])
+            return
         self.wfile.write(payload)
 
     def _json(self, status: int, payload: Dict[str, Any]) -> None:
@@ -124,8 +134,47 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             return parts[0], parts[1]
         return path or "/", None
 
+    def _fault_gate(self) -> bool:
+        """Consult the server's fault plan before handling a request.
+
+        Returns True when the fault consumed the request (a scheduled
+        5xx or a dropped connection); ``stall`` sleeps *before* the
+        server-wide lock so only this request stalls, and ``truncate``
+        arms :meth:`_reply` to cut the body short.  ``/healthz`` is
+        exempt — the liveness/handshake path stays dependable so chaos
+        runs can still tell "faulting" from "gone".
+        """
+        plan = getattr(self.server, "fault_plan", None)
+        if plan is None:
+            return False
+        endpoint = "/" + self._route()[0]
+        if endpoint == "/healthz":
+            return False
+        event = plan.take("http", endpoint)
+        if event is None:
+            return False
+        kind = event.spec.kind
+        if kind == "stall":
+            time.sleep(event.spec.param or 0.25)
+            return False
+        if kind == "error_500":
+            with contextlib.suppress(OSError):
+                self._error(500, "injected fault: scheduled 5xx")
+            return True
+        if kind == "drop":
+            # Vanish mid-request: no status line, no body.
+            self.close_connection = True
+            with contextlib.suppress(OSError):
+                self.connection.shutdown(socket.SHUT_RDWR)
+            return True
+        if kind == "truncate":
+            self._truncate_reply = True
+        return False
+
     # -- verbs -------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        if self._fault_gate():
+            return
         collection, key = self._route()
         try:
             with self.lock:
@@ -165,8 +214,16 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                     self._error(404, f"unknown path {self.path!r}")
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
+        except OSError as exc:
+            # A failing backing store (disk trouble, injected faults)
+            # is the server's problem, reported as such — the client
+            # retries idempotent calls on 5xx.
+            with contextlib.suppress(OSError):
+                self._error(500, f"store failure: {exc}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        if self._fault_gate():
+            return
         collection, key = self._route()
         body = self._body()
         try:
@@ -211,8 +268,13 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             self._error(400, f"malformed request body: {exc}")
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                self._error(500, f"store failure: {exc}")
 
     def do_PUT(self) -> None:  # noqa: N802 - http.server contract
+        if self._fault_gate():
+            return
         collection, key = self._route()
         if collection != "records" or key is None:
             self._error(404, f"unknown path {self.path!r}")
@@ -229,15 +291,28 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             self._json(200, {"ok": True})
         except (KeyError, ValueError, json.JSONDecodeError) as exc:
             self._error(400, f"malformed record body: {exc}")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                self._error(500, f"store failure: {exc}")
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server contract
+        if self._fault_gate():
+            return
         collection, key = self._route()
         if collection != "records" or key is None:
             self._error(404, f"unknown path {self.path!r}")
             return
-        with self.lock:
-            deleted = self.store.delete(key)
-        self._json(200 if deleted else 404, {"deleted": deleted})
+        try:
+            with self.lock:
+                deleted = self.store.delete(key)
+            self._json(200 if deleted else 404, {"deleted": deleted})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                self._error(500, f"store failure: {exc}")
 
 
 class StoreServer:
@@ -256,12 +331,17 @@ class StoreServer:
     """
 
     def __init__(self, store: Any, *, host: str = "127.0.0.1",
-                 port: int = DEFAULT_PORT, verbose: bool = False) -> None:
+                 port: int = DEFAULT_PORT, verbose: bool = False,
+                 fault_plan: Optional[Any] = None) -> None:
         self.store = open_store(store)
+        #: Optional :class:`repro.faults.FaultPlan` driving the HTTP
+        #: fault hook (chaos testing); None serves faithfully.
+        self.fault_plan = fault_plan
         self._httpd = ThreadingHTTPServer((host, port), StoreRequestHandler)
         self._httpd.store = self.store  # type: ignore[attr-defined]
         self._httpd.store_lock = threading.Lock()  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.fault_plan = fault_plan  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -14,7 +14,10 @@ the three layers:
   (concurrent multi-process writers, no single writer lock);
 * :mod:`repro.store.cache` — the :class:`RunCache` policy layer the
   executor talks to (what is reusable, what is written back, hit/miss
-  accounting).
+  accounting);
+* :mod:`repro.store.fsck` — integrity checking: per-row checksums
+  (:func:`row_check`) verified by :func:`fsck`, with ``--repair``
+  quarantining corrupt rows to a sidecar (``repro store fsck``).
 
 Typical use::
 
@@ -48,6 +51,7 @@ from .backend import (
     store_kind_at,
 )
 from .cache import RunCache, StoreLike
+from .fsck import FsckIssue, FsckReport, fsck
 from .keys import (
     KEY_SCHEMA_VERSION,
     SUBSYSTEMS,
@@ -62,6 +66,7 @@ from .keys import (
     request_from_dict,
     request_subsystems,
     request_to_dict,
+    row_check,
     run_key,
     subsystem_fingerprints,
 )
@@ -85,6 +90,10 @@ __all__ = [
     "store_kind_at",
     "RunCache",
     "StoreLike",
+    "FsckIssue",
+    "FsckReport",
+    "fsck",
+    "row_check",
     "KEY_SCHEMA_VERSION",
     "SUBSYSTEMS",
     "achievable_fingerprints",

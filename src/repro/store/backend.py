@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..core.executor import RunRecord
-from .keys import record_from_dict, record_to_dict
+from .keys import record_from_dict, record_to_dict, row_check
 
 #: Environment variable naming the default store location.
 STORE_ENV_VAR = "REPRO_STORE"
@@ -199,7 +199,8 @@ CREATE TABLE IF NOT EXISTS runs (
     created     REAL NOT NULL,
     fingerprint TEXT NOT NULL,
     label       TEXT NOT NULL,
-    record      TEXT NOT NULL
+    record      TEXT NOT NULL,
+    checksum    TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS meta (
     name  TEXT PRIMARY KEY,
@@ -227,6 +228,12 @@ class SqliteStore(StoreBackend):
         self._db = sqlite3.connect(self.path, timeout=30.0,
                                    check_same_thread=False)
         self._db.executescript(_SCHEMA)
+        try:  # stores created before the integrity column existed
+            self._db.execute(
+                "ALTER TABLE runs ADD COLUMN checksum TEXT NOT NULL "
+                "DEFAULT ''")
+        except sqlite3.OperationalError:
+            pass
         self._db.commit()
 
     # -- core map operations ----------------------------------------------
@@ -239,23 +246,27 @@ class SqliteStore(StoreBackend):
 
     def put(self, key: str, record: RunRecord, *, fingerprint: str = "",
             created: Optional[float] = None) -> None:
+        record_dict = record_to_dict(record)
         self._db.execute(
             "INSERT OR REPLACE INTO runs (key, created, fingerprint, label, "
-            "record) VALUES (?, ?, ?, ?, ?)",
+            "record, checksum) VALUES (?, ?, ?, ?, ?, ?)",
             (key, time.time() if created is None else created, fingerprint,
-             record.request.label, json.dumps(record_to_dict(record))),
+             record.request.label, json.dumps(record_dict),
+             row_check(key, record_dict)),
         )
         self._db.commit()
 
     def put_many(self, entries: List[Tuple[str, RunRecord, str]], *,
                  created: Optional[float] = None) -> int:
         stamp = time.time() if created is None else created
-        rows = [(key, stamp, fingerprint, record.request.label,
-                 json.dumps(record_to_dict(record)))
-                for key, record, fingerprint in entries]
+        rows = []
+        for key, record, fingerprint in entries:
+            record_dict = record_to_dict(record)
+            rows.append((key, stamp, fingerprint, record.request.label,
+                         json.dumps(record_dict), row_check(key, record_dict)))
         self._db.executemany(
             "INSERT OR REPLACE INTO runs (key, created, fingerprint, label, "
-            "record) VALUES (?, ?, ?, ?, ?)", rows)
+            "record, checksum) VALUES (?, ?, ?, ?, ?, ?)", rows)
         self._db.commit()
         return len(rows)
 

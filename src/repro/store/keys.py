@@ -50,7 +50,9 @@ from ..core.manyflow import ManyflowConfig
 #: by older code are invalidated wholesale instead of mis-read.
 #: v2: whole-package code fingerprint replaced by per-subsystem
 #: composites (see :data:`SUBSYSTEMS`).
-KEY_SCHEMA_VERSION = 2
+#: v3: per-record integrity checksums in the serialized row
+#: (:func:`row_check`; verified by ``repro store fsck``).
+KEY_SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -217,6 +219,19 @@ def achievable_fingerprints(package_dir: Optional[Path] = None) -> Set[str]:
         composite_fingerprint(_BASE_SUBSYSTEMS, package_dir),
         composite_fingerprint(_BASE_SUBSYSTEMS + ("proxy",), package_dir),
     }
+
+
+def row_check(key: str, record: Mapping[str, Any]) -> str:
+    """The integrity checksum of one serialized store row.
+
+    A truncated sha256 over the key and the record's canonical JSON —
+    enough to catch bit rot, truncation and row swaps, short enough to
+    cost nothing per line.  Written by every backend at append time and
+    verified by ``repro store fsck`` (:mod:`repro.store.fsck`).
+    """
+    payload = json.dumps({"key": key, "record": record}, sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 def run_key(request: RunRequest, *, fingerprint: Optional[str] = None) -> str:

@@ -16,7 +16,12 @@ Durability/concurrency contract:
 * the lock lives in a *separate* ``<shard>.lock`` file that is never
   renamed, so an appender can never race a compaction onto a dead inode;
 * readers take no locks: a torn trailing line (a crash mid-append) is
-  skipped, and duplicate keys resolve last-write-wins;
+  skipped — but *counted* per shard (:attr:`ShardStore.torn_lines`,
+  surfaced by ``repro store stats`` and warned about once per shard),
+  and duplicate keys resolve last-write-wins;
+* every line carries an integrity checksum (:func:`~repro.store.keys.
+  row_check`) verified by ``repro store fsck``, which quarantines
+  corrupt rows to a ``quarantine.jsonl`` sidecar;
 * counters are their own append-only ``counters.jsonl`` ledger of
   ``{"name": …, "delta": …}`` lines, summed on read and compacted
   opportunistically;
@@ -37,6 +42,7 @@ import contextlib
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -47,7 +53,7 @@ except ImportError:  # pragma: no cover - Windows
 
 from ..core.executor import RunRecord
 from .backend import StoreBackend
-from .keys import record_from_dict, record_to_dict
+from .keys import record_from_dict, record_to_dict, row_check
 
 #: Directory marker; refuses to treat arbitrary directories as stores.
 MANIFEST_NAME = "store.json"
@@ -80,6 +86,13 @@ class ShardStore(StoreBackend):
         #: Auto-compactions performed by *this* instance (session
         #: counter; the persistent "compactions" counter is lifetime).
         self.compactions = 0
+        #: Torn (unparseable) lines observed per shard by this instance
+        #: — the debris of crashed appends.  Readers skip them, but
+        #: silence would hide real corruption, so they are counted here,
+        #: warned about once per shard, and surfaced by ``repro store
+        #: stats``; ``repro store fsck --repair`` removes them.
+        self.torn_lines: Dict[str, int] = {}
+        self._torn_warned: set = set()
         self._dir = Path(path)
         self._dir.mkdir(parents=True, exist_ok=True)
         manifest = self._dir / MANIFEST_NAME
@@ -119,32 +132,52 @@ class ShardStore(StoreBackend):
                     fcntl.flock(handle, fcntl.LOCK_UN)
 
     @staticmethod
-    def _parse_counted(text: str) -> Tuple[Dict[str, _Entry], int]:
-        """Parse a shard ledger; also count the valid lines it holds.
+    def _parse_counted(text: str) -> Tuple[Dict[str, _Entry], int, int]:
+        """Parse a shard ledger; count valid and torn lines.
 
         ``lines - len(entries)`` is the shard's dead weight: overwrites
         of keys that appear again later (last-write-wins), exactly what
-        auto-compaction reclaims.
+        auto-compaction reclaims.  ``torn`` counts lines that failed to
+        parse at all — crashed appends or real corruption.
         """
         entries: Dict[str, _Entry] = {}
         lines = 0
+        torn = 0
         for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 raw = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn trailing line from a crashed append
+                entry = (raw["created"], raw.get("fingerprint", ""),
+                         raw["record"])
+                key = raw["key"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                torn += 1  # torn line from a crashed append, or bit rot
+                continue
             lines += 1
-            entries[raw["key"]] = (raw["created"],
-                                   raw.get("fingerprint", ""),
-                                   raw["record"])
-        return entries, lines
+            entries[key] = entry
+        return entries, lines, torn
 
-    @classmethod
-    def _parse_lines(cls, text: str) -> Dict[str, _Entry]:
-        return cls._parse_counted(text)[0]
+    def _parse_lines(self, text: str, shard: Optional[str] = None
+                     ) -> Dict[str, _Entry]:
+        entries, _lines, torn = self._parse_counted(text)
+        if shard is not None:
+            self._note_torn(shard, torn)
+        return entries
+
+    def _note_torn(self, shard: str, torn: int) -> None:
+        """Record a parse's torn-line observation (latest parse wins)."""
+        if torn == 0:
+            self.torn_lines.pop(shard, None)
+            return
+        self.torn_lines[shard] = torn
+        if shard not in self._torn_warned:
+            self._torn_warned.add(shard)
+            warnings.warn(
+                f"shard store {self.path}: {torn} torn line(s) in shard "
+                f"{shard!r} (skipped; run 'repro store fsck --repair' to "
+                f"quarantine them)", RuntimeWarning, stacklevel=3)
 
     def _should_compact(self, lines: int, live: int) -> bool:
         if self.compact_ratio is None or lines < self.compact_min_lines:
@@ -163,7 +196,8 @@ class ShardStore(StoreBackend):
         cached = self._cache.get(shard)
         if cached is not None and cached[0] == signature:
             return cached[1]
-        entries, lines = self._parse_counted(path.read_text())
+        entries, lines, torn = self._parse_counted(path.read_text())
+        self._note_torn(shard, torn)
         if self._should_compact(lines, len(entries)):
             return self._auto_compact(shard)
         self._cache[shard] = (signature, entries)
@@ -176,8 +210,9 @@ class ShardStore(StoreBackend):
             # (or already compacted) since the triggering read.
             path = self._data_path(shard)
             entries = self._parse_lines(
-                path.read_text()) if path.exists() else {}
+                path.read_text(), shard) if path.exists() else {}
             self._rewrite(shard, entries)
+        self.torn_lines.pop(shard, None)  # the rewrite dropped the debris
         self.compactions += 1
         self.bump_counter("compactions")
         try:
@@ -190,7 +225,7 @@ class ShardStore(StoreBackend):
     def _shards(self) -> List[str]:
         return sorted(
             path.stem for path in self._dir.glob("*.jsonl")
-            if path.stem != "counters")
+            if path.stem not in ("counters", "quarantine"))
 
     def _rewrite(self, shard: str, entries: Dict[str, _Entry]) -> None:
         """Compaction: temp file + atomic rename (caller holds the lock)."""
@@ -222,9 +257,7 @@ class ShardStore(StoreBackend):
         stamp = time.time() if created is None else created
         line = _line(key, stamp, fingerprint, record_to_dict(record))
         with self._locked(shard):
-            with open(self._data_path(shard), "a") as handle:
-                handle.write(line)
-                handle.flush()
+            _append_healed(self._data_path(shard), line)
         self._cache.pop(shard, None)
 
     def put_many(self, entries: List[Tuple[str, RunRecord, str]], *,
@@ -244,9 +277,8 @@ class ShardStore(StoreBackend):
             count += 1
         for shard in sorted(by_shard):
             with self._locked(shard):
-                with open(self._data_path(shard), "a") as handle:
-                    handle.writelines(by_shard[shard])
-                    handle.flush()
+                _append_healed(self._data_path(shard),
+                               "".join(by_shard[shard]))
             self._cache.pop(shard, None)
         return count
 
@@ -291,11 +323,12 @@ class ShardStore(StoreBackend):
         with self._locked(shard):
             path = self._data_path(shard)
             entries = self._parse_lines(
-                path.read_text()) if path.exists() else {}
+                path.read_text(), shard) if path.exists() else {}
             if key not in entries:
                 return False
             del entries[key]
             self._rewrite(shard, entries)
+        self.torn_lines.pop(shard, None)
         return True
 
     # -- maintenance -------------------------------------------------------
@@ -307,7 +340,7 @@ class ShardStore(StoreBackend):
             with self._locked(shard):
                 path = self._data_path(shard)
                 entries = self._parse_lines(
-                    path.read_text()) if path.exists() else {}
+                    path.read_text(), shard) if path.exists() else {}
                 doomed = [key for key, entry in entries.items()
                           if entry[0] < horizon]
                 dropped += len(doomed)
@@ -328,10 +361,8 @@ class ShardStore(StoreBackend):
     def bump_counter(self, name: str, delta: int = 1) -> None:
         path = self._dir / "counters.jsonl"
         with self._locked("counters"):
-            with open(path, "a") as handle:
-                handle.write(json.dumps({"name": name, "delta": delta},
-                                        sort_keys=True) + "\n")
-                handle.flush()
+            _append_healed(path, json.dumps({"name": name, "delta": delta},
+                                            sort_keys=True) + "\n")
 
     def counters(self) -> Dict[str, int]:
         path = self._dir / "counters.jsonl"
@@ -374,6 +405,35 @@ class ShardStore(StoreBackend):
                         sort_keys=True) + "\n")
             os.replace(tmp, path)
 
+    def stats(self) -> Dict[str, Any]:
+        """Shard-level health: sizes, dead weight, torn-line counts.
+
+        Parses every shard (so :attr:`torn_lines` reflects the whole
+        directory), which is what ``repro store stats`` wants anyway.
+        """
+        live = 0
+        lines = 0
+        torn_total = 0
+        for shard in self._shards():
+            path = self._data_path(shard)
+            try:
+                text = path.read_text()
+            except FileNotFoundError:
+                continue
+            entries, shard_lines, torn = self._parse_counted(text)
+            self._note_torn(shard, torn)
+            live += len(entries)
+            lines += shard_lines
+            torn_total += torn
+        return {
+            "shards": len(self._shards()),
+            "live_rows": live,
+            "ledger_lines": lines,
+            "dead_lines": lines - live,
+            "torn_lines": torn_total,
+            "torn_by_shard": dict(self.torn_lines),
+        }
+
     def close(self) -> None:
         self._cache.clear()
 
@@ -381,5 +441,24 @@ class ShardStore(StoreBackend):
 def _line(key: str, created: float, fingerprint: str,
           record: Dict[str, Any]) -> str:
     return json.dumps({"key": key, "created": created,
-                       "fingerprint": fingerprint, "record": record},
+                       "fingerprint": fingerprint, "record": record,
+                       "check": row_check(key, record)},
                       sort_keys=True) + "\n"
+
+
+def _append_healed(path: Path, text: str) -> None:
+    """Append ``text``, healing a torn tail first.
+
+    A writer killed mid-append leaves a partial line with no trailing
+    newline; appending straight after it would glue the new row onto
+    the debris and destroy *both*.  Starting on a fresh line confines
+    the damage to the torn fragment, which the parser skips and
+    ``fsck --repair`` quarantines.  The caller holds the shard lock.
+    """
+    with open(path, "a+b") as handle:
+        if handle.seek(0, os.SEEK_END) > 0:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+        handle.write(text.encode())
+        handle.flush()

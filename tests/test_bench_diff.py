@@ -463,3 +463,92 @@ class TestManyflowGate:
             [sys.executable, str(SCRIPT), str(committed), str(committed)],
             capture_output=True, text=True)
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# ----------------------------------------------------------------------
+# the chaos payload (scripts/chaos_sweep.py)
+# ----------------------------------------------------------------------
+def chaos_payload(**overrides):
+    base = {
+        "benchmark": "chaos",
+        "cells": 600,
+        "workers": 3,
+        "sync_every": 32,
+        "seed": 42,
+        "cpu_count": 4,
+        "usable_cpus": 4,
+        "baseline_seconds": 1.2,
+        "chaos_seconds": 1.8,
+        "faults_scheduled": 7,
+        "faults_fired": 7,
+        "quarantined": 2,
+        "residual_issues": 0,
+        "corruptions_injected": 8,
+        "corruptions_detected": 8,
+        "fsck_detect_rate": 1.0,
+        "results_identical": True,
+        "fsck_clean": True,
+        "plan_deterministic": True,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestChaosGate:
+    def test_chaos_payload_passes(self, tmp_path):
+        proc = diff(tmp_path, chaos_payload(), chaos_payload())
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "chaos" in proc.stdout
+
+    def test_results_not_identical_fails(self, tmp_path):
+        proc = diff(tmp_path, chaos_payload(),
+                    chaos_payload(results_identical=False))
+        assert proc.returncode == 1
+        assert "CONTRACT FAIL" in proc.stdout
+
+    def test_residual_corruption_fails(self, tmp_path):
+        proc = diff(tmp_path, chaos_payload(),
+                    chaos_payload(fsck_clean=False, residual_issues=2))
+        assert proc.returncode == 1
+        assert "fsck_clean" in proc.stdout
+
+    def test_partial_detection_fails(self, tmp_path):
+        proc = diff(tmp_path, chaos_payload(),
+                    chaos_payload(corruptions_detected=7,
+                                  fsck_detect_rate=0.875))
+        assert proc.returncode == 1
+        assert "fsck_detect_rate" in proc.stdout
+
+    def test_nondeterministic_plan_fails(self, tmp_path):
+        proc = diff(tmp_path, chaos_payload(),
+                    chaos_payload(plan_deterministic=False))
+        assert proc.returncode == 1
+        assert "plan_deterministic" in proc.stdout
+
+    def test_unfired_fault_fails(self, tmp_path):
+        # A scheduled fault that never landed exercised nothing — the
+        # chaos run proved less than it claims.
+        proc = diff(tmp_path, chaos_payload(), chaos_payload(faults_fired=6))
+        assert proc.returncode == 1
+        assert "faults_fired" in proc.stdout
+
+    def test_slower_chaos_run_is_informational(self, tmp_path):
+        proc = diff(tmp_path, chaos_payload(),
+                    chaos_payload(chaos_seconds=9.9))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_missing_key_is_malformed(self, tmp_path):
+        broken = chaos_payload()
+        del broken["fsck_clean"]
+        proc = diff(tmp_path, chaos_payload(), broken)
+        assert proc.returncode == 2
+        assert "missing required" in proc.stdout
+
+    def test_gates_committed_chaos_payload(self):
+        committed = REPO / "BENCH_chaos.json"
+        if not committed.exists():
+            pytest.skip("no committed BENCH_chaos.json")
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), str(committed), str(committed)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
