@@ -58,6 +58,10 @@ perf-gate:
 		--out /tmp/BENCH_manyflow.candidate.json
 	$(PYTHON) scripts/bench_diff.py BENCH_manyflow.json \
 		/tmp/BENCH_manyflow.candidate.json --history $(HISTORY)
+	PYTHONPATH=src $(PYTHON) benchmarks/model_fit.py \
+		--out /tmp/BENCH_models.candidate.json
+	$(PYTHON) scripts/bench_diff.py BENCH_models.json \
+		/tmp/BENCH_models.candidate.json --history $(HISTORY)
 	cp BENCH_chaos.json /tmp/BENCH_chaos.baseline.json
 	PYTHONPATH=src $(PYTHON) scripts/chaos_sweep.py --cells 600
 	$(PYTHON) scripts/bench_diff.py /tmp/BENCH_chaos.baseline.json \

@@ -38,6 +38,15 @@ Understands the three machine-readable payload shapes the repo commits:
   fast-path acceptance floor), the host-normalised ``events_per_sec``
   is gated on ``--threshold`` like the sim rates, and on an identical
   workload the fixed-seed ``outcome`` block must match exactly.
+* ``BENCH_models.json`` (``models``) — the analytical-oracle gate:
+  shape-gated, ``results_identical`` must be true (two passes over the
+  oracle grid produced bit-identical simulated metrics), every gated
+  cell must sit within the tolerance band (``within_tolerance ==
+  gated_cells``), and ``max_abs_log_error`` must stay under
+  ``ln(1 + tolerance)`` — a CC kernel whose behaviour drifts from its
+  closed-form model (Mathis/AIMD, RFC 8312 Cubic, BDP-bound BBR) fails
+  here even if fixed-seed goldens were re-baselined.  On an identical
+  workload the per-cell ``fit`` block must match exactly.
 * ``BENCH_chaos.json`` (``chaos``) — the fault-injection gate:
   shape-gated, ``results_identical`` must be true (a seeded fault
   schedule — 5xx replies, torn shard writes, a worker SIGKILL, a
@@ -98,6 +107,8 @@ REQUIRED_KEYS = {
     "manyflow": ("flows", "batched_seconds", "per_packet_seconds",
                  "speedup_vs_per_packet", "events_per_sec",
                  "results_identical", "outcome"),
+    "models": ("tolerance", "cells", "gated_cells", "within_tolerance",
+               "max_abs_log_error", "results_identical", "fit"),
     "chaos": ("cells", "workers", "seed", "baseline_seconds",
               "chaos_seconds", "faults_scheduled", "faults_fired",
               "quarantined", "residual_issues", "corruptions_injected",
@@ -118,6 +129,8 @@ HISTORY_METRICS = {
                "fabric_seconds", "single_seconds"),
     "manyflow": ("speedup_vs_per_packet", "events_per_sec",
                  "batched_seconds", "per_packet_seconds"),
+    "models": ("max_abs_log_error", "mean_abs_log_error",
+               "within_tolerance", "gated_cells"),
     "chaos": ("chaos_seconds", "baseline_seconds", "faults_fired",
               "quarantined", "fsck_detect_rate"),
 }
@@ -367,6 +380,64 @@ def gate_chaos(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
     return failures
 
 
+def gate_models(base_payload: Dict[str, Any], cand_payload: Dict[str, Any],
+                threshold: float) -> List[str]:
+    import math
+
+    failures: List[str] = []
+    if cand_payload.get("results_identical") is not True:
+        failures.append(
+            "models contract: two oracle-grid passes produced different "
+            "simulated metrics (results_identical is "
+            f"{cand_payload.get('results_identical')!r})")
+        print("results_identical: "
+              f"{cand_payload.get('results_identical')!r} [CONTRACT FAIL]")
+    else:
+        print("results_identical: True [ok]")
+
+    gated = cand_payload.get("gated_cells")
+    within = cand_payload.get("within_tolerance")
+    if not gated or within != gated:
+        failures.append(
+            f"models contract: {within!r} of {gated!r} gated cell(s) "
+            "within tolerance — a CC kernel diverged from its "
+            "closed-form model")
+        print(f"within_tolerance: {within!r}/{gated!r} [CONTRACT FAIL]")
+    else:
+        print(f"within_tolerance: {within}/{gated} [ok]")
+
+    tolerance = cand_payload.get("tolerance")
+    ceiling = math.log(1.0 + tolerance) if tolerance else None
+    worst = cand_payload.get("max_abs_log_error")
+    if ceiling is None or not isinstance(worst, (int, float)) \
+            or worst > ceiling:
+        failures.append(
+            f"models contract: max |ln(obs/model)| is {worst!r}, the "
+            f"ceiling is ln(1 + tolerance) = "
+            f"{ceiling if ceiling is None else round(ceiling, 4)!r}")
+        print(f"max_abs_log_error: {worst!r} [CONTRACT FAIL]")
+    else:
+        print(f"max_abs_log_error: {worst:.4f} (ceiling {ceiling:.4f}) "
+              "[ok]")
+
+    if _same_manyflow_workload(base_payload, cand_payload) \
+            and base_payload.get("tolerance") == tolerance:
+        bf = base_payload.get("fit")
+        cf = cand_payload.get("fit")
+        if bf != cf:
+            failures.append(
+                "behaviour change: the fixed-seed model-fit table differs "
+                "on an identical oracle workload")
+            print("fit: differs on identical workload [BEHAVIOUR CHANGE]")
+        else:
+            print("fit: identical on identical workload [ok]")
+    b = base_payload.get("max_abs_log_error")
+    if b and isinstance(worst, (int, float)):
+        print(f"fit error trend: {worst:.4f} vs baseline {b:.4f} "
+              "[informational]")
+    return failures
+
+
 #: The fast-path acceptance floor: batched delivery must beat
 #: per-packet scheduling by at least this factor at the gated cell.
 MANYFLOW_MIN_SPEEDUP = 3.0
@@ -520,6 +591,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures = gate_fabric(base_payload, cand_payload, args.threshold)
     elif base_kind == "manyflow":
         failures = gate_manyflow(base_payload, cand_payload, args.threshold)
+    elif base_kind == "models":
+        failures = gate_models(base_payload, cand_payload, args.threshold)
     elif base_kind == "chaos":
         failures = gate_chaos(base_payload, cand_payload, args.threshold)
     else:

@@ -456,27 +456,39 @@ def cmd_manyflow(args: argparse.Namespace) -> int:
     from .core.executor import run_requests
     from .core.manyflow import (ManyflowConfig, manyflow_requests,
                                 manyflow_scenario)
+    from .transport.cc import KERNEL_NAMES
 
-    config = ManyflowConfig(flows=args.flows, arrival_rate=args.arrival_rate,
-                            tcp_share=args.tcp_share, aqm=args.aqm,
-                            duration=args.duration)
+    ccs = [cc.strip() for cc in args.cc.split(",") if cc.strip()]
+    for cc in ccs:
+        if cc not in KERNEL_NAMES:
+            raise SystemExit(f"error: unknown CC kernel {cc!r} "
+                             f"(choose from {', '.join(KERNEL_NAMES)})")
+    configs = [ManyflowConfig(flows=args.flows,
+                              arrival_rate=args.arrival_rate,
+                              tcp_share=args.tcp_share, aqm=args.aqm,
+                              duration=args.duration, cc=cc)
+               for cc in ccs]
     scenario = manyflow_scenario(rate_mbps=args.rate,
                                  rtt=args.rtt_ms / 1000.0,
                                  loss_rate=args.loss / 100.0)
     seeds = tuple(range(args.seed, args.seed + args.runs))
-    requests = manyflow_requests(config, scenario=scenario, seeds=seeds)
+    requests = [request for config in configs
+                for request in manyflow_requests(config, scenario=scenario,
+                                                 seeds=seeds)]
     cache = _cache(args)
-    print(f"{config.label}: {len(seeds)} run(s) x {config.flows} flows "
+    labels = ", ".join(config.label for config in configs)
+    print(f"{labels}: {len(seeds)} run(s) x {args.flows} flows "
           f"over {scenario.name}")
     records = run_requests(requests, jobs=args.jobs, store=cache)
     for record in records:
         seed = record.request.seed
+        cc_tag = (f"{record.request.manyflow.cc} " if len(ccs) > 1 else "")
         if not record.complete and record.failure is not None:
-            print(f"  seed {seed}: {record.failure}")
+            print(f"  {cc_tag}seed {seed}: {record.failure}")
             continue
         m = record.metrics
         flag = " (cached)" if record.cached else ""
-        print(f"  seed {seed}: "
+        print(f"  {cc_tag}seed {seed}: "
               f"{int(m['flows_completed'])}/{int(m['flows'])} flows, "
               f"jain={m['jain_index']:.3f} "
               f"quic_share={m['quic_share']:.3f} "
@@ -484,6 +496,62 @@ def cmd_manyflow(args: argparse.Namespace) -> int:
               f"p99={m['plt_p99']:.3f}s{flag}")
     if cache is not None:
         print(cache.describe_session())
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .core.models import (
+        fit_records,
+        oracle_requests,
+        render_model_fit_table,
+    )
+
+    if args.from_store is not None:
+        from .core.aggregate import iter_records
+        from .store import StoreNotFoundError, resolve_store
+
+        try:
+            found = resolve_store(args.from_store or None, must_exist=True)
+        except StoreNotFoundError as exc:
+            print(f"{exc} — run `repro validate` without --from-store "
+                  "(or a manyflow sweep with --cache) first")
+            return 1
+        with found as store:
+            fit = fit_records(iter_records(store))
+    else:
+        from .core.executor import run_requests
+
+        requests = oracle_requests(seeds=tuple(range(args.runs)))
+        cache = _cache(args)
+        print(f"oracle grid: {len(requests)} steady-state manyflow run(s)",
+              flush=True)
+        records = run_requests(requests, jobs=args.jobs, store=cache)
+        failures = [r for r in records if not r.complete and r.failure]
+        for record in failures:
+            request = record.request
+            print(f"  {request.manyflow.label} seed {request.seed} on "
+                  f"{request.scenario.name}: {record.failure}")
+        fit = fit_records(records)
+        if cache is not None:
+            print(cache.describe_session())
+    cells = fit.cells()
+    if not cells:
+        print("no model-fit cells: the store holds no completed "
+              "homogeneous manyflow runs with a rate_p50 metric")
+        return 1
+    print(render_model_fit_table(cells, args.tolerance))
+    gated = [cell for cell in cells if cell.gated]
+    divergent = [cell for cell in gated
+                 if not cell.within(args.tolerance)]
+    print()
+    print(f"{len(gated) - len(divergent)}/{len(gated)} gated cell(s) "
+          f"within tolerance ({len(cells) - len(gated)} informational)")
+    if divergent:
+        for cell in divergent:
+            print(f"  DIVERGENT: {cell.cc}/{cell.proto} at "
+                  f"loss={cell.loss_rate:.2%}: obs/model="
+                  f"{cell.ratio:.2f}")
+        return 1
     return 0
 
 
@@ -730,6 +798,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fraction of flows using TCP (rest QUIC)")
     p.add_argument("--aqm", choices=AQM_NAMES, default="droptail",
                    help="bottleneck queue discipline")
+    p.add_argument("--cc", default="reno", metavar="KERNELS",
+                   help="comma-separated CC kernel axis (reno, cubic, "
+                        "bbr); each kernel becomes its own sweep cell "
+                        "(default: reno)")
     p.add_argument("--duration", type=float, default=300.0,
                    help="simulated seconds (cap; runs end at completion)")
     p.add_argument("--rate", type=float, default=100.0,
@@ -744,6 +816,24 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_arg(p)
     cache_arg(p)
     p.set_defaults(func=cmd_manyflow)
+
+    p = sub.add_parser(
+        "validate",
+        help="check sweep cells against analytical CC models")
+    p.add_argument("--from-store", nargs="?", const="", default=None,
+                   metavar="PATH",
+                   help="fit existing store records instead of running "
+                        "the oracle grid; PATH defaults to $REPRO_STORE "
+                        "or .repro-store.sqlite")
+    p.add_argument("--tolerance", type=float, default=0.6,
+                   help="accepted observed/model band as a fraction "
+                        "(default 0.6: within 1.6x either way)")
+    p.add_argument("--runs", type=int, default=1,
+                   help="seeds per oracle cell when running the grid "
+                        "(default 1)")
+    jobs_arg(p)
+    cache_arg(p)
+    p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("bench", help="hot-path microbenchmarks / profiler")
     p.add_argument("--events", type=int, default=200_000,

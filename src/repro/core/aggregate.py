@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from .executor import RunEvent, RunRecord
+from .models import ModelFitAccumulator, render_model_fit_table
 
 #: A cell identity: (scenario name, page name, protocol name).
 CellKey = Tuple[str, str, str]
@@ -155,6 +156,73 @@ class FairnessAccumulator:
         self.plt_tcp.extend(other.plt_tcp)
 
 
+@dataclass
+class DwellAccumulator:
+    """Incremental state-dwell aggregation for one traced cell.
+
+    Fed from records whose ``metrics`` carry ``dwell:<state>`` keys —
+    the per-state time fractions :meth:`ServerTrace.dwell_fractions`
+    exports when a request is executed with ``trace=True``.  Keyed by
+    ``(scenario, protocol)``, so the rendered table is the store-backed
+    form of the Fig. 3 / Fig. 13 inferred-state artefact: which CC
+    states a protocol actually dwells in under each network condition.
+    """
+
+    scenario: str
+    protocol: str
+    runs: int = 0
+    #: state name -> summed dwell fraction across runs.
+    fractions: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.scenario, self.protocol)
+
+    def add_record(self, record: RunRecord) -> None:
+        self.runs += 1
+        for name, value in record.metrics.items():
+            if name.startswith("dwell:"):
+                state = name[len("dwell:"):]
+                self.fractions[state] = self.fractions.get(state, 0.0) + value
+
+    def merge(self, other: "DwellAccumulator") -> None:
+        if other.key != self.key:
+            raise ValueError(
+                f"cannot merge dwell cell {other.key} into {self.key}")
+        self.runs += other.runs
+        for state, value in other.fractions.items():
+            self.fractions[state] = self.fractions.get(state, 0.0) + value
+
+    def mean_fractions(self) -> List[Tuple[str, float]]:
+        """(state, mean dwell fraction), largest dwell first."""
+        if not self.runs:
+            return []
+        return sorted(((state, total / self.runs)
+                       for state, total in self.fractions.items()),
+                      key=lambda kv: (-kv[1], kv[0]))
+
+
+def render_dwell_table(cells: List[DwellAccumulator]) -> str:
+    """The store-backed inferred-state dwell table (Fig. 3 / Fig. 13)."""
+    if not cells:
+        return "(no traced records)"
+    width_scn = max(len("scenario"), *(len(c.scenario) for c in cells))
+    states = {state for cell in cells for state, _ in cell.mean_fractions()}
+    width_state = max(len("state"), *(len(s) for s in states)) if states \
+        else len("state")
+    lines = [
+        f"{'scenario':<{width_scn}}  {'proto':<5}  {'runs':>4}  "
+        f"{'state':<{width_state}}  {'dwell':>6}",
+    ]
+    for cell in sorted(cells, key=lambda c: c.key):
+        for state, fraction in cell.mean_fractions():
+            lines.append(
+                f"{cell.scenario:<{width_scn}}  {cell.protocol:<5}  "
+                f"{cell.runs:>4}  {state:<{width_state}}  "
+                f"{fraction * 100:>5.1f}%")
+    return "\n".join(lines)
+
+
 def render_fairness_table(cells: List[FairnessAccumulator]) -> str:
     """The store-backed Jain-index table (Tab. 4, AQM-generalised)."""
     if not cells:
@@ -193,13 +261,18 @@ class StreamAggregator:
     aggregators (e.g. from two workers, or a live view plus a resumed
     sweep) ``merge`` associatively.  Records carrying fairness metrics
     (the manyflow family) additionally feed per-cell
-    :class:`FairnessAccumulator`\\ s; events cannot (they carry no
-    metrics), so the fairness artefact is a record-path feature.
+    :class:`FairnessAccumulator`\\ s, a shared
+    :class:`~repro.core.models.ModelFitAccumulator` (the analytical
+    oracle comparison behind ``repro validate``), and — when traced —
+    per-cell :class:`DwellAccumulator`\\ s; events cannot (they carry
+    no metrics), so those artefacts are record-path features.
     """
 
     def __init__(self) -> None:
         self.cells: Dict[CellKey, CellAccumulator] = {}
         self.fairness: Dict[Tuple[str, str], FairnessAccumulator] = {}
+        self.model_fit = ModelFitAccumulator()
+        self.dwell: Dict[Tuple[str, str], DwellAccumulator] = {}
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -229,6 +302,15 @@ class StreamAggregator:
                     scenario=request.scenario.name, config=config.label,
                     aqm=config.aqm, flows=config.flows)
             cell.add_record(record)
+        self.model_fit.add_record(record)
+        if any(name.startswith("dwell:") for name in record.metrics):
+            key = (request.scenario.name, request.protocol.name)
+            dwell = self.dwell.get(key)
+            if dwell is None:
+                dwell = self.dwell[key] = DwellAccumulator(
+                    scenario=request.scenario.name,
+                    protocol=request.protocol.name)
+            dwell.add_record(record)
 
     def add_event(self, event: RunEvent) -> None:
         if not event.terminal:
@@ -245,6 +327,13 @@ class StreamAggregator:
                 self.fairness[key] = cell
             else:
                 mine.merge(cell)
+        self.model_fit.merge(other.model_fit)
+        for key, cell in other.dwell.items():
+            mine_dwell = self.dwell.get(key)
+            if mine_dwell is None:
+                self.dwell[key] = cell
+            else:
+                mine_dwell.merge(cell)
 
     def aggregates(self) -> List[CellAggregate]:
         return [self.cells[key].aggregate() for key in sorted(self.cells)]
@@ -257,6 +346,21 @@ class StreamAggregator:
         if not self.fairness:
             return None
         return render_fairness_table(list(self.fairness.values()))
+
+    def render_model_fit(self, tolerance: Optional[float] = None
+                         ) -> Optional[str]:
+        """The oracle fit table, or None when no fit cells accumulated."""
+        if not self.model_fit:
+            return None
+        if tolerance is None:
+            return render_model_fit_table(self.model_fit.cells())
+        return render_model_fit_table(self.model_fit.cells(), tolerance)
+
+    def render_dwell(self) -> Optional[str]:
+        """The state-dwell table, or None when no traced records seen."""
+        if not self.dwell:
+            return None
+        return render_dwell_table(list(self.dwell.values()))
 
 
 def iter_records(store: Any, *,

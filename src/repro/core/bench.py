@@ -315,6 +315,7 @@ def run_manyflow_benchmark(*, flows: int = 1000, repeat: int = 1,
         "workload": {
             "flows": flows,
             "aqm": aqm,
+            "cc": "reno",
             "seed": seed,
             "duration": duration,
             "scenario": "manyflow_scenario()",
@@ -342,9 +343,15 @@ def _subsystem_of(filename: str) -> str:
     if "/repro/" not in normalised:
         return "(stdlib/other)"
     rel = normalised.split("/repro/", 1)[1]
+    # Explicit file entries win over the enclosing directory (e.g.
+    # core/models.py belongs to transport, not core), mirroring the
+    # claimed-file precedence in subsystem_fingerprints.
+    for name, entries in SUBSYSTEMS.items():
+        if rel in entries:
+            return name
     head = rel.split("/", 1)[0]
     for name, entries in SUBSYSTEMS.items():
-        if head in entries or rel in entries:
+        if head in entries:
             return name
     return "(stdlib/other)"
 

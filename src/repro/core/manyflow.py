@@ -9,7 +9,8 @@ that regime as a first-class, store-addressable workload:
 * :class:`ManyflowConfig` — a frozen description of the traffic mix:
   flow count, seeded Poisson arrival process, QUIC/TCP split,
   heavy-tailed (lognormal) page sizes with a uniform video tail, the
-  AQM discipline, and the simulated-time cap.  It rides inside
+  AQM discipline, the CC kernel (``cc`` ∈ reno/cubic/bbr, see
+  :mod:`repro.transport.cc.kernels`), and the simulated-time cap.  It rides inside
   :class:`~repro.core.executor.RunRequest`, so runs are content
   addressed, cached, executed by ``iter_runs`` and streamed into the
   store exactly like page-load cells.
@@ -46,6 +47,7 @@ from ..netem.profiles import Scenario
 from ..netem.queues import AQM_NAMES, make_queue
 from ..netem.sim import Simulator
 from ..netem.topology import _run_rtt_factor
+from ..transport.cc.kernels import KERNEL_NAMES
 from ..transport.flowtable import (
     FlowTable,
     PROTO_QUIC,
@@ -98,6 +100,10 @@ class ManyflowConfig:
     video_kb_max: float = 3072.0
     aqm: str = "droptail"
     duration: float = 300.0
+    #: Congestion-control kernel driving every flow (the CC axis):
+    #: ``reno`` (the historical AIMD fast path), ``cubic`` or ``bbr``
+    #: from :mod:`repro.transport.cc.kernels`.
+    cc: str = "reno"
 
     def __post_init__(self) -> None:
         if self.flows <= 0:
@@ -119,10 +125,17 @@ class ManyflowConfig:
                 f"{', '.join(AQM_NAMES)}")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.cc not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown CC kernel {self.cc!r}; expected one of "
+                f"{', '.join(KERNEL_NAMES)}")
 
     @property
     def label(self) -> str:
-        return f"manyflow-{self.flows}f-{self.aqm}"
+        base = f"manyflow-{self.flows}f-{self.aqm}"
+        # The historical label is preserved for the default kernel so
+        # pre-existing store cells keep their addresses.
+        return base if self.cc == "reno" else f"{base}-{self.cc}"
 
     def with_(self, **changes: Any) -> "ManyflowConfig":
         return replace(self, **changes)
@@ -218,7 +231,7 @@ class ManyflowEngine:
         self.batch_quantum = batch_quantum
         self.mss = mss
         self.sim = Simulator()
-        self.table = FlowTable(config.flows, mss)
+        self.table = FlowTable(config.flows, mss, cc=config.cc)
 
         arrivals, sizes, protos = build_flows(config, seed)
         for i in range(config.flows):
@@ -439,7 +452,7 @@ class ManyflowEngine:
                 pending[idx] = 0
                 table.inflight[flow] -= 1
             if not table.retx_flag[flow][idx]:
-                table.rtt_update(flow, t - table.sent_time[flow][idx])
+                table.rtt_update(flow, t - table.sent_time[flow][idx], t)
             payload = table.size_bytes[flow] - idx * self.mss
             self.bytes_acked[table.proto[flow]] += (
                 payload if payload < self.mss else self.mss)
@@ -461,13 +474,13 @@ class ManyflowEngine:
                 if m > table.recover_idx[flow]:
                     loss_event = True
             if loss_event:
-                table.on_loss_event(flow)
+                table.on_loss_event(flow, t)
         if table.acked_pkts[flow] == total:
             table.finish_flow(flow, t)
             self.done += 1
             return
         if newly:
-            table.on_ack(flow, 1)
+            table.on_ack(flow, 1, t)
         self._try_send(flow, t)
 
     def _timeout(self, flow: int, now: float) -> None:
@@ -490,7 +503,7 @@ class ManyflowEngine:
         table.lost_pkts[flow] += table.inflight[flow]
         table.inflight[flow] = 0
         table.retx_queue[flow] = unacked
-        table.on_timeout(flow)
+        table.on_timeout(flow, now)
         table.last_progress[flow] = now
         self._try_send(flow, now)
 
@@ -533,6 +546,10 @@ class ManyflowEngine:
             "plt_quic_p50": _median(plts_by_proto[PROTO_QUIC]),
             "plt_tcp_p50": _median(plts_by_proto[PROTO_TCP]),
             "jain_index": jain,
+            #: Median per-flow goodput (bytes/sec over each flow's
+            #: lifetime) — the observable the analytical CC models of
+            #: :mod:`repro.core.models` predict.
+            "rate_p50": _median(rates),
             "quic_share": (self.bytes_acked[PROTO_QUIC] / total_acked
                            if total_acked else 0.0),
             "bytes_acked": float(total_acked),

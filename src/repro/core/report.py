@@ -203,6 +203,30 @@ def build_store_report(store: object,
         lines.append(fairness)
         lines.append("```")
         lines.append("")
+    model_fit = aggregator.render_model_fit()
+    if model_fit is not None:
+        lines.append("## Model fit (analytical CC oracles)")
+        lines.append("")
+        lines.append("Median per-flow goodput from homogeneous manyflow "
+                     "cells against the closed-form steady-state models "
+                     "(Mathis/AIMD, RFC 8312 Cubic, BDP-bound BBR) — "
+                     "`repro validate` gates on this table.")
+        lines.append("")
+        lines.append(model_fit)
+        lines.append("")
+    dwell = aggregator.render_dwell()
+    if dwell is not None:
+        lines.append("## Inferred CC states (Fig. 3 / Fig. 13 dwell)")
+        lines.append("")
+        lines.append("Mean per-state dwell fractions from traced runs "
+                     "(`trace=True` requests export `dwell:<state>` "
+                     "metrics) — the store-backed form of the "
+                     "state-machine artefact.")
+        lines.append("")
+        lines.append("```")
+        lines.append(dwell)
+        lines.append("```")
+        lines.append("")
     return "\n".join(lines)
 
 

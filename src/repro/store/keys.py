@@ -104,7 +104,11 @@ def canonical_json(obj: Any) -> str:
 SUBSYSTEMS: Dict[str, Tuple[str, ...]] = {
     "core": ("core", "devices.py", "__init__.py", "__main__.py"),
     "netem": ("netem",),
-    "transport": ("transport", "quic", "tcp"),
+    # core/models.py is the analytical CC oracle layer: it encodes the
+    # kernels' steady-state behaviour, so an edit there must invalidate
+    # exactly the transport-keyed cached sweeps (explicit file entries
+    # override the owning directory's subsystem).
+    "transport": ("transport", "quic", "tcp", "core/models.py"),
     "http": ("http",),
     "proxy": ("proxy",),
     "video": ("video",),
@@ -165,13 +169,24 @@ def subsystem_fingerprints(package_dir: Optional[Path] = None
     cached = _SUBSYSTEM_CACHE.get(cache_key)
     if cached is not None:
         return cached
+    # Explicit file entries claim their file away from whatever
+    # subsystem owns the enclosing directory (e.g. core/models.py is
+    # transport's even though core/ is walked for "core").
+    claimed: Dict[Path, str] = {}
+    for name, entries in SUBSYSTEMS.items():
+        for entry in entries:
+            target = package_dir / entry
+            if target.is_file():
+                claimed[target] = name
     fingerprints: Dict[str, str] = {}
     for name, entries in SUBSYSTEMS.items():
         digest = hashlib.sha256()
         for entry in entries:
             target = package_dir / entry
             if target.is_dir():
-                _hash_tree(digest, package_dir, sorted(target.rglob("*.py")))
+                files = [path for path in sorted(target.rglob("*.py"))
+                         if claimed.get(path, name) == name]
+                _hash_tree(digest, package_dir, files)
             elif target.is_file():
                 _hash_tree(digest, package_dir, [target])
         fingerprints[name] = digest.hexdigest()
@@ -274,7 +289,9 @@ def _config_from_dict(cls: type, raw: Optional[Mapping[str, Any]]) -> Any:
             f"unknown {cls.__name__} field(s): {', '.join(map(repr, unknown))}")
     kwargs = {}
     for name, value in raw.items():
-        if name == "cc":
+        # A nested CC config dict (QuicConfig.cc / TcpConfig.cc); the
+        # string-valued ManyflowConfig.cc kernel name passes through.
+        if name == "cc" and isinstance(value, Mapping):
             value = _config_from_dict(CubicConfig, value)
         kwargs[name] = value
     return cls(**kwargs)

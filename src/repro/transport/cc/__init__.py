@@ -1,20 +1,33 @@
-"""Congestion-control implementations shared by QUIC and TCP."""
+"""Congestion-control implementations shared by QUIC and TCP.
+
+The window arithmetic lives in the pure kernels of :mod:`.kernels`
+(``RenoKernel`` / ``CubicKernel`` / ``BBRKernel``); the
+:class:`CongestionController` classes are trace-emitting adapters over
+them, and :class:`repro.transport.flowtable.FlowTable` drives the same
+kernels in packet units for the many-flow fast path.
+"""
 
 from .bbr import BBR, BBRState
 from .cubic import CubicCC, CubicConfig
 from .hybrid_slow_start import HybridSlowStart
 from .interface import CCState, CongestionController
+from .kernels import BBRKernel, CubicKernel, KERNEL_NAMES, RenoKernel, make_kernel
 from .pacing import Pacer
 from .prr import ProportionalRateReduction
 
 __all__ = [
     "BBR",
+    "BBRKernel",
     "BBRState",
     "CubicCC",
     "CubicConfig",
+    "CubicKernel",
     "HybridSlowStart",
     "CCState",
     "CongestionController",
+    "KERNEL_NAMES",
     "Pacer",
     "ProportionalRateReduction",
+    "RenoKernel",
+    "make_kernel",
 ]

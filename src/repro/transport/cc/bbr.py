@@ -14,114 +14,98 @@ any experiment can swap it in.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Optional
 
 from ...core.instrumentation import Trace
 from ..rtt import RttEstimator
 from .interface import BBRState, CongestionController
-
-#: Startup/drain gains: 2/ln(2).
-STARTUP_GAIN = 2.885
-DRAIN_GAIN = 1.0 / STARTUP_GAIN
-#: ProbeBW pacing-gain cycle.
-PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
-#: Bandwidth filter window, in round trips (approximated by time below).
-BW_WINDOW_ROUNDS = 10
-#: Min-RTT validity window and ProbeRTT dwell.
-MIN_RTT_WINDOW = 10.0
-PROBE_RTT_DURATION = 0.2
+from .kernels import (
+    BBR_BW_WINDOW_ROUNDS as BW_WINDOW_ROUNDS,
+    BBR_DRAIN_GAIN as DRAIN_GAIN,
+    BBR_MIN_RTT_WINDOW as MIN_RTT_WINDOW,
+    BBR_PROBE_BW_GAINS as PROBE_BW_GAINS,
+    BBR_PROBE_RTT_DURATION as PROBE_RTT_DURATION,
+    BBR_STARTUP_GAIN as STARTUP_GAIN,
+    BBRKernel,
+)
 
 
 class BBR(CongestionController):
-    """Bottleneck Bandwidth and RTT, v1-style, simplified."""
+    """Bottleneck Bandwidth and RTT, v1-style, simplified.
+
+    A thin trace-emitting adapter over
+    :class:`repro.transport.cc.kernels.BBRKernel`: the kernel owns the
+    bandwidth filter, the Startup/Drain/ProbeBW/ProbeRTT machine and the
+    BDP-tracking cwnd; this class adds the recovery overlay and logs the
+    Fig. 3b state transitions into the attached trace.
+    """
 
     def __init__(self, rtt: RttEstimator, mss: int = 1350,
                  trace: Optional[Trace] = None) -> None:
         super().__init__(trace)
         self.rtt = rtt
         self.mss = mss
-        self._mode = BBRState.STARTUP
+        self.kernel = BBRKernel(mss=mss)
         self._in_recovery = False
-        self._pacing_gain = STARTUP_GAIN
-        self._cwnd_gain = STARTUP_GAIN
-        #: (time, bytes/sec) max filter over a sliding window.
-        self._bw_samples: Deque[Tuple[float, float]] = deque()
-        self._full_bw = 0.0
-        self._full_bw_rounds = 0
-        self._cycle_index = 0
-        self._cycle_start = 0.0
-        self._probe_rtt_done_at: Optional[float] = None
-        self._min_rtt_stamp = 0.0
         self._delivered_bytes = 0
-        self._last_ack_time: Optional[float] = None
-        self._cwnd = 32 * mss
-        self._min_cwnd = 4 * mss
-        self._drain_entered_at = 0.0
         self._set_state(0.0, BBRState.STARTUP.value)
 
     # ------------------------------------------------------------------
     @property
     def cwnd(self) -> int:
-        return int(self._cwnd)
+        return int(self.kernel.cwnd)
 
     @property
     def in_recovery(self) -> bool:
         return self._in_recovery
 
     def can_send_bytes(self, in_flight: int) -> int:
-        return max(int(self._cwnd) - in_flight, 0)
+        return max(int(self.kernel.cwnd) - in_flight, 0)
 
     def pacing_rate(self) -> Optional[float]:
-        bw = self._bandwidth()
-        if bw <= 0:
-            # No estimate yet: pace off the initial window.
-            return STARTUP_GAIN * self._cwnd / max(self.rtt.smoothed_rtt(), 1e-6)
-        return self._pacing_gain * bw
+        return self.kernel.pacing_rate(self.rtt.smoothed_rtt())
 
     def _bandwidth(self) -> float:
-        return max((bw for _, bw in self._bw_samples), default=0.0)
+        return self.kernel.bandwidth()
 
     # ------------------------------------------------------------------
     def on_connection_start(self, now: float) -> None:
-        self._min_rtt_stamp = now
+        self.kernel.min_rtt_stamp = now
 
     def on_packet_sent(self, now: float, size_bytes: int,
                        is_retransmission: bool) -> None:
         pass
 
     def on_ack(self, now: float, acked_bytes: int, *, cwnd_limited: bool) -> None:
+        kernel = self.kernel
         if self._in_recovery:
             self._in_recovery = False
-            self._set_state(now, self._mode.value)
-        # Delivery-rate sample: bytes delivered / inter-ACK time.
-        if self._last_ack_time is not None and now > self._last_ack_time:
-            rate = acked_bytes / (now - self._last_ack_time)
-            self._push_bw_sample(now, rate)
-        self._last_ack_time = now
+            self._set_state(now, kernel.mode)
+        prev_mode = kernel.mode
+        kernel.on_ack(acked_bytes, now, self.rtt.smoothed_rtt(),
+                      self.rtt.min_rtt())
         self._delivered_bytes += acked_bytes
-        self._update_mode(now)
-        self._update_cwnd(acked_bytes)
-        self.trace.log_cwnd(now, int(self._cwnd))
+        if kernel.mode != prev_mode and not self._in_recovery:
+            self._set_state(now, kernel.mode)
+        self.trace.log_cwnd(now, int(kernel.cwnd))
 
     def on_rtt_sample(self, now: float, rtt: float) -> None:
-        if rtt <= self.rtt.min_rtt() + 1e-9:
-            self._min_rtt_stamp = now
+        self.kernel.on_rtt_sample(now, rtt, self.rtt.min_rtt())
 
     def on_congestion_event(self, now: float, in_flight: int) -> None:
         # BBR v1 reacts to loss only by entering a shallow recovery:
         # cap cwnd at in-flight (packet conservation) for one round.
         self._in_recovery = True
-        self._cwnd = max(float(in_flight), float(self._min_cwnd))
+        self.kernel.on_loss(now, float(in_flight))
         self._set_state(now, BBRState.RECOVERY.value)
 
     def on_recovery_exit(self, now: float) -> None:
         if self._in_recovery:
             self._in_recovery = False
-            self._set_state(now, self._mode.value)
+            self._set_state(now, self.kernel.mode)
 
     def on_retransmission_timeout(self, now: float) -> None:
-        self._cwnd = float(self._min_cwnd)
+        self.kernel.on_timeout(now)
         self._in_recovery = True
         self._set_state(now, BBRState.RECOVERY.value)
 
@@ -133,74 +117,3 @@ class BBR(CongestionController):
         # samples taken while app-limited are simply not max-filtered
         # higher, which the windowed max already handles.
         pass
-
-    # ------------------------------------------------------------------
-    def _push_bw_sample(self, now: float, rate: float) -> None:
-        window = BW_WINDOW_ROUNDS * max(self.rtt.smoothed_rtt(), 1e-3)
-        self._bw_samples.append((now, rate))
-        while self._bw_samples and now - self._bw_samples[0][0] > window:
-            self._bw_samples.popleft()
-
-    def _update_mode(self, now: float) -> None:
-        if self._mode is BBRState.STARTUP:
-            self._check_full_pipe()
-            if self._full_bw_rounds >= 3:
-                self._enter(now, BBRState.DRAIN, DRAIN_GAIN, 2.0)
-                self._drain_entered_at = now
-        elif self._mode is BBRState.DRAIN:
-            # The startup queue drains within about one smoothed RTT of
-            # pacing below the bottleneck rate.
-            if now - self._drain_entered_at >= 1.5 * self.rtt.smoothed_rtt():
-                self._enter_probe_bw(now)
-        elif self._mode is BBRState.PROBE_BW:
-            cycle_len = max(self.rtt.min_rtt(), 1e-3)
-            if now - self._cycle_start > cycle_len:
-                self._cycle_index = (self._cycle_index + 1) % len(PROBE_BW_GAINS)
-                self._pacing_gain = PROBE_BW_GAINS[self._cycle_index]
-                self._cycle_start = now
-            if now - self._min_rtt_stamp > MIN_RTT_WINDOW:
-                self._enter(now, BBRState.PROBE_RTT, 1.0, 1.0)
-                self._probe_rtt_done_at = now + PROBE_RTT_DURATION
-        elif self._mode is BBRState.PROBE_RTT:
-            if self._probe_rtt_done_at is not None and now >= self._probe_rtt_done_at:
-                self._min_rtt_stamp = now
-                if self._full_bw_rounds >= 3:
-                    self._enter_probe_bw(now)
-                else:
-                    self._enter(now, BBRState.STARTUP, STARTUP_GAIN, STARTUP_GAIN)
-
-    def _check_full_pipe(self) -> None:
-        bw = self._bandwidth()
-        if bw > self._full_bw * 1.25:
-            self._full_bw = bw
-            self._full_bw_rounds = 0
-        elif bw > 0:
-            self._full_bw_rounds += 1
-
-    def _enter(self, now: float, mode: BBRState, pacing_gain: float,
-               cwnd_gain: float) -> None:
-        self._mode = mode
-        self._pacing_gain = pacing_gain
-        self._cwnd_gain = cwnd_gain
-        if not self._in_recovery:
-            self._set_state(now, mode.value)
-
-    def _enter_probe_bw(self, now: float) -> None:
-        self._enter(now, BBRState.PROBE_BW, PROBE_BW_GAINS[0], 2.0)
-        self._cycle_index = 0
-        self._cycle_start = now
-
-    def _update_cwnd(self, acked_bytes: int) -> None:
-        if self._mode is BBRState.PROBE_RTT:
-            self._cwnd = float(max(self._min_cwnd, 4 * self.mss))
-            return
-        bdp = self._bandwidth() * self.rtt.min_rtt()
-        target = self._cwnd_gain * bdp
-        if target <= 0:
-            target = float(self._cwnd + acked_bytes)
-        if self._cwnd < target:
-            self._cwnd = min(self._cwnd + acked_bytes, target + acked_bytes)
-        else:
-            self._cwnd = max(target, float(self._min_cwnd))
-        if self._cwnd < self._min_cwnd:
-            self._cwnd = float(self._min_cwnd)

@@ -31,13 +31,14 @@ State bookkeeping follows Table 3; transitions are logged to the attached
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ...core.instrumentation import Trace
 from ..rtt import RttEstimator
 from .hybrid_slow_start import HybridSlowStart
 from .interface import CCState, CongestionController
+from .kernels import CubicKernel
 from .prr import ProportionalRateReduction
 
 
@@ -89,32 +90,43 @@ class CubicConfig:
 
 
 class CubicCC(CongestionController):
-    """Cubic with Hybrid Slow Start, PRR, MACW and N-connection emulation."""
+    """Cubic with Hybrid Slow Start, PRR, MACW and N-connection emulation.
+
+    A thin trace-emitting adapter over
+    :class:`repro.transport.cc.kernels.CubicKernel`: the kernel owns the
+    window arithmetic (slow start, cubic epoch growth, multiplicative
+    decrease, MACW clamp); this class adds the connection-facing
+    overlays — PRR rationing during recovery, Hybrid Slow Start exits,
+    receiver-buffer ssthresh anchoring, TLP/RTO/app-limited state
+    resolution and Table 3 trace logging.
+    """
 
     def __init__(self, config: CubicConfig, rtt: RttEstimator,
                  trace: Optional[Trace] = None) -> None:
         super().__init__(trace)
         self.config = config
         self.rtt = rtt
-        self._cwnd = config.initial_cwnd_packets * config.mss
-        self._min_cwnd = config.min_cwnd_packets * config.mss
-        self._max_cwnd = (
-            config.max_cwnd_packets * config.mss
-            if config.max_cwnd_packets is not None
-            else None
-        )
         if config.ssthresh_from_receiver_buffer:
-            self._ssthresh: float = float("inf")
+            initial_ssthresh = float("inf")
         else:
             # Chromium-52 bug: ssthresh never raised to the receiver buffer.
-            self._ssthresh = config.buggy_initial_ssthresh_packets * config.mss
+            initial_ssthresh = float(
+                config.buggy_initial_ssthresh_packets * config.mss)
+        self.kernel = CubicKernel(
+            mss=config.mss,
+            initial_cwnd=config.initial_cwnd_packets * config.mss,
+            min_cwnd=config.min_cwnd_packets * config.mss,
+            max_cwnd=(config.max_cwnd_packets * config.mss
+                      if config.max_cwnd_packets is not None else None),
+            ssthresh=initial_ssthresh,
+            cubic_c=config.cubic_c,
+            beta=config.scaled_beta(),
+            reno_alpha=config.reno_alpha(),
+            fast_convergence=config.fast_convergence,
+            pacing_gain_slow_start=config.pacing_gain_slow_start,
+            pacing_gain_ca=config.pacing_gain_ca,
+        )
         self._hss = HybridSlowStart(config.hss_threshold_divisor)
-        # Cubic epoch variables (packet units).
-        self._w_max: float = 0.0
-        self._epoch_start: Optional[float] = None
-        self._k: float = 0.0
-        self._origin_point: float = 0.0
-        self._w_est: float = 0.0
         self._prr: Optional[ProportionalRateReduction] = None
         self._in_recovery = False
         self._in_rto = False
@@ -127,22 +139,23 @@ class CubicCC(CongestionController):
         self.rto_events = 0
         self.slow_start_exits_by_delay = 0
         self.trace.log_state(0.0, CCState.INIT.value)
-        self.trace.log_cwnd(0.0, self._cwnd)
+        self.trace.log_cwnd(0.0, int(self.kernel.cwnd))
 
     # ------------------------------------------------------------------
     # window & pacing
     # ------------------------------------------------------------------
     @property
     def cwnd(self) -> int:
-        return int(self._cwnd)
+        return int(self.kernel.cwnd)
 
     @property
     def ssthresh(self) -> float:
-        return self._ssthresh
+        return self.kernel.ssthresh
 
     @property
     def in_slow_start(self) -> bool:
-        return self._cwnd < self._ssthresh and not self._in_recovery
+        return (self.kernel.cwnd < self.kernel.ssthresh
+                and not self._in_recovery)
 
     @property
     def in_recovery(self) -> bool:
@@ -151,12 +164,13 @@ class CubicCC(CongestionController):
     def can_send_bytes(self, in_flight: int) -> int:
         if self._in_recovery and self._prr is not None:
             return self._prr.can_send(in_flight)
-        budget = int(self._cwnd) - in_flight
+        budget = int(self.kernel.cwnd) - in_flight
         return budget if budget > 0 else 0
 
     def pacing_rate(self) -> Optional[float]:
         # Inlined in_slow_start and clamp: called once per sent packet.
-        if self._cwnd < self._ssthresh and not self._in_recovery:
+        kernel = self.kernel
+        if kernel.cwnd < kernel.ssthresh and not self._in_recovery:
             gain = self.config.pacing_gain_slow_start
         else:
             gain = self.config.pacing_gain_ca
@@ -165,7 +179,7 @@ class CubicCC(CongestionController):
         srtt = self.rtt.smoothed_rtt()
         if srtt < 1e-6:
             srtt = 1e-6
-        return gain * self._cwnd / srtt
+        return gain * kernel.cwnd / srtt
 
     # ------------------------------------------------------------------
     # receiver buffer (calibration / Chromium-52 bug)
@@ -178,10 +192,11 @@ class CubicCC(CongestionController):
         """
         if not self.config.ssthresh_from_receiver_buffer:
             return
-        if not math.isfinite(self._ssthresh):
+        if not math.isfinite(self.kernel.ssthresh):
             # First advertisement: anchor ssthresh at the receiver buffer.
             # Later congestion events lower it; never raise it back here.
-            self._ssthresh = float(max(buffer_bytes, self._min_cwnd))
+            self.kernel.ssthresh = float(
+                max(buffer_bytes, self.kernel.min_cwnd))
 
     # ------------------------------------------------------------------
     # event hooks
@@ -213,12 +228,9 @@ class CubicCC(CongestionController):
         if not cwnd_limited:
             # RFC 7661: do not grow a window the application is not using.
             return
-        if self._cwnd < self._ssthresh:
-            self._slow_start_increase(now, acked_bytes)
-        else:
-            self._congestion_avoidance_increase(now, acked_bytes)
-        self._clamp_cwnd()
-        self.trace.log_cwnd(now, int(self._cwnd))
+        self.kernel.on_ack(acked_bytes, now, self.rtt.smoothed_rtt(),
+                           self.rtt.min_rtt())
+        self.trace.log_cwnd(now, int(self.kernel.cwnd))
         self._refresh_state(now)
 
     def on_rtt_sample(self, now: float, rtt: float) -> None:
@@ -228,58 +240,51 @@ class CubicCC(CongestionController):
             now, rtt,
             baseline_min_rtt=self.rtt.min_rtt(),
             srtt=self.rtt.smoothed_rtt(),
-            cwnd_packets=self._cwnd / self.config.mss,
+            cwnd_packets=self.kernel.cwnd / self.config.mss,
         )
         if should_exit:
-            self._ssthresh = self._cwnd
+            self.kernel.ssthresh = self.kernel.cwnd
             self.slow_start_exits_by_delay += 1
-            self.trace.log(now, "hss_exit", int(self._cwnd))
+            self.trace.log(now, "hss_exit", int(self.kernel.cwnd))
             self._refresh_state(now)
 
     def on_congestion_event(self, now: float, in_flight: int) -> None:
         self.loss_events += 1
-        cwnd_packets = self._cwnd / self.config.mss
-        beta = self.config.scaled_beta()
-        if self.config.fast_convergence and cwnd_packets < self._w_max:
-            self._w_max = cwnd_packets * (1.0 + beta) / 2.0
-        else:
-            self._w_max = cwnd_packets
-        self._ssthresh = max(self._cwnd * beta, float(self._min_cwnd))
-        self._epoch_start = None
+        kernel = self.kernel
+        prev_cwnd = kernel.cwnd
+        kernel.on_loss(now, float(in_flight))
         self._in_recovery = True
         if self.config.prr:
+            # PRR rations sending during recovery instead of collapsing
+            # the window immediately; restore the kernel's pre-loss cwnd.
+            kernel.cwnd = prev_cwnd
             self._prr = ProportionalRateReduction(
-                int(self._ssthresh), int(self._cwnd), in_flight, self.config.mss
+                int(kernel.ssthresh), int(prev_cwnd), in_flight,
+                self.config.mss
             )
         else:
             self._prr = None
-            self._cwnd = self._ssthresh
         self._set_state(now, CCState.RECOVERY.value)
-        self.trace.log_cwnd(now, int(self._cwnd))
+        self.trace.log_cwnd(now, int(kernel.cwnd))
 
     def on_recovery_exit(self, now: float) -> None:
         if not self._in_recovery:
             return
         self._in_recovery = False
         self._prr = None
-        self._cwnd = max(self._ssthresh, float(self._min_cwnd))
-        self._clamp_cwnd()
-        self.trace.log_cwnd(now, int(self._cwnd))
+        self.kernel.on_recovery_exit()
+        self.trace.log_cwnd(now, int(self.kernel.cwnd))
         self._refresh_state(now)
 
     def on_retransmission_timeout(self, now: float) -> None:
         self.rto_events += 1
-        self._ssthresh = max(self._cwnd * self.config.scaled_beta(),
-                             float(self._min_cwnd))
-        self._cwnd = float(self._min_cwnd)
+        self.kernel.on_timeout(now)
         self._in_recovery = False
         self._prr = None
         self._in_rto = True
-        self._epoch_start = None
-        self._w_max = max(self._w_max, self._ssthresh / self.config.mss)
         self._hss.restart()
         self._set_state(now, CCState.RETRANSMISSION_TIMEOUT.value)
-        self.trace.log_cwnd(now, int(self._cwnd))
+        self.trace.log_cwnd(now, int(self.kernel.cwnd))
 
     def on_rto_resolved(self, now: float) -> None:
         if self._in_rto:
@@ -303,50 +308,13 @@ class CubicCC(CongestionController):
             self._set_state(now, CCState.APPLICATION_LIMITED.value)
 
     # ------------------------------------------------------------------
-    # growth
-    # ------------------------------------------------------------------
-    def _slow_start_increase(self, now: float, acked_bytes: int) -> None:
-        self._cwnd += acked_bytes
-
-    def _congestion_avoidance_increase(self, now: float, acked_bytes: int) -> None:
-        """Cubic window growth with the TCP-friendly (Reno) floor."""
-        mss = self.config.mss
-        cwnd_packets = self._cwnd / mss
-        if self._epoch_start is None:
-            self._epoch_start = now
-            if cwnd_packets < self._w_max:
-                self._k = ((self._w_max - cwnd_packets) / self.config.cubic_c) ** (1.0 / 3.0)
-                self._origin_point = self._w_max
-            else:
-                self._k = 0.0
-                self._origin_point = cwnd_packets
-            self._w_est = cwnd_packets
-        t = now - self._epoch_start + self.rtt.min_rtt()
-        target = self._origin_point + self.config.cubic_c * (t - self._k) ** 3
-        # TCP-friendly region (scaled for N emulated connections).
-        self._w_est += self.config.reno_alpha() * (acked_bytes / self._cwnd)
-        target = max(target, self._w_est)
-        # Limit growth to 1.5x per RTT worth of ACKs (Chromium clamp).
-        if target > cwnd_packets:
-            increase = (target - cwnd_packets) / cwnd_packets
-            self._cwnd += min(increase, 0.5) * acked_bytes
-        else:
-            # Below the cubic curve: still grow slowly (1 packet / 100 acks).
-            self._cwnd += acked_bytes / (100.0 * cwnd_packets) * 1.0
-
-    def _clamp_cwnd(self) -> None:
-        if self._max_cwnd is not None and self._cwnd > self._max_cwnd:
-            self._cwnd = float(self._max_cwnd)
-        if self._cwnd < self._min_cwnd:
-            self._cwnd = float(self._min_cwnd)
-
-    # ------------------------------------------------------------------
     # state resolution
     # ------------------------------------------------------------------
     def _phase_state(self) -> str:
-        if self._max_cwnd is not None and self._cwnd >= self._max_cwnd:
+        kernel = self.kernel
+        if kernel.max_cwnd is not None and kernel.cwnd >= kernel.max_cwnd:
             return CCState.CA_MAXED.value
-        if self._cwnd < self._ssthresh:
+        if kernel.cwnd < kernel.ssthresh:
             return CCState.SLOW_START.value
         return CCState.CONGESTION_AVOIDANCE.value
 

@@ -10,10 +10,13 @@ state) in preallocated ``array`` columns indexed by integer flow id, so
 the fan-out paths — ack processing, RTO scans, send-window checks —
 touch flat C buffers instead of attribute chains.
 
-The congestion-control model is deliberately Reno-shaped AIMD with the
-two per-protocol parameter sets below; protocol asymmetry (QUIC's
-larger initial window, gentler multiplicative decrease from emulating
-N connections, and the MACW cap of the paper's Sec. 5.1) is what
+Congestion control is pluggable: the ``cc=`` axis selects one of the
+shared kernels from :mod:`repro.transport.cc.kernels` (``reno`` —
+the historical Reno-shaped AIMD, byte-for-byte — plus ``cubic`` and
+``bbr``), instantiated per flow in packet units (``mss=1``) from the
+per-protocol parameter sets below.  Protocol asymmetry (QUIC's larger
+initial window, gentler multiplicative decrease from emulating N
+connections, and the MACW cap of the paper's Sec. 5.1) is what
 reproduces the Tab. 4 unfairness qualitatively at scale.  RTT
 estimation follows RFC 6298 with the same constants as
 :class:`repro.transport.rtt.RttEstimator`.
@@ -23,7 +26,9 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+from .cc.kernels import KERNEL_NAMES, make_kernel
 
 __all__ = ["FlowParams", "FlowTable", "QUIC_PARAMS", "TCP_PARAMS",
            "PROTO_QUIC", "PROTO_TCP"]
@@ -59,14 +64,17 @@ class FlowParams:
     beta: float
     #: Packets past a hole before the receiver declares it lost.
     nack_threshold: int
+    #: Chromium N-connection emulation behind ``beta`` (QUIC's 0.85 is
+    #: (N - 1 + 0.7) / N with N = 2); the Cubic kernel derives its
+    #: TCP-friendly alpha from it.
+    emulated_connections: int = 1
 
 
 QUIC_PARAMS = FlowParams(name="quic", initial_window=32.0,
-                         max_cwnd=430.0, beta=0.85, nack_threshold=3)
+                         max_cwnd=430.0, beta=0.85, nack_threshold=3,
+                         emulated_connections=2)
 TCP_PARAMS = FlowParams(name="tcp", initial_window=10.0,
                         max_cwnd=10_000.0, beta=0.7, nack_threshold=3)
-
-_PARAMS_BY_PROTO = (QUIC_PARAMS, TCP_PARAMS)
 
 
 class FlowTable:
@@ -79,7 +87,7 @@ class FlowTable:
     """
 
     __slots__ = (
-        "capacity", "mss",
+        "capacity", "mss", "cc", "params_by_proto",
         # float columns
         "arrival", "cwnd", "ssthresh", "srtt", "rttvar", "min_rtt",
         "last_progress", "finish",
@@ -90,14 +98,22 @@ class FlowTable:
         "retx_sent", "lost_pkts",
         # list-of-columns (per-flow objects, allocated on activation)
         "sent_time", "acked", "retx_flag", "pending",
-        "retx_queue", "rx_set", "rx_nacked",
+        "retx_queue", "rx_set", "rx_nacked", "kernel",
     )
 
-    def __init__(self, capacity: int, mss: int = 1350) -> None:
+    def __init__(self, capacity: int, mss: int = 1350,
+                 cc: str = "reno") -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if cc not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown CC kernel {cc!r}; expected one of "
+                f"{', '.join(KERNEL_NAMES)}")
         self.capacity = capacity
         self.mss = mss
+        self.cc = cc
+        self.params_by_proto: Tuple[FlowParams, FlowParams] = (
+            QUIC_PARAMS, TCP_PARAMS)
         zd = [0.0] * capacity
         zq = [0] * capacity
         self.arrival = array("d", zd)
@@ -132,10 +148,12 @@ class FlowTable:
         self.retx_queue: List[Optional[list]] = [None] * capacity
         self.rx_set: List[Optional[set]] = [None] * capacity
         self.rx_nacked: List[Optional[set]] = [None] * capacity
+        #: Per-flow CC kernel (packet units), allocated on activation.
+        self.kernel: List[Optional[object]] = [None] * capacity
 
     # ------------------------------------------------------------------
     def params(self, flow: int) -> FlowParams:
-        return _PARAMS_BY_PROTO[self.proto[flow]]
+        return self.params_by_proto[self.proto[flow]]
 
     def define_flow(self, flow: int, arrival: float, size_bytes: int,
                     proto: int) -> None:
@@ -150,10 +168,12 @@ class FlowTable:
     def activate(self, flow: int, now: float) -> None:
         """Allocate per-packet columns and open the initial window."""
         npkts = self.total_pkts[flow]
-        params = _PARAMS_BY_PROTO[self.proto[flow]]
+        params = self.params_by_proto[self.proto[flow]]
+        kernel = make_kernel(self.cc, params)
+        self.kernel[flow] = kernel
         self.state[flow] = STATE_ACTIVE
-        self.cwnd[flow] = params.initial_window
-        self.ssthresh[flow] = params.max_cwnd
+        self.cwnd[flow] = kernel.cwnd
+        self.ssthresh[flow] = kernel.ssthresh
         self.last_progress[flow] = now
         self.recover_idx[flow] = -1
         self.sent_time[flow] = array("d", bytes(8 * npkts))
@@ -175,15 +195,21 @@ class FlowTable:
         self.retx_queue[flow] = None
         self.rx_set[flow] = None
         self.rx_nacked[flow] = None
+        self.kernel[flow] = None
 
     # ------------------------------------------------------------------
-    def rtt_update(self, flow: int, sample: float) -> None:
+    def rtt_update(self, flow: int, sample: float,
+                   now: float = 0.0) -> None:
         """RFC 6298 update on the columnar estimator state."""
         if sample <= 0:
             return
         mrtt = self.min_rtt[flow]
         if mrtt == 0.0 or sample < mrtt:
             self.min_rtt[flow] = sample
+        kernel = self.kernel[flow]
+        if kernel is not None and kernel.name == "bbr":
+            # BBR tracks min-RTT freshness (the ProbeRTT trigger).
+            kernel.on_rtt_sample(now, sample, self.min_rtt[flow])
         srtt = self.srtt[flow]
         if srtt == 0.0:
             self.srtt[flow] = sample
@@ -201,29 +227,29 @@ class FlowTable:
         return min(max(rto, _MIN_RTO), _MAX_RTO)
 
     # ------------------------------------------------------------------
-    def on_ack(self, flow: int, newly_acked: int) -> None:
-        """Reno-style window growth for ``newly_acked`` packets."""
+    def on_ack(self, flow: int, newly_acked: int,
+               now: float = 0.0) -> None:
+        """Kernel window growth for ``newly_acked`` packets."""
         if newly_acked <= 0:
             return
-        cwnd = self.cwnd[flow]
-        if cwnd < self.ssthresh[flow]:
-            cwnd += float(newly_acked)  # slow start
-        else:
-            cwnd += newly_acked / cwnd  # congestion avoidance
-        cap = _PARAMS_BY_PROTO[self.proto[flow]].max_cwnd
-        self.cwnd[flow] = cwnd if cwnd < cap else cap
+        kernel = self.kernel[flow]
+        kernel.on_ack(newly_acked, now, self.srtt[flow],
+                      self.min_rtt[flow])
+        self.cwnd[flow] = kernel.cwnd
+        self.ssthresh[flow] = kernel.ssthresh
 
-    def on_loss_event(self, flow: int) -> None:
+    def on_loss_event(self, flow: int, now: float = 0.0) -> None:
         """Multiplicative decrease, at most once per window in flight."""
-        cwnd = max(self.cwnd[flow] * _PARAMS_BY_PROTO[self.proto[flow]].beta,
-                   2.0)
-        self.cwnd[flow] = cwnd
-        self.ssthresh[flow] = cwnd
+        kernel = self.kernel[flow]
+        kernel.on_loss(now, float(self.inflight[flow]))
+        self.cwnd[flow] = kernel.cwnd
+        self.ssthresh[flow] = kernel.ssthresh
         self.recover_idx[flow] = self.next_idx[flow] - 1
 
-    def on_timeout(self, flow: int) -> None:
+    def on_timeout(self, flow: int, now: float = 0.0) -> None:
         """RTO: collapse to a restart window."""
-        params = _PARAMS_BY_PROTO[self.proto[flow]]
-        self.ssthresh[flow] = max(self.cwnd[flow] * params.beta, 2.0)
-        self.cwnd[flow] = 2.0
+        kernel = self.kernel[flow]
+        kernel.on_timeout(now)
+        self.cwnd[flow] = kernel.cwnd
+        self.ssthresh[flow] = kernel.ssthresh
         self.recover_idx[flow] = self.next_idx[flow] - 1

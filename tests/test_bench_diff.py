@@ -552,3 +552,105 @@ class TestChaosGate:
             [sys.executable, str(SCRIPT), str(committed), str(committed)],
             capture_output=True, text=True)
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# ----------------------------------------------------------------------
+# the models payload (benchmarks/model_fit.py)
+# ----------------------------------------------------------------------
+def models_fit_row(**overrides):
+    base = {"cc": "reno", "proto": "quic", "rate_mbps": 50.0, "rtt": 0.04,
+            "loss_rate": 0.01, "observed": 1.1e6, "predicted": 1.0e6,
+            "ratio": 1.1, "regime": "loss-limited", "gated": True,
+            "ok": True}
+    base.update(overrides)
+    return base
+
+
+def models_payload(**overrides):
+    base = {
+        "benchmark": "models",
+        "calibration_ops_per_sec": 30_000_000.0,
+        "workload": {
+            "ccs": ["reno", "cubic", "bbr"],
+            "loss_rates": [0.01, 0.02],
+            "seeds": [0],
+            "flows": 8,
+            "scenario": "manyflow_scenario(rate_mbps=50.0, rtt=0.040)",
+        },
+        "tolerance": 0.6,
+        "cells": 10,
+        "gated_cells": 10,
+        "within_tolerance": 10,
+        "max_abs_log_error": 0.29,
+        "mean_abs_log_error": 0.12,
+        "results_identical": True,
+        "fit": [models_fit_row(),
+                models_fit_row(proto="tcp", observed=0.9e6, ratio=0.9)],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestModelsGate:
+    """Exit-code contract for the analytical-oracle fit payload."""
+
+    def test_payload_passes(self, tmp_path):
+        proc = diff(tmp_path, models_payload(), models_payload())
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "models" in proc.stdout
+
+    def test_results_not_identical_fails(self, tmp_path):
+        proc = diff(tmp_path, models_payload(),
+                    models_payload(results_identical=False))
+        assert proc.returncode == 1
+        assert "CONTRACT FAIL" in proc.stdout
+
+    def test_divergent_cell_fails(self, tmp_path):
+        proc = diff(tmp_path, models_payload(),
+                    models_payload(within_tolerance=9))
+        assert proc.returncode == 1
+        assert "within tolerance" in proc.stdout
+
+    def test_zero_gated_cells_fails(self, tmp_path):
+        # An empty grid proves nothing; the gate must refuse it.
+        proc = diff(tmp_path, models_payload(),
+                    models_payload(gated_cells=0, within_tolerance=0))
+        assert proc.returncode == 1
+
+    def test_log_error_past_ceiling_fails(self, tmp_path):
+        # ln(1 + 0.6) ~= 0.47; a worst cell above it diverged.
+        proc = diff(tmp_path, models_payload(),
+                    models_payload(max_abs_log_error=0.5))
+        assert proc.returncode == 1
+        assert "max_abs_log_error" in proc.stdout
+
+    def test_fit_change_fails_on_same_workload(self, tmp_path):
+        changed = models_payload()
+        changed["fit"] = [models_fit_row(observed=1.3e6, ratio=1.3),
+                          changed["fit"][1]]
+        proc = diff(tmp_path, models_payload(), changed)
+        assert proc.returncode == 1
+        assert "BEHAVIOUR CHANGE" in proc.stdout
+
+    def test_fit_not_compared_across_workloads(self, tmp_path):
+        changed = models_payload(
+            workload=dict(models_payload()["workload"], flows=16))
+        changed["fit"] = [models_fit_row(observed=1.3e6, ratio=1.3)]
+        proc = diff(tmp_path, models_payload(), changed)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_missing_key_is_malformed(self, tmp_path):
+        broken = models_payload()
+        del broken["fit"]
+        proc = diff(tmp_path, models_payload(), broken)
+        assert proc.returncode == 2
+        assert "missing required" in proc.stdout
+
+    def test_gates_committed_models_payload(self):
+        committed = REPO / "BENCH_models.json"
+        if not committed.exists():
+            pytest.skip("no committed BENCH_models.json")
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), str(committed), str(committed)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

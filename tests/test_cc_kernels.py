@@ -1,0 +1,312 @@
+"""Tests for the pluggable CC kernel layer (``repro.transport.cc.kernels``).
+
+Pins the refactor's two contracts: (1) the Reno kernel driving
+:class:`FlowTable` reproduces the pre-refactor hardcoded AIMD manyflow
+outcomes byte-for-byte (fixed-seed goldens captured on the last commit
+before the kernel extraction, with ``batch_quantum=0``), and (2) each
+adapter class delegates its window arithmetic to its kernel — an
+identically-parameterised standalone kernel stepped with the mirror
+call sequence tracks the adapter's cwnd exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.manyflow import (
+    ManyflowConfig,
+    ManyflowEngine,
+    manyflow_scenario,
+)
+from repro.transport.cc import BBR, CubicCC, CubicConfig
+from repro.transport.cc.kernels import (
+    BBRKernel,
+    CubicKernel,
+    KERNEL_NAMES,
+    RenoKernel,
+    make_kernel,
+)
+from repro.transport.flowtable import FlowTable, QUIC_PARAMS, TCP_PARAMS
+from repro.transport.rtt import RttEstimator
+
+# ----------------------------------------------------------------------
+# Fixed-seed goldens captured on the commit *before* the kernel
+# extraction: ManyflowConfig(flows=40, duration=120.0), per-packet
+# scheduling (batch_quantum=0.0), default manyflow_scenario().  The
+# refactored reno path must reproduce every float exactly.
+# ----------------------------------------------------------------------
+PRE_REFACTOR_CLEAN = {
+    0: {
+        "flows": 40.0,
+        "flows_completed": 40.0,
+        "plt_p10": 0.04133276351455791,
+        "plt_p50": 0.12013580522383183,
+        "plt_p90": 0.17395644227008164,
+        "plt_p99": 0.23596403560877965,
+        "plt_quic_p50": 0.09518652938710595,
+        "plt_tcp_p50": 0.13126182207929704,
+        "jain_index": 0.5300987401645206,
+        "quic_share": 0.7462509936309671,
+        "bytes_acked": 5206913.0,
+        "packets_delivered": 3878.0,
+        "acks_processed": 3878.0,
+        "tx_completions": 3878.0,
+        "logical_events": 11634.0,
+        "heap_events": 60043.0,
+        "queue_drops": 0.0,
+        "loss_drops": 0.0,
+        "codel_drops": 0.0,
+        "sim_time": 120.0,
+    },
+    7: {
+        "flows": 40.0,
+        "flows_completed": 40.0,
+        "plt_p10": 0.043735033300934895,
+        "plt_p50": 0.1870129930295228,
+        "plt_p90": 0.8145334446702484,
+        "plt_p99": 1.5092875641953856,
+        "plt_quic_p50": 0.11474604260227811,
+        "plt_tcp_p50": 0.23624621519232175,
+        "jain_index": 0.47037844902233994,
+        "quic_share": 0.17241696357647646,
+        "bytes_acked": 10136636.0,
+        "packets_delivered": 7532.0,
+        "acks_processed": 7532.0,
+        "tx_completions": 7532.0,
+        "logical_events": 22596.0,
+        "heap_events": 169974.0,
+        "queue_drops": 658.0,
+        "loss_drops": 0.0,
+        "codel_drops": 0.0,
+        "sim_time": 120.0,
+    },
+}
+
+#: Same shape, on a lossy bottleneck — exercises the on_loss/on_timeout
+#: kernel paths: manyflow_scenario(rate_mbps=20.0, loss_rate=0.01), seed 3.
+PRE_REFACTOR_LOSSY = {
+    "flows": 40.0,
+    "flows_completed": 40.0,
+    "plt_p10": 0.15493280658181394,
+    "plt_p50": 0.826198275498897,
+    "plt_p90": 1.662558593324732,
+    "plt_p99": 5.829252258477377,
+    "plt_quic_p50": 1.0814113999140136,
+    "plt_tcp_p50": 0.7914501891625794,
+    "jain_index": 0.416268058460452,
+    "quic_share": 0.7302700165509449,
+    "bytes_acked": 5831087.0,
+    "packets_delivered": 4340.0,
+    "acks_processed": 4340.0,
+    "tx_completions": 4385.0,
+    "logical_events": 13065.0,
+    "heap_events": 15751.0,
+    "queue_drops": 815.0,
+    "loss_drops": 45.0,
+    "codel_drops": 0.0,
+    "sim_time": 120.0,
+}
+
+
+def run_metrics(config, scenario=None, seed=0, batch_quantum=0.0):
+    engine = ManyflowEngine(scenario or manyflow_scenario(), config,
+                            seed=seed, batch_quantum=batch_quantum)
+    metrics = engine.run()
+    # rate_p50 is a post-refactor addition (the model-fit observable);
+    # everything the pre-refactor engine produced must be untouched.
+    return {k: v for k, v in metrics.items() if k != "rate_p50"}
+
+
+class TestPreRefactorGoldens:
+    @pytest.mark.parametrize("seed", sorted(PRE_REFACTOR_CLEAN))
+    def test_clean_golden_byte_identical(self, seed):
+        config = ManyflowConfig(flows=40, duration=120.0)
+        assert run_metrics(config, seed=seed) == PRE_REFACTOR_CLEAN[seed]
+
+    def test_lossy_golden_byte_identical(self):
+        config = ManyflowConfig(flows=40, duration=120.0)
+        scenario = manyflow_scenario(rate_mbps=20.0, loss_rate=0.01)
+        assert run_metrics(config, scenario, seed=3) == PRE_REFACTOR_LOSSY
+
+
+class TestManyflowCcAxis:
+    def test_label_suffixes_non_default_kernel(self):
+        assert ManyflowConfig(flows=30).label == "manyflow-30f-droptail"
+        assert ManyflowConfig(flows=30, cc="bbr").label == \
+            "manyflow-30f-droptail-bbr"
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            ManyflowConfig(cc="vegas")
+
+    @pytest.mark.parametrize("cc", KERNEL_NAMES)
+    def test_batched_identical_to_per_packet(self, cc):
+        """The batching contract holds on every point of the CC axis."""
+        config = ManyflowConfig(flows=30, duration=60.0, cc=cc)
+        scenario = manyflow_scenario(rate_mbps=20.0, loss_rate=0.005)
+        batched = run_metrics(config, scenario, seed=2,
+                              batch_quantum=0.002)
+        per_packet = run_metrics(config, scenario, seed=2,
+                                 batch_quantum=0.0)
+        batched.pop("heap_events")
+        per_packet.pop("heap_events")
+        assert batched == per_packet
+
+    def test_kernels_actually_differ(self):
+        config = dict(flows=30, duration=60.0)
+        scenario = manyflow_scenario(rate_mbps=20.0, loss_rate=0.005)
+        outcomes = {
+            cc: run_metrics(ManyflowConfig(cc=cc, **config), scenario)
+            for cc in KERNEL_NAMES
+        }
+        assert outcomes["reno"] != outcomes["cubic"]
+        assert outcomes["reno"] != outcomes["bbr"]
+
+
+class TestMakeKernel:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_kernel("vegas", QUIC_PARAMS)
+
+    def test_flowtable_validates_cc(self):
+        with pytest.raises(ValueError):
+            FlowTable(4, cc="vegas")
+
+    def test_reno_mirrors_flow_params(self):
+        kernel = make_kernel("reno", QUIC_PARAMS)
+        assert isinstance(kernel, RenoKernel)
+        assert kernel.cwnd == QUIC_PARAMS.initial_window
+        assert kernel.max_cwnd == QUIC_PARAMS.max_cwnd
+        assert kernel.beta == QUIC_PARAMS.beta
+
+    def test_cubic_scales_alpha_for_emulated_connections(self):
+        quic = make_kernel("cubic", QUIC_PARAMS)
+        tcp = make_kernel("cubic", TCP_PARAMS)
+        assert isinstance(quic, CubicKernel)
+        # QUIC's N=2 emulation quadruples the per-connection alpha term.
+        n = QUIC_PARAMS.emulated_connections
+        assert n == 2
+        expected = 3.0 * n * n * (1.0 - QUIC_PARAMS.beta) \
+            / (1.0 + QUIC_PARAMS.beta)
+        assert quic.reno_alpha == pytest.approx(expected)
+        assert tcp.reno_alpha < quic.reno_alpha
+
+    def test_bbr_has_no_ssthresh(self):
+        kernel = make_kernel("bbr", TCP_PARAMS)
+        assert isinstance(kernel, BBRKernel)
+        assert kernel.ssthresh == float("inf")
+
+
+class TestRenoKernelSteps:
+    def test_slow_start_then_avoidance(self):
+        kernel = RenoKernel(initial_cwnd=2.0, max_cwnd=100.0, beta=0.7,
+                            ssthresh=4.0)
+        kernel.on_ack(2)
+        assert kernel.cwnd == 4.0  # slow start: +1 per acked packet
+        kernel.on_ack(2)
+        assert kernel.cwnd == 4.5  # CA: +acked/cwnd
+
+    def test_loss_and_timeout(self):
+        kernel = RenoKernel(initial_cwnd=10.0, max_cwnd=100.0, beta=0.7)
+        kernel.on_loss()
+        assert kernel.cwnd == pytest.approx(7.0)
+        assert kernel.ssthresh == pytest.approx(7.0)
+        kernel.on_timeout()
+        assert kernel.cwnd == 2.0
+        assert kernel.ssthresh == pytest.approx(4.9)
+
+    def test_macw_cap(self):
+        kernel = RenoKernel(initial_cwnd=9.5, max_cwnd=10.0, beta=0.7,
+                            ssthresh=100.0)
+        kernel.on_ack(5)
+        assert kernel.cwnd == 10.0
+
+
+class TestKernelAdapterEquivalence:
+    """A standalone kernel stepped with the adapter's mirror calls
+    tracks the adapter's window exactly — the delegation contract."""
+
+    def test_cubic(self):
+        config = CubicConfig(prr=False, hybrid_slow_start=False)
+        rtt = RttEstimator()
+        cc = CubicCC(config, rtt)
+        mirror = CubicKernel(
+            mss=config.mss,
+            initial_cwnd=config.initial_cwnd_packets * config.mss,
+            min_cwnd=config.min_cwnd_packets * config.mss,
+            max_cwnd=config.max_cwnd_packets * config.mss,
+            ssthresh=float("inf"),
+            cubic_c=config.cubic_c,
+            beta=config.scaled_beta(),
+            reno_alpha=config.reno_alpha(),
+        )
+        cc.on_connection_start(0.0)
+        cc.on_receiver_buffer(200 * config.mss)
+        mirror.ssthresh = float(200 * config.mss)
+        now = 0.0
+        for step in range(400):
+            now += 0.01
+            rtt.on_sample(0.05, now)
+            cc.on_ack(now, config.mss, cwnd_limited=True)
+            mirror.on_ack(config.mss, now, rtt.smoothed_rtt(),
+                          rtt.min_rtt())
+            assert cc.kernel.cwnd == mirror.cwnd, step
+            if step in (150, 290):
+                in_flight = int(cc.kernel.cwnd)
+                cc.on_congestion_event(now, in_flight)
+                mirror.on_loss(now, float(in_flight))
+                cc.on_recovery_exit(now)
+                mirror.on_recovery_exit()
+                assert cc.kernel.cwnd == mirror.cwnd
+            if step == 350:
+                cc.on_retransmission_timeout(now)
+                mirror.on_timeout(now)
+                assert cc.kernel.cwnd == mirror.cwnd
+        assert cc.ssthresh == mirror.ssthresh
+
+    def test_bbr(self):
+        rtt = RttEstimator()
+        cc = BBR(rtt, mss=1350)
+        mirror = BBRKernel(mss=1350)
+        cc.on_connection_start(0.0)
+        mirror.min_rtt_stamp = 0.0
+        now = 0.0
+        for step in range(600):
+            now += 0.01
+            rtt.on_sample(0.04, now)
+            cc.on_rtt_sample(now, 0.04)
+            mirror.on_rtt_sample(now, 0.04, rtt.min_rtt())
+            cc.on_ack(now, 1350, cwnd_limited=True)
+            mirror.on_ack(1350, now, rtt.smoothed_rtt(), rtt.min_rtt())
+            assert cc.kernel.cwnd == mirror.cwnd, step
+            assert cc.kernel.mode == mirror.mode, step
+            if step == 400:
+                cc.on_congestion_event(now, 8 * 1350)
+                mirror.on_loss(now, 8 * 1350.0)
+                assert cc.kernel.cwnd == mirror.cwnd
+                cc.on_recovery_exit(now)
+        # The filter and machine progressed past Startup.
+        assert mirror.mode != "Startup"
+        assert cc.pacing_rate() == mirror.pacing_rate(rtt.smoothed_rtt())
+
+    def test_flowtable_reno(self):
+        table = FlowTable(1, cc="reno")
+        table.define_flow(0, 0.0, 500 * 1350, proto=1)
+        table.activate(0, 0.0)
+        mirror = make_kernel("reno", TCP_PARAMS)
+        now = 0.0
+        for step in range(300):
+            now += 0.01
+            table.rtt_update(0, 0.05, now)
+            table.on_ack(0, 2, now)
+            mirror.on_ack(2, now, table.srtt[0], table.min_rtt[0])
+            assert table.cwnd[0] == mirror.cwnd, step
+            if step == 120:
+                table.on_loss_event(0, now)
+                mirror.on_loss(now, float(table.inflight[0]))
+                assert table.cwnd[0] == mirror.cwnd
+            if step == 220:
+                table.on_timeout(0, now)
+                mirror.on_timeout(now)
+                assert table.cwnd[0] == mirror.cwnd
+        assert table.ssthresh[0] == mirror.ssthresh

@@ -137,3 +137,21 @@ class TestManyflowCommand:
         assert "20/20 flows" in out
         assert main(argv) == 0
         assert "(cached)" in capsys.readouterr().out
+
+    def test_cc_axis_defaults_to_reno(self):
+        args = build_parser().parse_args(["manyflow"])
+        assert args.cc == "reno"
+
+    def test_cc_axis_runs_each_kernel(self, capsys):
+        assert main(["manyflow", "--flows", "15", "--duration", "60",
+                     "--cc", "reno,cubic"]) == 0
+        out = capsys.readouterr().out
+        # Multi-kernel sweeps tag each line; only non-default kernels
+        # suffix the label (default runs stay bit-identical).
+        assert "manyflow-15f-droptail, manyflow-15f-droptail-cubic" in out
+        assert "reno seed 0" in out
+        assert "cubic seed 0" in out
+
+    def test_unknown_cc_is_rejected(self):
+        with pytest.raises(SystemExit, match="vegas"):
+            main(["manyflow", "--cc", "vegas"])

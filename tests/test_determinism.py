@@ -115,6 +115,23 @@ class TestManyflowDeterminism:
         config = ManyflowConfig(flows=30, duration=120.0)
         return manyflow_requests(config, seeds=(0, 1, 2, 3))
 
+    def _cc_requests(self):
+        # One request per pluggable kernel, so the executor / store /
+        # fabric contracts below cover the whole CC axis.  A lossy link
+        # is what separates the kernels: without drops all three ride
+        # the same slow-start trajectory.
+        from repro.core.manyflow import (ManyflowConfig, manyflow_requests,
+                                         manyflow_scenario)
+        from repro.transport.cc import KERNEL_NAMES
+
+        scenario = manyflow_scenario(rate_mbps=20.0, loss_rate=0.01)
+        requests = []
+        for cc in KERNEL_NAMES:
+            config = ManyflowConfig(flows=30, duration=90.0, cc=cc)
+            requests.extend(manyflow_requests(config, scenario=scenario,
+                                              seeds=(0, 1)))
+        return requests
+
     def test_build_flows_is_pure(self):
         from repro.core.manyflow import ManyflowConfig, build_flows
 
@@ -148,3 +165,31 @@ class TestManyflowDeterminism:
         assert [r.metrics for r in remote] == [r.metrics for r in serial]
         assert all(r.cached for r in cached)
         assert [r.metrics for r in cached] == [r.metrics for r in serial]
+
+    def test_cc_axis_serial_matches_pool(self):
+        from repro.core.executor import run_requests
+
+        requests = self._cc_requests()
+        serial = run_requests(requests, jobs=1)
+        pooled = run_requests(requests, jobs=2, force_pool=True)
+        assert [r.metrics for r in serial] == [r.metrics for r in pooled]
+        # Distinct kernels must actually be running distinct dynamics —
+        # a silent fall-through to reno would pass the equality above.
+        by_cc = {r.request.manyflow.cc: r.metrics for r in serial
+                 if r.request.seed == 0}
+        assert len({m["plt_p50"] for m in by_cc.values()}) == 3
+
+    def test_cc_axis_fabric_store_round_trips(self, tmp_path):
+        from repro.core.executor import run_requests
+        from repro.fabric import RemoteStore, StoreServer
+        from repro.store import ShardStore
+
+        requests = self._cc_requests()
+        serial = run_requests(requests, jobs=1)
+        with StoreServer(ShardStore(tmp_path / "central"), port=0) as srv:
+            remote = run_requests(requests, store=RemoteStore(srv.url))
+            cached = run_requests(requests, store=RemoteStore(srv.url))
+        assert [r.metrics for r in remote] == [r.metrics for r in serial]
+        assert all(r.cached for r in cached)
+        assert [r.request.manyflow.cc for r in cached] == \
+            [r.request.manyflow.cc for r in serial]

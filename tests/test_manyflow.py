@@ -134,6 +134,14 @@ class TestExecutorIntegration:
         assert decoded.manyflow == request.manyflow
         assert request_to_dict(decoded) == request_to_dict(request)
 
+    def test_request_codec_round_trips_cc_kernel(self):
+        # ManyflowConfig.cc is a plain kernel-name string; the codec's
+        # nested-CC-config special case must not touch it.
+        request = manyflow_requests(small_config(cc="bbr"))[0]
+        decoded = request_from_dict(request_to_dict(request))
+        assert decoded.manyflow.cc == "bbr"
+        assert decoded == request
+
     def test_plain_request_still_decodes(self):
         request = manyflow_requests(small_config())[0]
         raw = request_to_dict(request)

@@ -183,6 +183,11 @@ def _fake_package(root: Path) -> Path:
     (pkg / "cli.py").write_text("entry = None\n")
     (pkg / "store").mkdir()
     (pkg / "store" / "keys.py").write_text("schema = 1\n")
+    # The claimed-file case: core/models.py lives under core/ but is
+    # listed in the transport partition (it encodes kernel behaviour).
+    (pkg / "core" / "models.py").write_text("oracle = 1\n")
+    (pkg / "transport" / "cc").mkdir()
+    (pkg / "transport" / "cc" / "kernels.py").write_text("step = 1\n")
     return pkg
 
 
@@ -275,6 +280,37 @@ class TestSubsystemFingerprints:
         # A real tree backs every bucket, so no digest is the empty hash.
         empty = __import__("hashlib").sha256().hexdigest()
         assert all(fp != empty for fp in fingerprints.values())
+
+    @pytest.mark.parametrize("relative", [
+        # The oracle layer is claimed away from core/ by an explicit
+        # file entry; the kernels live under transport/ proper.  Either
+        # edit must invalidate exactly the transport partition.
+        "core/models.py",
+        "transport/cc/kernels.py",
+    ])
+    def test_cc_edits_move_only_transport_partition(self, tmp_path,
+                                                    relative):
+        pkg = _fake_package(tmp_path)
+        edited = _edited_copy(pkg, relative, "changed = True\n")
+        before = subsystem_fingerprints(pkg)
+        after = subsystem_fingerprints(edited)
+        assert before["transport"] != after["transport"]
+        unchanged = set(before) - {"transport"}
+        assert {name: before[name] for name in unchanged} == \
+            {name: after[name] for name in unchanged}
+        # transport is in every run's base set, so the keys move too.
+        assert fingerprint_for(req(), pkg) != fingerprint_for(req(), edited)
+
+    def test_profile_partition_matches_claimed_files(self):
+        # The perf-report attribution must agree with the fingerprint
+        # partition, including the claimed-file precedence.
+        from repro.core.bench import _subsystem_of
+
+        assert _subsystem_of("/x/src/repro/core/models.py") == "transport"
+        assert _subsystem_of(
+            "/x/src/repro/transport/cc/kernels.py") == "transport"
+        assert _subsystem_of("/x/src/repro/core/executor.py") == "core"
+        assert _subsystem_of("/usr/lib/python3/heapq.py") == "(stdlib/other)"
 
 
 # ----------------------------------------------------------------------
